@@ -1,0 +1,68 @@
+// Ablation (design-choice): what cache blocking buys a Level-3 kernel
+// on the modeled A64FX - the locality story behind the tuned libraries
+// of Fig. 1, quantified with the library's own trace-driven cache
+// simulator (no analytic hand-waving: these are simulated LRU caches
+// with the A64FX geometry).
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/table.hpp"
+#include "core/units.hpp"
+#include "kernels/gemm.hpp"
+
+using namespace tfx;
+using namespace tfx::kernels;
+
+namespace {
+
+const char* variant_name(gemm_variant v) {
+  switch (v) {
+    case gemm_variant::naive: return "naive (ijk)";
+    case gemm_variant::reordered: return "reordered (ikj)";
+    case gemm_variant::blocked: return "blocked 32";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main() {
+  std::puts("Ablation: GEMM loop structure vs simulated A64FX caches");
+  std::puts("(128x128 doubles; each matrix 128 KiB: 2x the L1, well");
+  std::puts("inside the 8-MiB L2).\n");
+
+  const std::size_t n = 128;
+  table t({"variant", "L1 accesses", "L1 miss rate", "L2 miss rate",
+           "bytes from L2", "bytes from HBM"});
+  for (const auto v : {gemm_variant::naive, gemm_variant::reordered,
+                       gemm_variant::blocked}) {
+    const auto sim = trace_gemm(v, n, 8, 32);
+    const auto traffic = sim.traffic();
+    char l1rate[32], l2rate[32];
+    std::snprintf(l1rate, sizeof l1rate, "%.2f%%",
+                  100.0 * sim.l1().stats().miss_rate());
+    std::snprintf(l2rate, sizeof l2rate, "%.2f%%",
+                  100.0 * sim.l2().stats().miss_rate());
+    t.add_row({variant_name(v), std::to_string(sim.l1().stats().accesses),
+               l1rate, l2rate, format_bytes(traffic.l2_bytes),
+               format_bytes(traffic.mem_bytes)});
+  }
+  t.print(std::cout);
+
+  std::puts("\nBlock-size sweep (blocked variant, L1 miss rate):");
+  table t2({"block", "working set (3 blocks)", "L1 miss rate"});
+  for (const std::size_t block : {8u, 16u, 32u, 48u, 64u, 128u}) {
+    const auto sim = trace_gemm(gemm_variant::blocked, n, 8, block);
+    char rate[32];
+    std::snprintf(rate, sizeof rate, "%.3f%%",
+                  100.0 * sim.l1().stats().miss_rate());
+    t2.add_row({std::to_string(block),
+                format_bytes(3 * block * block * 8), rate});
+  }
+  t2.print(std::cout);
+
+  std::puts("\nThe sweet spot sits where three blocks fit the 64-KiB L1 -");
+  std::puts("the same arithmetic every BLAS tuning guide walks through.");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Ablation (design choice, DESIGN.md): Allreduce algorithm selection.
+// Recursive doubling costs log2(P) rounds of the full buffer; the ring
+// moves 2(P-1)/P of the buffer in 2(P-1) small rounds. The automatic
+// policy switches at 256 KiB; this bench shows why, at both a small
+// and the Fig. 3 rank count.
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+#include "core/table.hpp"
+#include "core/units.hpp"
+#include "mpisim/des.hpp"
+#include "mpisim/patterns.hpp"
+
+using namespace tfx;
+using namespace tfx::mpisim;
+
+namespace {
+
+void panel(const torus_placement& place) {
+  const tofud_params net;
+  const int p = place.rank_count();
+  std::printf("\n== Allreduce algorithms at %d ranks ==\n", p);
+  table t({"bytes", "rdoubling", "ring", "rabenseifner", "reduce+bcast",
+           "winner"});
+  for (unsigned e = 2; e <= 24; e += 2) {
+    const std::size_t bytes = std::size_t{1} << e;
+    const std::size_t count = bytes / 4;
+    const double rd =
+        simulate(make_allreduce_program(net, p, count, 4,
+                                        coll_algorithm::recursive_doubling),
+                 net, place)
+            .max_clock();
+    const double ring =
+        simulate(make_allreduce_program(net, p, count, 4,
+                                        coll_algorithm::ring),
+                 net, place)
+            .max_clock();
+    const double rab =
+        simulate(make_allreduce_program(net, p, count, 4,
+                                        coll_algorithm::rabenseifner),
+                 net, place)
+            .max_clock();
+    // reduce + bcast, the naive composition.
+    auto reduce_prog = make_reduce_program(net, p, count, 4, 0);
+    auto clocks = simulate(reduce_prog, net, place).clocks;
+    const double rb =
+        simulate(make_bcast_program(p, count, 4, 0), net, place,
+                 std::move(clocks))
+            .max_clock();
+    const double best = std::min({rd, ring, rab, rb});
+    const char* winner = best == rd     ? "rdoubling"
+                         : best == rab  ? "rabenseifner"
+                         : best == ring ? "ring"
+                                        : "reduce+bcast";
+    t.add_row({format_bytes(bytes), format_seconds(rd), format_seconds(ring),
+               format_seconds(rab), format_seconds(rb), winner});
+  }
+  t.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  std::puts("Ablation: collective algorithm choice (DES, TofuD model).");
+  std::puts("Expected: recursive doubling wins for small messages (latency");
+  std::puts("bound), the ring wins for large (bandwidth bound); the naive");
+  std::puts("reduce+bcast composition never wins.");
+  panel(torus_placement::line(64));
+  panel(torus_placement({4, 6, 16}, 4));  // the Fig. 3 allocation
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Ablation (extension): flat vs topology-aware (hierarchical)
+// allreduce under the paper's 4-ranks-per-node placement.
+//
+// The hierarchical composition (node reduce -> leader allreduce ->
+// node bcast) keeps 3/4 of the ranks off the torus; the flat
+// algorithms treat every rank as a torus endpoint. Virtual times from
+// the threaded runtime at thread-friendly scales.
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "core/table.hpp"
+#include "core/units.hpp"
+#include "mpisim/hierarchical.hpp"
+#include "mpisim/runtime.hpp"
+
+using namespace tfx;
+using namespace tfx::mpisim;
+
+namespace {
+
+double measure(int nodes, int per_node, std::size_t count, bool hier,
+               const tofud_params& net, int iters = 6) {
+  world w(torus_placement({nodes, 1, 1}, per_node), net);
+  w.run([&](communicator& comm) {
+    std::vector<double> in(count, 1.0), out(count);
+    // Pre-split once (like caching a communicator in real codes): the
+    // measured loop is the collective itself.
+    auto node = split_by_node(comm);
+    const bool leader = node.rank() == 0;
+    auto leaders = split(comm, leader ? 0 : undefined_color, comm.rank());
+    const double t0 = comm.now();
+    (void)t0;
+    for (int it = 0; it < iters; ++it) {
+      if (hier) {
+        reduce(node, std::span<const double>(in), std::span<double>(out),
+               ops::sum{}, 0);
+        if (leader) {
+          std::vector<double> partial(out.begin(), out.end());
+          allreduce(leaders, std::span<const double>(partial),
+                    std::span<double>(out), ops::sum{});
+        }
+        bcast(node, std::span<double>(out), 0);
+      } else {
+        allreduce(comm, std::span<const double>(in), std::span<double>(out),
+                  ops::sum{});
+      }
+    }
+  });
+  double max_clock = 0;
+  for (double c : w.final_clocks()) max_clock = std::max(max_clock, c);
+  return max_clock / iters;
+}
+
+}  // namespace
+
+void panel(const char* title, const tofud_params& net) {
+  std::printf("== %s ==\n", title);
+  for (const int nodes : {4, 8}) {
+    std::printf("-- %d nodes x 4 ranks = %d ranks --\n", nodes, nodes * 4);
+    table t({"bytes", "flat", "hierarchical", "speedup"});
+    for (const std::size_t bytes : {8u, 512u, 8192u, 131072u, 1048576u}) {
+      const std::size_t count = bytes / 8;
+      const double flat = measure(nodes, 4, count, false, net);
+      const double hier = measure(nodes, 4, count, true, net);
+      t.add_row({format_bytes(bytes), format_seconds(flat),
+                 format_seconds(hier), format_fixed(flat / hier, 2)});
+    }
+    t.print(std::cout);
+    std::puts("");
+  }
+}
+
+int main() {
+  std::puts("Ablation: flat vs hierarchical allreduce (threaded runtime,");
+  std::puts("4 ranks/node as in the paper's Fig. 3 placement).\n");
+
+  panel("default fabric (intra-node MPI path, 0.25 us)", tofud_params{});
+
+  // The regime real machines live in: shared-memory reductions are an
+  // order of magnitude cheaper than the fabric.
+  tofud_params shm;
+  shm.intra_alpha_s = 0.02e-6;
+  shm.intra_bandwidth_Bps = 40e9;
+  panel("fast shared memory (0.02 us intra-node)", shm);
+
+  std::puts("Finding: the hierarchy does NOT pay on this fabric model, and");
+  std::puts("the reason is structural, not a calibration artifact:");
+  std::puts("  * hierarchical = 2 + log2(P/4) + 2 sequential phases;");
+  std::puts("    flat recursive doubling = log2(P) rounds - never more;");
+  std::puts("  * block placement already makes the flat algorithm's");
+  std::puts("    low-mask rounds intra-node;");
+  std::puts("  * per-rank injection ports (TofuD has multiple TNIs per");
+  std::puts("    node) remove the NIC-contention argument.");
+  std::puts("Hierarchical collectives earn their keep on fabrics with a");
+  std::puts("single shared NIC or scattered placements - both expressible");
+  std::puts("in this model by construction.");
+  return 0;
+}

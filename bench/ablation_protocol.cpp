@@ -1,0 +1,40 @@
+// Ablation (design choice): the eager/rendezvous protocol switch in
+// the network model, and what each term of the Hockney cost
+// contributes across the Fig. 2 message range.
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/table.hpp"
+#include "core/units.hpp"
+#include "mpisim/network.hpp"
+
+using namespace tfx;
+using namespace tfx::mpisim;
+
+int main() {
+  std::puts("Ablation: TofuD transfer-time decomposition (2 nodes, 1 hop).");
+  const tofud_params net;
+  const auto place = torus_placement::line(2);
+
+  table t({"bytes", "total", "alpha+hop", "wire (bytes/B)", "rendezvous",
+           "protocol"});
+  for (unsigned e = 0; e <= 24; e += 2) {
+    const std::size_t bytes = std::size_t{1} << e;
+    const double total = transfer_seconds(net, place, 0, 1, bytes);
+    const double base = net.alpha_s + net.per_hop_s;
+    const double wire = static_cast<double>(bytes) / net.link_bandwidth_Bps;
+    const bool rndv = bytes > net.eager_threshold;
+    t.add_row({format_bytes(bytes), format_seconds(total),
+               format_seconds(base), format_seconds(wire),
+               rndv ? format_seconds(net.rendezvous_extra_s) : "-",
+               rndv ? "rendezvous" : "eager"});
+  }
+  t.print(std::cout);
+
+  std::puts("\nLatency-bandwidth crossover: the alpha term dominates below");
+  const double cross = net.alpha_s * net.link_bandwidth_Bps;
+  std::printf("~%s per message; beyond that the wire term takes over.\n",
+              format_bytes(static_cast<std::uint64_t>(cross)).c_str());
+  return 0;
+}

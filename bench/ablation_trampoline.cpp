@@ -1,0 +1,47 @@
+// Ablation (§ III-A.1): libblastrampoline forwards BLAS calls "at
+// runtime with near-zero overhead compared to the complexity of the
+// routines invoked". Measure our registry's forwarding cost (atomic
+// load + shared_ptr copy + virtual call) against a direct call, with
+// google-benchmark, across vector lengths.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "kernels/generic.hpp"
+#include "kernels/registry.hpp"
+
+using namespace tfx;
+
+namespace {
+
+void bench_direct(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> x(n, 1.5), y(n, 0.5);
+  for (auto _ : state) {
+    kernels::axpy(1.0001, std::span<const double>(x), std::span<double>(y));
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+
+void bench_trampoline(benchmark::State& state) {
+  kernels::blas_registry::instance().set_current("Julia");
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> x(n, 1.5), y(n, 0.5);
+  for (auto _ : state) {
+    kernels::axpy_dispatch(1.0001, std::span<const double>(x),
+                           std::span<double>(y));
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+
+}  // namespace
+
+BENCHMARK(bench_direct)->RangeMultiplier(8)->Range(8, 1 << 18);
+BENCHMARK(bench_trampoline)->RangeMultiplier(8)->Range(8, 1 << 18);
+
+BENCHMARK_MAIN();

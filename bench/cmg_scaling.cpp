@@ -1,0 +1,75 @@
+// Multi-core CMG scaling: STREAM triad and axpy across 1..12 cores of
+// one A64FX CMG (modeled), next to the host thread-pool wall-clock of
+// the real parallel kernels.
+//
+// The modeled curve shows the A64FX signature the co-design papers
+// report: near-linear compute scaling but memory bandwidth saturating
+// at the CMG aggregate (~230 GB/s) around 4-6 cores - the reason the
+// Fig. 5 performance model charges a 1/12 L2 share per core.
+
+#include <cstdio>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "arch/roofline.hpp"
+#include "core/table.hpp"
+#include "core/threadpool.hpp"
+#include "core/timer.hpp"
+#include "core/units.hpp"
+#include "kernels/parallel.hpp"
+#include "kernels/stream.hpp"
+
+using namespace tfx;
+using namespace tfx::kernels;
+
+namespace {
+
+double host_triad_gbs(int threads, std::size_t n) {
+  thread_pool pool(threads);
+  std::vector<double> a(n), b(n, 1.0), c(n, 2.0);
+  const auto t = measure(
+      [&] {
+        triad_parallel(pool, 0.5, std::span<const double>(b),
+                       std::span<const double>(c), std::span<double>(a));
+      },
+      5, 5e-3);
+  return 3.0 * static_cast<double>(n) * 8.0 / t.min() / 1e9;
+}
+
+}  // namespace
+
+int main() {
+  std::puts("CMG core scaling: modeled A64FX STREAM triad vs core count.\n");
+
+  const std::size_t n = 1 << 24;  // 128-MiB arrays: HBM regime
+  table t({"cores", "triad GB/s (model)", "scaling", "axpy GFLOPS (model)"});
+  double base = 0;
+  for (const int cores : {1, 2, 4, 6, 8, 12}) {
+    const auto machine = arch::cmg_view(arch::fugaku_node, cores);
+    const double gbs = modeled_stream_gbs(machine, stream_kernel::triad,
+                                          stream_cxx, n, 8);
+    if (cores == 1) base = gbs;
+    arch::kernel_profile axpy;  // default = axpy shape
+    const auto m = arch::predict(machine, axpy, n, 8, 2 * n * 8);
+    t.add_row({std::to_string(cores), format_fixed(gbs, 1),
+               format_fixed(gbs / base, 2), format_fixed(m.gflops, 1)});
+  }
+  t.print(std::cout);
+
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  std::printf("\nHost thread-pool triad (for reference, %u hw threads):\n",
+              hw);
+  table h({"threads", "triad GB/s (host)"});
+  for (unsigned threads = 1; threads <= std::min(hw, 4u); threads *= 2) {
+    h.add_row({std::to_string(threads),
+               format_fixed(host_triad_gbs(static_cast<int>(threads),
+                                           1 << 22), 1)});
+  }
+  h.print(std::cout);
+
+  std::puts("\nBandwidth saturates near the CMG aggregate while compute");
+  std::puts("keeps scaling - the same imbalance that makes reduced");
+  std::puts("precision (fewer bytes per value) the lever of Fig. 5.");
+  return 0;
+}

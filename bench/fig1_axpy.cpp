@@ -1,0 +1,121 @@
+// Figure 1: axpy GFLOPS vs vector length for Float16/Float32/Float64,
+// Julia's generic kernel vs Fujitsu BLAS, BLIS, OpenBLAS and ARMPL on
+// one A64FX core.
+//
+// The modeled machine (arch::) supplies the A64FX numbers; a host
+// wall-clock column for the generic kernel at Float32/Float64 is
+// printed as a sanity check of the *shape* (it shows the same
+// cache-cliff structure on the build machine). Per the paper, only the
+// generic kernel has a Float16 implementation at all.
+
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "arch/roofline.hpp"
+#include "core/cli.hpp"
+#include "core/table.hpp"
+#include "core/timer.hpp"
+#include "core/units.hpp"
+#include "fp/float16.hpp"
+#include "fp/traits.hpp"
+#include "kernels/generic.hpp"
+#include "kernels/registry.hpp"
+
+using namespace tfx;
+using tfx::fp::float16;
+
+namespace {
+
+/// Host wall-clock GFLOPS of the generic axpy at type T.
+template <typename T>
+double host_gflops(std::size_t n) {
+  std::vector<T> x(n, T(1.5)), y(n, T(0.25));
+  const T a = T(0.999);
+  const auto t = measure([&] {
+    kernels::axpy(a, std::span<const T>(x), std::span<T>(y));
+  });
+  return gflops(2.0 * static_cast<double>(n), t.min());
+}
+
+template <typename T>
+void panel(bool with_host, std::size_t max_log2) {
+  const auto& machine = arch::fugaku_node;
+  auto& reg = kernels::blas_registry::instance();
+  const auto names = reg.names();
+
+  std::vector<std::string> header{"n", "bytes"};
+  for (const auto& name : names) header.emplace_back(name);
+  if (with_host) header.emplace_back("host(Julia)");
+  table t(header);
+
+  for (std::size_t e = 4; e <= max_log2; e += 1) {
+    const std::size_t n = std::size_t{1} << e;
+    std::vector<std::string> row{std::to_string(n),
+                                 format_bytes(n * sizeof(T))};
+    for (const auto& name : names) {
+      const auto backend = reg.find(name);
+      if constexpr (std::is_same_v<T, float16>) {
+        if (!backend->supports_float16()) {
+          // "half-precision implementations of axpy are not available
+          // for the other binary libraries" (Fig. 1 caption).
+          row.emplace_back("n/a");
+          continue;
+        }
+      }
+      const auto profile = backend->axpy_profile(sizeof(T));
+      const auto m = arch::predict(machine, profile, n, sizeof(T),
+                                   2 * n * sizeof(T));
+      row.push_back(format_fixed(m.gflops, 2));
+    }
+    if (with_host) {
+      if constexpr (std::is_same_v<T, float16>) {
+        row.emplace_back("-");  // soft-float wall clock is meaningless
+      } else {
+        row.push_back(format_fixed(host_gflops<T>(n), 2));
+      }
+    }
+    t.add_row(std::move(row));
+  }
+  std::printf("\n== Fig. 1 panel: %s axpy, modeled A64FX GFLOPS ==\n",
+              std::string(fp::precision_traits<T>::name).c_str());
+  t.print(std::cout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cli args(argc, argv,
+           {{"host", "also measure host wall-clock for the generic kernel"},
+            {"max-log2", "largest vector length exponent (default 22)"}});
+  if (args.wants_help()) {
+    std::fputs(args.help().c_str(), stderr);
+    return 1;
+  }
+  const bool host = !args.has("no-host");
+  const auto max_log2 =
+      static_cast<std::size_t>(args.get_int("max-log2", 22));
+
+  std::puts("Reproduction of Fig. 1 (axpy on one A64FX core).");
+  std::puts("Expected shape: Julia best peak everywhere; Fujitsu BLAS");
+  std::puts("competitive; BLIS behind; OpenBLAS/ARMPL (NEON path) last;");
+  std::puts("Float16 only exists for Julia; cache cliffs at L1/L2.");
+
+  panel<float16>(false, max_log2);
+  panel<float>(host, max_log2);
+  panel<double>(host, max_log2);
+
+  // The headline ratios the paper's text quotes.
+  const auto& machine = arch::fugaku_node;
+  auto julia16 = arch::predict(
+      machine,
+      kernels::blas_registry::instance().find("Julia")->axpy_profile(2),
+      1 << 12, 2, 2 * (1 << 12) * 2);
+  auto julia64 = arch::predict(
+      machine,
+      kernels::blas_registry::instance().find("Julia")->axpy_profile(8),
+      1 << 12, 8, 2 * (1 << 12) * 8);
+  std::printf("\nIn-cache Float16/Float64 throughput ratio (Julia): %.2fx\n",
+              julia16.gflops / julia64.gflops);
+  return 0;
+}

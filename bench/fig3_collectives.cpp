@@ -1,0 +1,57 @@
+// Figure 3: latency of collective operations - Allreduce (top),
+// Gatherv (middle), Reduce (bottom) - MPI.jl vs IMB (C) at 1536 ranks
+// on 384 nodes in a 4x6x16 torus allocation, via the discrete-event
+// engine (the threaded runtime cross-validates it in the tests).
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/cli.hpp"
+#include "core/table.hpp"
+#include "core/units.hpp"
+#include "imb/benchmarks.hpp"
+
+using namespace tfx;
+using namespace tfx::imb;
+
+namespace {
+
+void panel(const char* title, collective_kind kind,
+           const bench_config& config, unsigned hi) {
+  const auto place = fugaku_fig3_placement();
+  const auto sizes = power_of_two_sizes(2, hi);
+  const auto jl = run_collective(kind, mpi_jl, config, place, sizes);
+  const auto ic = run_collective(kind, imb_c, config, place, sizes);
+
+  table t({"bytes", "MPI.jl", "IMB (C)", "jl/imb"});
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    t.add_row({format_bytes(sizes[i]), format_seconds(jl[i].latency_s),
+               format_seconds(ic[i].latency_s),
+               format_fixed(jl[i].latency_s / ic[i].latency_s, 3)});
+  }
+  std::printf("\n== Fig. 3 panel: %s, 1536 ranks / 384 nodes ==\n", title);
+  t.print(std::cout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cli args(argc, argv, {{"max-log2", "largest message exponent (default 22)"}});
+  if (args.wants_help()) {
+    std::fputs(args.help().c_str(), stderr);
+    return 1;
+  }
+  const auto hi = static_cast<unsigned>(args.get_int("max-log2", 22));
+
+  std::puts(
+      "Reproduction of Fig. 3 (collectives on the 4x6x16 torus, 1536 ranks).");
+  std::puts("Expected shape: MPI.jl overhead visible only at small sizes,");
+  std::puts("vanishing (ratio -> 1) for large messages; no Allreduce");
+  std::puts("performance drop at large sizes.");
+
+  const bench_config config;
+  panel("MPI_Allreduce", collective_kind::allreduce, config, hi);
+  panel("MPI_Gatherv", collective_kind::gatherv, config, hi);
+  panel("MPI_Reduce", collective_kind::reduce, config, hi);
+  return 0;
+}

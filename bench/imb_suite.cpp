@@ -1,0 +1,62 @@
+// The wider IMB suite over the simulated fabric: every collective the
+// library implements, at a small and the paper's rank count, both
+// harness personalities, three representative message sizes. A compact
+// overview complementing the per-figure deep dives (fig2/fig3).
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/table.hpp"
+#include "core/units.hpp"
+#include "imb/benchmarks.hpp"
+
+using namespace tfx;
+using namespace tfx::imb;
+
+namespace {
+
+const char* kind_name(collective_kind k) {
+  switch (k) {
+    case collective_kind::allreduce: return "Allreduce";
+    case collective_kind::reduce: return "Reduce";
+    case collective_kind::gatherv: return "Gatherv";
+    case collective_kind::bcast: return "Bcast";
+    case collective_kind::barrier: return "Barrier";
+    case collective_kind::allgather: return "Allgather";
+  }
+  return "?";
+}
+
+void suite(const mpisim::torus_placement& place) {
+  const bench_config config;
+  std::printf("\n== IMB suite at %d ranks (%d nodes) ==\n",
+              place.rank_count(), place.node_count());
+  const std::vector<std::size_t> sizes{64, 16 * 1024, 1024 * 1024};
+  table t({"benchmark", "64 B (jl)", "64 B (imb)", "16 KiB (jl)",
+           "16 KiB (imb)", "1 MiB (jl)", "1 MiB (imb)"});
+  for (const auto kind :
+       {collective_kind::allreduce, collective_kind::reduce,
+        collective_kind::bcast, collective_kind::gatherv,
+        collective_kind::allgather, collective_kind::barrier}) {
+    const auto jl = run_collective(kind, mpi_jl, config, place, sizes);
+    const auto ic = run_collective(kind, imb_c, config, place, sizes);
+    t.add_row({kind_name(kind), format_seconds(jl[0].latency_s),
+               format_seconds(ic[0].latency_s),
+               format_seconds(jl[1].latency_s),
+               format_seconds(ic[1].latency_s),
+               format_seconds(jl[2].latency_s),
+               format_seconds(ic[2].latency_s)});
+  }
+  t.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  std::puts("IMB-style suite, MPI.jl vs IMB (C) personalities.");
+  suite(mpisim::torus_placement({4, 4, 4}, 1));  // 64 ranks
+  suite(fugaku_fig3_placement());                // 1536 ranks (Fig. 3)
+  std::puts("\n(Barrier moves no payload, so its columns are size-"
+            "independent.)");
+  return 0;
+}

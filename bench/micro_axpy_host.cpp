@@ -1,0 +1,47 @@
+// Host wall-clock of the generic axpy across element types and sizes
+// (google-benchmark): the shape sanity check for Fig. 1. On the build
+// machine the float/double pair shows the same cache-cliff structure
+// and the ~2x memory-bound gap; float16 shows the software-emulation
+// cost the machine model corrects for.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/rng.hpp"
+#include "fp/float16.hpp"
+#include "kernels/generic.hpp"
+
+using namespace tfx;
+using tfx::fp::float16;
+
+namespace {
+
+template <typename T>
+void bench_axpy(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  xoshiro256 rng(42);
+  std::vector<T> x(n), y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = T(rng.uniform(0.1, 2.0));
+    y[i] = T(rng.uniform(0.1, 2.0));
+  }
+  const T a = T(1.0009765625);  // exactly representable in float16
+  for (auto _ : state) {
+    kernels::axpy(a, std::span<const T>(x), std::span<T>(y));
+    benchmark::DoNotOptimize(y.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(3 * n * sizeof(T)));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+
+}  // namespace
+
+BENCHMARK(bench_axpy<double>)->RangeMultiplier(16)->Range(64, 1 << 22);
+BENCHMARK(bench_axpy<float>)->RangeMultiplier(16)->Range(64, 1 << 22);
+BENCHMARK(bench_axpy<float16>)->RangeMultiplier(16)->Range(64, 1 << 18);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,112 @@
+// Microbenchmarks of the software Float16 itself (google-benchmark):
+// conversion and arithmetic cost on the host. These numbers quantify
+// why the performance figures use the machine model rather than host
+// wall-clock for Float16 (DESIGN.md § 2): every half op is a rounding
+// routine here, while A64FX executes it in one SIMD lane.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/rng.hpp"
+#include "fp/float16.hpp"
+#include "fp/rounding.hpp"
+
+using tfx::fp::float16;
+
+namespace {
+
+std::vector<float16> random_halves(std::size_t n, std::uint64_t seed) {
+  tfx::xoshiro256 rng(seed);
+  std::vector<float16> v(n);
+  for (auto& x : v) x = float16(rng.uniform(0.1, 4.0));
+  return v;
+}
+
+void bench_f32_to_f16(benchmark::State& state) {
+  tfx::xoshiro256 rng(1);
+  std::vector<float> xs(4096);
+  for (auto& x : xs) x = static_cast<float>(rng.uniform(-1e4, 1e4));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tfx::fp::f32_bits_to_f16_bits(std::bit_cast<std::uint32_t>(
+            xs[i++ & 4095])));
+  }
+}
+
+void bench_f64_to_f16(benchmark::State& state) {
+  tfx::xoshiro256 rng(2);
+  std::vector<double> xs(4096);
+  for (auto& x : xs) x = rng.uniform(-1e4, 1e4);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tfx::fp::f64_to_f16_bits(xs[i++ & 4095]));
+  }
+}
+
+void bench_f16_add(benchmark::State& state) {
+  const auto a = random_halves(4096, 3);
+  const auto b = random_halves(4096, 4);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const std::size_t k = i++ & 4095;
+    benchmark::DoNotOptimize((a[k] + b[k]).bits());
+  }
+}
+
+void bench_f16_mul(benchmark::State& state) {
+  const auto a = random_halves(4096, 5);
+  const auto b = random_halves(4096, 6);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const std::size_t k = i++ & 4095;
+    benchmark::DoNotOptimize((a[k] * b[k]).bits());
+  }
+}
+
+void bench_f16_muladd(benchmark::State& state) {
+  const auto a = random_halves(4096, 7);
+  const auto b = random_halves(4096, 8);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const std::size_t k = i++ & 4095;
+    benchmark::DoNotOptimize(muladd(a[k], b[k], a[k]).bits());
+  }
+}
+
+void bench_f16_fma_exact(benchmark::State& state) {
+  const auto a = random_halves(4096, 9);
+  const auto b = random_halves(4096, 10);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const std::size_t k = i++ & 4095;
+    benchmark::DoNotOptimize(fma(a[k], b[k], a[k]).bits());
+  }
+}
+
+void bench_float_add_baseline(benchmark::State& state) {
+  tfx::xoshiro256 rng(11);
+  std::vector<float> a(4096), b(4096);
+  for (std::size_t k = 0; k < 4096; ++k) {
+    a[k] = static_cast<float>(rng.uniform(0.1, 4.0));
+    b[k] = static_cast<float>(rng.uniform(0.1, 4.0));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const std::size_t k = i++ & 4095;
+    benchmark::DoNotOptimize(a[k] + b[k]);
+  }
+}
+
+}  // namespace
+
+BENCHMARK(bench_f32_to_f16);
+BENCHMARK(bench_f64_to_f16);
+BENCHMARK(bench_f16_add);
+BENCHMARK(bench_f16_mul);
+BENCHMARK(bench_f16_muladd);
+BENCHMARK(bench_f16_fma_exact);
+BENCHMARK(bench_float_add_baseline);
+
+BENCHMARK_MAIN();

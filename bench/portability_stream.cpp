@@ -1,0 +1,103 @@
+// § IV-A / ref [20] (Lin & McIntosh-Smith, PMBS'21): BabelStream-style
+// kernels comparing Julia against C/C++ on A64FX. Reproduced claims:
+//
+//   * "Julia could achieve on this platform performance close to that
+//     of equivalent code written in C/C++";
+//   * "the performance improved sensibly when moving from Julia v1.6
+//     (LLVM 11) to Julia v1.7 (LLVM 12)".
+//
+// Modeled sustained bandwidth for the five kernels under the three
+// code-generation personalities, at BabelStream's canonical array size
+// (2^25 doubles = 256 MiB, firmly in HBM), plus a host wall-clock
+// column for the actual generic C++ templates as a shape check.
+
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "core/table.hpp"
+#include "core/timer.hpp"
+#include "core/units.hpp"
+#include "kernels/stream.hpp"
+
+using namespace tfx;
+using namespace tfx::kernels;
+
+namespace {
+
+double host_gbs(stream_kernel k, std::size_t n) {
+  std::vector<double> a(n, 1.0), b(n, 2.0), c(n, 0.5);
+  const double s = 0.4;
+  volatile double sink = 0;
+  auto run = [&] {
+    switch (k) {
+      case stream_kernel::copy:
+        stream_copy<double>(a, c);
+        break;
+      case stream_kernel::mul:
+        stream_mul<double>(s, c, b);
+        break;
+      case stream_kernel::add:
+        stream_add<double>(a, b, c);
+        break;
+      case stream_kernel::triad:
+        stream_triad<double>(s, b, c, a);
+        break;
+      case stream_kernel::dot:
+        sink = stream_dot<double>(a, b);
+        break;
+    }
+  };
+  (void)sink;
+  const auto t = measure(run, 5, 5e-3);
+  const auto res = stream_kernel_resources(k);
+  return (res.loads + res.stores) * static_cast<double>(n) * 8.0 / t.min() /
+         1e9;
+}
+
+}  // namespace
+
+int main() {
+  std::puts("BabelStream-style kernels on the modeled A64FX (ref [20]).");
+  std::puts("Expected: Julia v1.7 within a few % of C/C++; Julia v1.6");
+  std::puts("(LLVM 11, no full SVE) clearly behind.\n");
+
+  const std::size_t n = std::size_t{1} << 25;  // 256 MiB arrays: HBM regime
+  const std::size_t n_host = std::size_t{1} << 23;  // gentler on the host
+
+  table t({"kernel", "C/C++ GB/s", "Julia v1.7 GB/s", "v1.7/C",
+           "Julia v1.6 GB/s", "v1.6/C", "host C++ GB/s"});
+  for (const auto k : {stream_kernel::copy, stream_kernel::mul,
+                       stream_kernel::add, stream_kernel::triad,
+                       stream_kernel::dot}) {
+    const double cxx = modeled_stream_gbs(arch::fugaku_node, k, stream_cxx,
+                                          n, sizeof(double));
+    const double j17 = modeled_stream_gbs(arch::fugaku_node, k,
+                                          stream_julia17, n, sizeof(double));
+    const double j16 = modeled_stream_gbs(arch::fugaku_node, k,
+                                          stream_julia16, n, sizeof(double));
+    t.add_row({std::string(stream_kernel_name(k)), format_fixed(cxx, 1),
+               format_fixed(j17, 1), format_fixed(j17 / cxx, 3),
+               format_fixed(j16, 1), format_fixed(j16 / cxx, 3),
+               format_fixed(host_gbs(k, n_host), 1)});
+  }
+  t.print(std::cout);
+
+  std::puts("\nIn-cache comparison (64 KiB working set), where codegen");
+  std::puts("quality rather than HBM bandwidth decides:");
+  table t2({"kernel", "C/C++ GB/s", "Julia v1.7 GB/s", "Julia v1.6 GB/s"});
+  const std::size_t n_small = 2048;
+  for (const auto k : {stream_kernel::copy, stream_kernel::triad,
+                       stream_kernel::dot}) {
+    t2.add_row({std::string(stream_kernel_name(k)),
+                format_fixed(modeled_stream_gbs(arch::fugaku_node, k,
+                                                stream_cxx, n_small, 8), 1),
+                format_fixed(modeled_stream_gbs(arch::fugaku_node, k,
+                                                stream_julia17, n_small, 8), 1),
+                format_fixed(modeled_stream_gbs(arch::fugaku_node, k,
+                                                stream_julia16, n_small, 8),
+                             1)});
+  }
+  t2.print(std::cout);
+  return 0;
+}

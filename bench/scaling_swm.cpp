@@ -1,0 +1,85 @@
+// Scalability study (the § III-A theme applied to the § III-B
+// application): strong scaling of the distributed shallow-water model
+// on the modeled fabric.
+//
+// Each rank executes the real decomposed model (halo exchanges over
+// mpisim carry real data and accrue virtual network time) and charges
+// its slab's modeled A64FX compute time to the same virtual clock, so
+// the per-step time is compute + communication on the modeled machine.
+// As ranks are added the slabs shrink: compute scales down, the halo
+// and collective costs do not - the classic strong-scaling rollover,
+// shown per precision (Float16's 4x compute advantage makes it hit the
+// communication wall earlier, a well-known reduced-precision caveat).
+
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "core/table.hpp"
+#include "core/units.hpp"
+#include "mpisim/runtime.hpp"
+#include "swm/distributed.hpp"
+#include "swm/model.hpp"
+#include "swm/perfmodel.hpp"
+
+using namespace tfx;
+using namespace tfx::swm;
+
+namespace {
+
+/// Virtual seconds per step at a given rank count and precision config.
+double step_seconds(int ranks, int nx, int ny,
+                    const precision_config& config) {
+  const int steps = 4;
+  swm_params p;
+  p.nx = nx;
+  p.ny = ny;
+
+  mpisim::world w(mpisim::torus_placement({ranks, 1, 1}, 1), {});
+  w.run([&](mpisim::communicator& comm) {
+    distributed_model<double> dm(comm, p);  // physics carrier
+    model<double> seeder(p);
+    seeder.seed_random_eddies(3, 0.4);
+    dm.set_from_global(seeder.prognostic());
+    const double compute_per_step =
+        predict_step(arch::fugaku_node, nx, ny / ranks, config).seconds;
+    for (int s = 0; s < steps; ++s) {
+      comm.advance(compute_per_step);
+      dm.step();
+    }
+  });
+  double max_clock = 0;
+  for (const double c : w.final_clocks()) max_clock = std::max(max_clock, c);
+  return max_clock / steps;
+}
+
+}  // namespace
+
+int main() {
+  std::puts("Strong scaling of the distributed shallow-water model");
+  std::puts("(modeled A64FX compute + simulated TofuD halo exchange).\n");
+
+  const int nx = 512, ny = 256;
+  std::printf("grid %dx%d, y-slab decomposition\n\n", nx, ny);
+
+  table t({"ranks", "Float64/step", "speedup", "Float16/step", "speedup",
+           "f16/f64"});
+  double base64 = 0, base16 = 0;
+  for (const int ranks : {1, 2, 4, 8, 16}) {
+    const double t64 = step_seconds(ranks, nx, ny, config_float64());
+    const double t16 = step_seconds(ranks, nx, ny, config_float16());
+    if (ranks == 1) {
+      base64 = t64;
+      base16 = t16;
+    }
+    t.add_row({std::to_string(ranks), format_seconds(t64),
+               format_fixed(base64 / t64, 2), format_seconds(t16),
+               format_fixed(base16 / t16, 2), format_fixed(t64 / t16, 2)});
+  }
+  t.print(std::cout);
+
+  std::puts("\nFloat16 keeps its advantage while compute dominates, but");
+  std::puts("the fixed communication cost erodes it at high rank counts -");
+  std::puts("reduced precision shifts the strong-scaling limit earlier.");
+  return 0;
+}

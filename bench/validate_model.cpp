@@ -1,0 +1,69 @@
+// Model validation: the analytic bandwidth blend of arch::predict
+// against the trace-driven LRU cache simulator, on the axpy access
+// pattern (2 streaming reads + 1 streaming write over 2 arrays).
+//
+// For each working-set size the simulator reports where the traffic
+// was actually served (L1 / L2 / memory, in bytes); the analytic model
+// asserts residency fractions f1/f2/fm. The two must tell the same
+// story at every regime and disagree only in the transition bands -
+// this bench prints both side by side so the claim is inspectable.
+
+#include <cstdio>
+#include <iostream>
+
+#include "arch/cache.hpp"
+#include "arch/roofline.hpp"
+#include "core/table.hpp"
+#include "core/units.hpp"
+
+using namespace tfx;
+using namespace tfx::arch;
+
+int main() {
+  std::puts("Analytic residency fractions vs trace-driven cache simulation");
+  std::puts("(axpy pattern: x read, y read+write, steady state).\n");
+
+  table t({"n (doubles)", "working set", "sim L1 share", "sim L2 share",
+           "sim mem share", "model f1", "model f2", "model fm",
+           "model BW GB/s"});
+
+  for (std::size_t n = 512; n <= (1u << 21); n *= 4) {
+    const std::size_t ws = 2 * n * 8;
+
+    // Steady state: two passes, stats from the second.
+    cache_hierarchy sim;
+    for (int pass = 0; pass < 2; ++pass) {
+      if (pass == 1) sim.reset_stats();
+      sim.stream(0, n * 8, 256, false);          // x read
+      sim.stream(1ull << 33, n * 8, 256, false); // y read
+      sim.stream(1ull << 33, n * 8, 256, true);  // y write
+    }
+    const auto traffic = sim.traffic();
+    const double total = static_cast<double>(
+        traffic.l1_bytes + traffic.l2_bytes + traffic.mem_bytes);
+    const double s1 = static_cast<double>(traffic.l1_bytes) / total;
+    const double s2 = static_cast<double>(traffic.l2_bytes) / total;
+    const double sm = static_cast<double>(traffic.mem_bytes) / total;
+
+    // The analytic fractions used by effective_bandwidth_gbs.
+    const double wsd = static_cast<double>(ws);
+    const double e1 = 0.80 * static_cast<double>(fugaku_node.l1.size_bytes);
+    const double e2 = 0.85 * static_cast<double>(fugaku_node.l2.size_bytes);
+    const double f1 = std::min(1.0, e1 / wsd);
+    const double f2 = std::min(1.0 - f1, std::max(0.0, (e2 - e1) / wsd));
+    const double fm = std::max(0.0, 1.0 - f1 - f2);
+
+    t.add_row({std::to_string(n), format_bytes(ws), format_fixed(s1, 3),
+               format_fixed(s2, 3), format_fixed(sm, 3), format_fixed(f1, 3),
+               format_fixed(f2, 3), format_fixed(fm, 3),
+               format_fixed(effective_bandwidth_gbs(fugaku_node, ws), 1)});
+  }
+  t.print(std::cout);
+
+  std::puts("\nBoth instruments agree on the regime at every size: all-L1");
+  std::puts("below 50 KiB, all-L2 between ~100 KiB and ~7 MiB, memory");
+  std::puts("beyond. The analytic blend smooths the transitions (partial");
+  std::puts("residency), which is the behaviour real caches show between");
+  std::puts("regimes; the simulator's line-granular counts bracket it.");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Example: the distributed shallow-water model - ShallowWaters physics
+// over the simulated MPI fabric, the combination a production weather
+// model on Fugaku would be.
+//
+// Eight ranks decompose the grid into y-slabs, exchange halo rows every
+// RK4 stage, and the result is compared against a single-rank run of
+// the same code (they agree bit-for-bit at Float64; see
+// tests/swm_distributed_test).
+
+#include <cstdio>
+
+#include "mpisim/runtime.hpp"
+#include "swm/distributed.hpp"
+#include "swm/model.hpp"
+
+using namespace tfx;
+using namespace tfx::swm;
+
+int main() {
+  swm_params p;
+  p.nx = 64;
+  p.ny = 32;
+  const int steps = 50;
+  const int ranks = 8;
+
+  // Seed once, serially, so the distributed run is reproducible.
+  model<double> seeder(p);
+  seeder.seed_random_eddies(11, 0.5);
+  const state<double> init = seeder.prognostic();
+
+  // Serial reference.
+  model<double> serial(p);
+  serial.prognostic() = init;
+  serial.run(steps);
+  const auto serial_diag = serial.diag();
+
+  // Distributed run: 8 ranks on 4 nodes of the modeled torus.
+  mpisim::world w(mpisim::torus_placement({4, 1, 1}, 2), {});
+  state<double> gathered(p.nx, p.ny);
+  w.run([&](mpisim::communicator& comm) {
+    distributed_model<double> dm(comm, p);
+    dm.set_from_global(init);
+    dm.run(steps);
+    if (comm.rank() == 0) {
+      std::printf("rank 0 owns rows [%d, %d) of %d\n", dm.global_j0(),
+                  dm.global_j0() + dm.local_ny(), p.ny);
+    }
+    const double vmax = dm.global_max_speed();  // collective diagnostic
+    if (comm.rank() == 0) {
+      std::printf("global max speed after %d steps: %.6f m/s\n", steps, vmax);
+    }
+    auto global = dm.gather_global();
+    if (comm.rank() == 0) gathered = global;
+  });
+
+  // Compare against the serial run.
+  double max_diff = 0;
+  for (std::size_t k = 0; k < gathered.eta.size(); ++k) {
+    max_diff = std::max(max_diff, std::abs(gathered.eta.flat()[k] -
+                                           serial.prognostic().eta.flat()[k]));
+  }
+  std::printf("serial max speed:                  %.6f m/s\n",
+              serial_diag.max_speed);
+  std::printf("max |eta_distributed - eta_serial| = %.3e (bit-equal: %s)\n",
+              max_diff, max_diff == 0.0 ? "yes" : "no");
+
+  std::puts("\nper-rank simulated communication time (TofuD model):");
+  for (int r = 0; r < ranks; ++r) {
+    std::printf("  rank %d: %.1f us across %d steps (halo exchanges + "
+                "collectives)\n",
+                r, w.final_clocks()[static_cast<std::size_t>(r)] * 1e6,
+                steps);
+  }
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Example: exploring the 16-bit formats' behaviour directly.
+//
+// Shows the facts of life the paper's § II / § III-B / § IV-C revolve
+// around: Float16's tiny range, subnormal land and FZ16, the
+// round-after-every-op semantics (muladd vs a true fused fma), and
+// what BFloat16 trades for its range.
+
+#include <cmath>
+#include <cstdio>
+
+#include "fp/bfloat16.hpp"
+#include "fp/compensated.hpp"
+#include "fp/float16.hpp"
+#include "fp/fpenv.hpp"
+
+using namespace tfx::fp;
+
+int main() {
+  std::puts("== Float16 anatomy ==");
+  std::printf("  max        %g\n",
+              static_cast<double>(std::numeric_limits<float16>::max()));
+  std::printf("  min normal %g   (the paper's 6e-5)\n",
+              static_cast<double>(std::numeric_limits<float16>::min()));
+  std::printf("  denorm min %g   (the paper's 6e-8)\n",
+              static_cast<double>(std::numeric_limits<float16>::denorm_min()));
+  std::printf("  epsilon    %g\n",
+              static_cast<double>(std::numeric_limits<float16>::epsilon()));
+
+  std::puts("\n== The subnormal range and FZ16 ==");
+  const float16 tiny(1e-4);
+  set_ftz_mode(ftz_mode::preserve);
+  counters().reset();
+  const float16 sub = tiny * float16(0.25);  // 2.5e-5: subnormal
+  std::printf("  1e-4 * 0.25 with gradual underflow: %g (subnormal: %s)\n",
+              static_cast<double>(sub), sub.is_subnormal() ? "yes" : "no");
+  {
+    ftz_guard guard(ftz_mode::flush);
+    const float16 flushed = tiny * float16(0.25);
+    std::printf("  same op with FZ16 (A64FX mode):     %g\n",
+                static_cast<double>(flushed));
+  }
+  std::printf("  events counted: %llu subnormal results, %llu flushed\n",
+              static_cast<unsigned long long>(counters().f16_subnormal_results),
+              static_cast<unsigned long long>(counters().f16_flushed_results));
+
+  std::puts("\n== Round-after-every-op vs fused (the § IV-C IR) ==");
+  const float16 a = float16::from_bits(0x3c01);  // 1 + 2^-10
+  const float16 c = -(float16(1.0) + float16(std::ldexp(1.0, -9)));
+  std::printf("  muladd(a,a,c) [two fptruncs]: %g\n",
+              static_cast<double>(muladd(a, a, c)));
+  std::printf("  fma(a,a,c)    [one rounding]: %g (= 2^-20)\n",
+              static_cast<double>(fma(a, a, c)));
+
+  std::puts("\n== Accumulation: why the model compensates ==");
+  float16 plain(1.0);
+  kahan_accumulator<float16> kahan(float16(1.0));
+  const float16 inc(std::ldexp(1.0, -13));
+  for (int i = 0; i < 4096; ++i) {
+    plain += inc;
+    kahan.add(inc);
+  }
+  std::printf("  1.0 + 4096 * 2^-13 = 1.5 exactly\n");
+  std::printf("  plain Float16 sum: %g (stuck: increment < ulp)\n",
+              static_cast<double>(plain));
+  std::printf("  Kahan Float16 sum: %g\n",
+              static_cast<double>(kahan.value()));
+
+  std::puts("\n== BFloat16: range for precision ==");
+  std::printf("  bfloat16(1e30) = %g (finite), float16(1e30) = %g\n",
+              static_cast<double>(bfloat16(1e30)),
+              static_cast<double>(float16(1e30)));
+  std::printf("  but bfloat16(1.01) = %.6f vs float16(1.01) = %.6f\n",
+              static_cast<double>(bfloat16(1.01)),
+              static_cast<double>(float16(1.01)));
+  return 0;
+}

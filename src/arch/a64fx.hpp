@@ -1,0 +1,121 @@
+#pragma once
+
+/// \file a64fx.hpp
+/// Machine description of the Fujitsu A64FX (FX1000, as in Fugaku).
+///
+/// Sources: Fujitsu A64FX datasheet [paper ref 9], the Fugaku co-design
+/// paper [ref 11], and public microbenchmark literature. The numbers
+/// here are the calibration constants listed in DESIGN.md § 6; they are
+/// deliberately plain aggregates (sizes, ports, bandwidths) because the
+/// reproduction targets the *shape* of the paper's curves, not cycle
+/// parity with silicon.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace tfx::arch {
+
+/// One cache level's organization.
+struct cache_geometry {
+  std::size_t size_bytes;
+  std::size_t line_bytes;
+  std::size_t ways;
+
+  [[nodiscard]] constexpr std::size_t sets() const {
+    return size_bytes / (line_bytes * ways);
+  }
+};
+
+/// Core + memory-system parameters of one A64FX core (single-thread
+/// benchmarks, as in the paper's Fig. 1).
+struct a64fx_params {
+  // -- clock --
+  double clock_ghz = 2.0;  ///< Fugaku normal mode (boost: 2.2)
+
+  // -- SVE execution --
+  std::size_t sve_bits = 512;   ///< vector register width
+  int fp_pipes = 2;             ///< FLA+FLB, each 1 FMA/cycle
+  int load_ports = 2;           ///< 2x 512-bit loads per cycle...
+  int store_ports = 1;          ///< ...or 1 load + 1 store
+  double fma_flops = 2.0;       ///< flops credited per FMA lane
+
+  // -- caches (per core L1; L2 shared per CMG, but a single-core
+  //    benchmark has it to itself) --
+  cache_geometry l1{64 * 1024, 256, 4};
+  cache_geometry l2{8 * 1024 * 1024, 256, 16};
+
+  // -- sustainable streaming bandwidths seen by ONE core (GB/s).
+  //    L1/L2 figures follow from ports x width x clock with the usual
+  //    ~80 % sustained factor; HBM2 is the single-core STREAM limit
+  //    (the full CMG reaches 256 GB/s with all 12 cores). --
+  double l1_bandwidth_gbs = 230.0;
+  double l2_bandwidth_gbs = 115.0;
+  double mem_bandwidth_gbs = 57.0;
+
+  // -- penalties --
+  /// Cycles charged per arithmetic op touching a binary16 subnormal
+  /// when FZ16 is off (the "heavy performance penalty" of § III-B).
+  double subnormal_trap_cycles = 160.0;
+
+  /// Fixed per-call cost of a BLAS-style routine invocation
+  /// (argument checks, dispatch), in nanoseconds.
+  double call_overhead_ns = 8.0;
+
+  [[nodiscard]] constexpr std::size_t sve_bytes() const {
+    return sve_bits / 8;
+  }
+
+  /// SIMD lanes for an element of `elem_bytes` at a given vector width.
+  [[nodiscard]] constexpr std::size_t lanes(std::size_t elem_bytes,
+                                            std::size_t vector_bits) const {
+    return vector_bits / 8 / elem_bytes;
+  }
+
+  /// Peak FMA GFLOPS for an element size (both pipes, full width):
+  /// 2 pipes * lanes * 2 flops * clock. Float64: 32, Float32: 64,
+  /// Float16: 128 at 2.0 GHz - the paper's "4x promise" (§ I).
+  [[nodiscard]] constexpr double peak_gflops(std::size_t elem_bytes) const {
+    return static_cast<double>(fp_pipes) *
+           static_cast<double>(lanes(elem_bytes, sve_bits)) * fma_flops *
+           clock_ghz;
+  }
+
+  [[nodiscard]] constexpr double cycle_ns() const { return 1.0 / clock_ghz; }
+};
+
+/// The default machine every bench uses; a named constant so tests can
+/// assert against the same values.
+inline constexpr a64fx_params fugaku_node{};
+
+/// Cores per Core Memory Group; A64FX has 4 CMGs x 13 cores, 12 of
+/// which are compute cores sharing the CMG's L2 and HBM2 stack.
+inline constexpr int cmg_compute_cores = 12;
+
+/// Aggregate HBM2 bandwidth one CMG can draw (GB/s).
+inline constexpr double cmg_mem_bandwidth_gbs = 230.0;
+
+/// Aggregate L2 bandwidth of one CMG (GB/s, read-dominated streams).
+inline constexpr double cmg_l2_bandwidth_gbs = 460.0;
+
+/// The machine as seen by a cooperative job on `cores` cores of one
+/// CMG: execution resources and private L1 scale linearly; the shared
+/// L2 capacity does not grow, and the L2/HBM bandwidths grow only
+/// until the CMG aggregates saturate. This is why one core sustains
+/// 57 GB/s of STREAM but twelve sustain ~230, not 684 - and why
+/// multi-core speedups on A64FX flatten for memory-bound kernels.
+constexpr a64fx_params cmg_view(a64fx_params machine, int cores) {
+  machine.fp_pipes *= cores;
+  machine.load_ports *= cores;
+  machine.store_ports *= cores;
+  machine.l1.size_bytes *= static_cast<std::size_t>(cores);
+  machine.l1_bandwidth_gbs *= cores;
+  const double l2 = machine.l2_bandwidth_gbs * cores;
+  machine.l2_bandwidth_gbs =
+      l2 < cmg_l2_bandwidth_gbs ? l2 : cmg_l2_bandwidth_gbs;
+  const double mem = machine.mem_bandwidth_gbs * cores;
+  machine.mem_bandwidth_gbs =
+      mem < cmg_mem_bandwidth_gbs ? mem : cmg_mem_bandwidth_gbs;
+  return machine;
+}
+
+}  // namespace tfx::arch

@@ -1,0 +1,104 @@
+#include "arch/cache.hpp"
+
+#include <bit>
+
+#include "core/contracts.hpp"
+
+namespace tfx::arch {
+
+cache_level::cache_level(cache_geometry geometry)
+    : geometry_(geometry),
+      set_count_(geometry.sets()),
+      line_shift_(static_cast<std::size_t>(
+          std::countr_zero(geometry.line_bytes))),
+      ways_(set_count_ * geometry.ways) {
+  TFX_EXPECTS(std::has_single_bit(geometry.line_bytes));
+  TFX_EXPECTS(set_count_ > 0 && std::has_single_bit(set_count_));
+}
+
+bool cache_level::access(std::uint64_t address, bool write) {
+  ++clock_;
+  ++stats_.accesses;
+  const std::uint64_t line = address >> line_shift_;
+  const std::size_t set = static_cast<std::size_t>(line) & (set_count_ - 1);
+  const std::uint64_t tag = line / set_count_;
+  way_entry* base = &ways_[set * geometry_.ways];
+
+  way_entry* lru = base;
+  for (std::size_t w = 0; w < geometry_.ways; ++w) {
+    way_entry& e = base[w];
+    if (e.valid && e.tag == tag) {
+      e.lru_stamp = clock_;
+      e.dirty = e.dirty || write;
+      ++stats_.hits;
+      return true;
+    }
+    if (!e.valid) {
+      lru = &e;  // prefer filling an invalid way
+    } else if (lru->valid && e.lru_stamp < lru->lru_stamp) {
+      lru = &e;
+    }
+  }
+
+  ++stats_.misses;
+  if (lru->valid) {
+    ++stats_.evictions;
+    if (lru->dirty) ++stats_.writebacks;
+  }
+  lru->valid = true;
+  lru->tag = tag;
+  lru->dirty = write;
+  lru->lru_stamp = clock_;
+  return false;
+}
+
+void cache_level::flush() {
+  for (auto& e : ways_) e = way_entry{};
+}
+
+cache_hierarchy::cache_hierarchy(const a64fx_params& machine)
+    : l1_(machine.l1), l2_(machine.l2), line_bytes_(machine.l1.line_bytes) {
+  TFX_EXPECTS(machine.l1.line_bytes == machine.l2.line_bytes);
+}
+
+void cache_hierarchy::access(std::uint64_t address, std::size_t bytes,
+                             bool write) {
+  const std::uint64_t first = address / line_bytes_;
+  const std::uint64_t last = (address + bytes - 1) / line_bytes_;
+  for (std::uint64_t line = first; line <= last; ++line) {
+    const std::uint64_t a = line * line_bytes_;
+    if (!l1_.access(a, write)) {
+      // L1 miss: the line is fetched through L2. Write-allocate means
+      // even a store miss reads the line first.
+      l2_.access(a, write);
+    }
+  }
+}
+
+void cache_hierarchy::stream(std::uint64_t base, std::size_t bytes,
+                             std::size_t elem_bytes, bool write) {
+  for (std::size_t off = 0; off < bytes; off += elem_bytes) {
+    access(base + off, elem_bytes, write);
+  }
+}
+
+hierarchy_traffic cache_hierarchy::traffic() const {
+  hierarchy_traffic t;
+  const auto line = static_cast<std::uint64_t>(line_bytes_);
+  t.l1_bytes = l1_.stats().hits * line;
+  t.l2_bytes = l2_.stats().hits * line;
+  t.mem_bytes = (l2_.stats().misses + l2_.stats().writebacks) * line;
+  return t;
+}
+
+void cache_hierarchy::flush() {
+  l1_.flush();
+  l2_.flush();
+}
+
+void cache_hierarchy::reset_stats() {
+  l1_.reset_stats();
+  l2_.reset_stats();
+}
+
+}  // namespace tfx::arch

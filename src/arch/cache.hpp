@@ -1,0 +1,110 @@
+#pragma once
+
+/// \file cache.hpp
+/// Trace-driven set-associative cache simulation.
+///
+/// The analytic roofline in roofline.hpp needs per-level traffic
+/// fractions for a kernel's access pattern; for simple streaming
+/// kernels those are derivable on paper, and this simulator is the
+/// instrument that *checks* the derivation (see tests/arch_cache_test
+/// and bench/ablation notes). It is a classic write-allocate,
+/// write-back, LRU, set-associative model.
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/a64fx.hpp"
+
+namespace tfx::arch {
+
+/// Access statistics for one cache level.
+struct cache_stats {
+  std::uint64_t accesses = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t writebacks = 0;
+
+  [[nodiscard]] double hit_rate() const {
+    return accesses == 0
+               ? 0.0
+               : static_cast<double>(hits) / static_cast<double>(accesses);
+  }
+  [[nodiscard]] double miss_rate() const {
+    return accesses == 0 ? 0.0 : 1.0 - hit_rate();
+  }
+};
+
+/// One set-associative, write-back, write-allocate cache level with
+/// true-LRU replacement.
+class cache_level {
+ public:
+  explicit cache_level(cache_geometry geometry);
+
+  /// Access one byte address. Returns true on hit. `write` marks the
+  /// line dirty; a miss allocates (write-allocate) after evicting LRU.
+  bool access(std::uint64_t address, bool write);
+
+  /// Evict everything (e.g., between benchmark repetitions).
+  void flush();
+
+  [[nodiscard]] const cache_stats& stats() const { return stats_; }
+  void reset_stats() { stats_ = cache_stats{}; }
+
+  [[nodiscard]] const cache_geometry& geometry() const { return geometry_; }
+
+ private:
+  struct way_entry {
+    std::uint64_t tag = 0;
+    std::uint64_t lru_stamp = 0;
+    bool valid = false;
+    bool dirty = false;
+  };
+
+  cache_geometry geometry_;
+  std::size_t set_count_;
+  std::size_t line_shift_;
+  std::vector<way_entry> ways_;  // set-major layout
+  std::uint64_t clock_ = 0;
+  cache_stats stats_;
+};
+
+/// Per-level byte-traffic outcome of a simulated trace.
+struct hierarchy_traffic {
+  std::uint64_t l1_bytes = 0;   ///< bytes served from L1
+  std::uint64_t l2_bytes = 0;   ///< bytes that had to come from L2
+  std::uint64_t mem_bytes = 0;  ///< bytes that had to come from memory
+                                ///< (L2 misses + writebacks to memory)
+};
+
+/// Two-level inclusive hierarchy (L1 -> L2 -> memory), as on A64FX.
+class cache_hierarchy {
+ public:
+  explicit cache_hierarchy(const a64fx_params& machine = fugaku_node);
+
+  /// Access `bytes` consecutive bytes starting at `address`; every
+  /// distinct cache line touched counts as one access per level as
+  /// needed.
+  void access(std::uint64_t address, std::size_t bytes, bool write);
+
+  /// Convenience: touch a whole array range as a streaming read/write.
+  void stream(std::uint64_t base, std::size_t bytes, std::size_t elem_bytes,
+              bool write);
+
+  [[nodiscard]] const cache_level& l1() const { return l1_; }
+  [[nodiscard]] const cache_level& l2() const { return l2_; }
+
+  /// Byte traffic attributed to each level so far. Line-granular:
+  /// every L1 miss moves one line from L2 (or below).
+  [[nodiscard]] hierarchy_traffic traffic() const;
+
+  void flush();
+  void reset_stats();
+
+ private:
+  cache_level l1_;
+  cache_level l2_;
+  std::size_t line_bytes_;
+};
+
+}  // namespace tfx::arch

@@ -1,0 +1,98 @@
+#include "arch/roofline.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/contracts.hpp"
+
+namespace tfx::arch {
+
+namespace {
+
+/// Usable fraction of each level for a streaming working set: a few
+/// ways are lost to the stack, code, and the benchmark harness itself.
+constexpr double l1_residency = 0.80;
+constexpr double l2_residency = 0.85;
+
+}  // namespace
+
+double effective_bandwidth_gbs(const a64fx_params& machine,
+                               std::size_t working_set_bytes) {
+  const double ws = std::max<double>(1.0, static_cast<double>(working_set_bytes));
+  const double e1 = l1_residency * static_cast<double>(machine.l1.size_bytes);
+  const double e2 = l2_residency * static_cast<double>(machine.l2.size_bytes);
+
+  // Fractions of the steady-state traffic served by each level.
+  const double f1 = std::min(1.0, e1 / ws);
+  const double f2 = std::min(1.0 - f1, std::max(0.0, (e2 - e1) / ws));
+  const double fm = std::max(0.0, 1.0 - f1 - f2);
+
+  const double inv = f1 / machine.l1_bandwidth_gbs +
+                     f2 / machine.l2_bandwidth_gbs +
+                     fm / machine.mem_bandwidth_gbs;
+  return 1.0 / inv;
+}
+
+model_time predict(const a64fx_params& machine, const kernel_profile& profile,
+                   std::size_t n, std::size_t elem_bytes,
+                   std::size_t working_set_bytes,
+                   std::uint64_t subnormal_ops) {
+  TFX_EXPECTS(n > 0);
+  TFX_EXPECTS(elem_bytes > 0);
+
+  model_time out;
+  const double cycle_s = machine.cycle_ns() * 1e-9;
+  const double dn = static_cast<double>(n);
+
+  const bool scalar = profile.vector_bits == 0;
+  const double lanes =
+      scalar ? 1.0
+             : static_cast<double>(machine.lanes(elem_bytes,
+                                                 profile.vector_bits));
+  const double vectors = std::ceil(dn / lanes);
+
+  // FP pipes: each vector iteration needs flops/(2*lanes) FMAs; both
+  // pipes retire one vector FMA per cycle.
+  const double fmas_per_vector =
+      profile.flops_per_elem / machine.fma_flops;  // usually 1
+  double compute_cycles =
+      vectors * fmas_per_vector / static_cast<double>(machine.fp_pipes);
+  compute_cycles /= std::max(1e-6, profile.simd_efficiency);
+  compute_cycles += dn * profile.soft_float_cycles;
+  out.compute_seconds = compute_cycles * cycle_s;
+
+  // LSU: vector loads over the load ports, vector stores over the
+  // store port. The narrower the code's vectors, the more issue slots
+  // the same traffic costs - this is what sinks the NEON-only backends.
+  const double lsu_cycles =
+      vectors * (profile.loads_per_elem /
+                     static_cast<double>(machine.load_ports) +
+                 profile.stores_per_elem /
+                     static_cast<double>(machine.store_ports)) /
+      std::max(1e-6, profile.simd_efficiency);
+  out.lsu_seconds = lsu_cycles * cycle_s;
+
+  // Memory: total bytes moved at the blended bandwidth of the levels
+  // the steady-state working set streams from.
+  const double bytes_moved =
+      dn * static_cast<double>(elem_bytes) *
+      (profile.loads_per_elem + profile.stores_per_elem);
+  const double bw = effective_bandwidth_gbs(machine, working_set_bytes);
+  out.memory_seconds = bytes_moved / (bw * 1e9);
+
+  // Overheads are additive: loop control occupies issue slots and the
+  // call cost is serial with the loop.
+  out.overhead_seconds = vectors * profile.loop_overhead_cycles * cycle_s +
+                         profile.call_overhead_ns * 1e-9;
+
+  const double trap_seconds = static_cast<double>(subnormal_ops) *
+                              machine.subnormal_trap_cycles * cycle_s;
+
+  out.seconds = std::max({out.compute_seconds, out.lsu_seconds,
+                          out.memory_seconds}) +
+                out.overhead_seconds + trap_seconds;
+  out.gflops = profile.flops_per_elem * dn / out.seconds / 1e9;
+  return out;
+}
+
+}  // namespace tfx::arch

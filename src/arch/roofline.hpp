@@ -1,0 +1,86 @@
+#pragma once
+
+/// \file roofline.hpp
+/// Analytic execution-time model for streaming kernels on the A64FX.
+///
+/// This is the instrument that stands in for the A64FX silicon the
+/// paper ran on (DESIGN.md § 2). A kernel is summarized by a
+/// `kernel_profile` (per-element flops and loads/stores, the vector
+/// width its code generation achieves, loop and call overheads); the
+/// model charges the slowest of three resources:
+///
+///   * FP pipes    — ceil(n/lanes) vector FMAs over `fp_pipes` pipes,
+///   * LSU ports   — vector loads/stores over 2 load + 1 store ports,
+///   * memory      — bytes moved at the bandwidth of the cache level(s)
+///                   the working set streams from,
+///
+/// plus per-iteration loop overhead and a per-call fixed cost. The
+/// level mix is a capacity argument (what fraction of the steady-state
+/// working set is resident where) validated against the trace-driven
+/// simulator in cache.hpp.
+
+#include <cstddef>
+#include <string_view>
+
+#include "arch/a64fx.hpp"
+
+namespace tfx::arch {
+
+/// How a kernel's inner loop executes; one per library backend.
+struct kernel_profile {
+  std::string_view name = "kernel";
+
+  // Per-*element* resource usage.
+  double flops_per_elem = 2.0;   ///< axpy: one FMA
+  double loads_per_elem = 2.0;   ///< axpy: x[i], y[i]
+  double stores_per_elem = 1.0;  ///< axpy: y[i]
+
+  /// Vector width the backend's code achieves. 512 = full SVE,
+  /// 128 = NEON-only code path (the paper's explanation for OpenBLAS
+  /// and ARMPL lagging: "likely because it is not taking full advantage
+  /// of A64FX vectorization capabilities"), 0 = scalar.
+  std::size_t vector_bits = 512;
+
+  /// Fraction of the ideal issue rate the backend's schedule sustains
+  /// (software pipelining quality, unrolling, prefetch tuning).
+  double simd_efficiency = 1.0;
+
+  /// Loop-control cycles per vector iteration.
+  double loop_overhead_cycles = 0.25;
+
+  /// Fixed per-invocation cost (dispatch, argument checks), ns.
+  double call_overhead_ns = 8.0;
+
+  /// Extra scalar cycles per element for software-emulated arithmetic
+  /// (used for the "Float16 without hardware lowering" ablation).
+  double soft_float_cycles = 0.0;
+};
+
+/// Evaluation result, broken down for reporting.
+struct model_time {
+  double seconds = 0;        ///< total predicted time for one call
+  double compute_seconds = 0;  ///< FP-pipe component
+  double lsu_seconds = 0;      ///< load/store-port component
+  double memory_seconds = 0;   ///< bandwidth component
+  double overhead_seconds = 0; ///< loop + call overhead
+  double gflops = 0;           ///< flops / seconds
+};
+
+/// Effective streaming bandwidth (GB/s) for a steady-state working set
+/// of `working_set_bytes`, blending the level bandwidths by residency.
+double effective_bandwidth_gbs(const a64fx_params& machine,
+                               std::size_t working_set_bytes);
+
+/// Predict one invocation of the kernel over n elements of
+/// `elem_bytes`, with `working_set_bytes` the steady-state footprint
+/// (for axpy: 2 * n * elem_bytes).
+///
+/// `subnormal_ops` charges the A64FX trap penalty for binary16
+/// subnormal operands when FZ16 is off (paper § III-B); pass the count
+/// observed by fp::counters().
+model_time predict(const a64fx_params& machine, const kernel_profile& profile,
+                   std::size_t n, std::size_t elem_bytes,
+                   std::size_t working_set_bytes,
+                   std::uint64_t subnormal_ops = 0);
+
+}  // namespace tfx::arch

@@ -1,0 +1,74 @@
+#include "core/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace tfx {
+
+cli::cli(int argc, const char* const* argv,
+         std::map<std::string, std::string> spec)
+    : program_(argc > 0 ? argv[0] : "bench"), spec_(std::move(spec)) {
+  spec_.try_emplace("help", "print this message");
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "%s: unexpected positional argument '%s'\n",
+                   program_.c_str(), arg.c_str());
+      help_ = true;
+      return;
+    }
+    arg.erase(0, 2);
+    std::string value;
+    if (auto eq = arg.find('='); eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg.erase(eq);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      value = argv[++i];
+    }
+    if (!spec_.contains(arg)) {
+      std::fprintf(stderr, "%s: unknown option '--%s'\n", program_.c_str(),
+                   arg.c_str());
+      help_ = true;
+      return;
+    }
+    values_[arg] = value;
+  }
+  if (values_.contains("help")) help_ = true;
+}
+
+bool cli::has(const std::string& name) const { return values_.contains(name); }
+
+std::optional<std::string> cli::value(const std::string& name) const {
+  if (auto it = values_.find(name); it != values_.end()) return it->second;
+  return std::nullopt;
+}
+
+std::int64_t cli::get_int(const std::string& name, std::int64_t fallback) const {
+  if (auto v = value(name); v && !v->empty())
+    return std::strtoll(v->c_str(), nullptr, 10);
+  return fallback;
+}
+
+double cli::get_double(const std::string& name, double fallback) const {
+  if (auto v = value(name); v && !v->empty())
+    return std::strtod(v->c_str(), nullptr);
+  return fallback;
+}
+
+std::string cli::get_string(const std::string& name,
+                            std::string fallback) const {
+  if (auto v = value(name); v && !v->empty()) return *v;
+  return fallback;
+}
+
+std::string cli::help() const {
+  std::string out = "usage: " + program_ + " [options]\n";
+  for (const auto& [name, desc] : spec_) {
+    out += "  --" + name;
+    out.append(name.size() < 18 ? 18 - name.size() : 1, ' ');
+    out += desc + "\n";
+  }
+  return out;
+}
+
+}  // namespace tfx

@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file cli.hpp
+/// Minimal command-line option parsing for the bench/example binaries.
+///
+/// Supports `--flag`, `--key value` and `--key=value`. Unknown options
+/// are an error so typos do not silently run the default workload.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace tfx {
+
+class cli {
+ public:
+  /// Parse argv. `spec` maps option name (without "--") to a help
+  /// string; only listed options are accepted.
+  cli(int argc, const char* const* argv,
+      std::map<std::string, std::string> spec);
+
+  /// True if `--name` was present (with or without a value).
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  /// The value of `--name value` / `--name=value`, if present.
+  [[nodiscard]] std::optional<std::string> value(const std::string& name) const;
+
+  /// Typed accessors with defaults.
+  [[nodiscard]] std::int64_t get_int(const std::string& name,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& name,
+                                  double fallback) const;
+  [[nodiscard]] std::string get_string(const std::string& name,
+                                       std::string fallback) const;
+
+  /// True when parsing failed or `--help` was requested; main() should
+  /// print `help()` and exit.
+  [[nodiscard]] bool wants_help() const { return help_; }
+
+  /// Usage text generated from the spec.
+  [[nodiscard]] std::string help() const;
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> spec_;
+  std::map<std::string, std::string> values_;
+  bool help_ = false;
+};
+
+}  // namespace tfx

@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file contracts.hpp
+/// Lightweight precondition/assertion support in the spirit of the
+/// C++ Core Guidelines' `Expects`/`Ensures`. Violations abort with a
+/// message; checks stay on in release builds because every caller of
+/// this library is a benchmark or test where correctness beats the
+/// nanoseconds saved.
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace tfx::detail {
+
+[[noreturn]] inline void contract_violation(const char* kind, const char* expr,
+                                            const char* file, int line) {
+  std::fprintf(stderr, "tfx: %s failed: %s (%s:%d)\n", kind, expr, file, line);
+  std::abort();
+}
+
+}  // namespace tfx::detail
+
+#define TFX_EXPECTS(cond)                                                   \
+  ((cond) ? static_cast<void>(0)                                            \
+          : ::tfx::detail::contract_violation("precondition", #cond,        \
+                                              __FILE__, __LINE__))
+
+#define TFX_ENSURES(cond)                                                   \
+  ((cond) ? static_cast<void>(0)                                            \
+          : ::tfx::detail::contract_violation("postcondition", #cond,       \
+                                              __FILE__, __LINE__))
+
+#define TFX_ASSERT(cond)                                                    \
+  ((cond) ? static_cast<void>(0)                                            \
+          : ::tfx::detail::contract_violation("assertion", #cond, __FILE__, \
+                                              __LINE__))

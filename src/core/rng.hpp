@@ -1,0 +1,77 @@
+#pragma once
+
+/// \file rng.hpp
+/// Deterministic pseudo-random number generation for workload synthesis.
+///
+/// Benchmarks and tests must be reproducible run-to-run, so everything
+/// is seeded explicitly; there is deliberately no entropy source here.
+/// The generator is xoshiro256**, seeded through splitmix64, the same
+/// construction Julia's default RNG family uses.
+
+#include <array>
+#include <cstdint>
+
+namespace tfx {
+
+/// splitmix64 step: used to expand a single seed into generator state.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** PRNG. Satisfies UniformRandomBitGenerator.
+class xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr xoshiro256(std::uint64_t seed = 0x74667831ULL) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  constexpr result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double uniform() {
+    return static_cast<double>(operator()() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  constexpr double uniform(double lo, double hi) {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0, n). n must be positive.
+  constexpr std::uint64_t bounded(std::uint64_t n) {
+    // Lemire's multiply-shift rejection-free approximation is fine for
+    // workload synthesis; the modulo bias at n << 2^64 is negligible.
+    __extension__ using uint128 = unsigned __int128;
+    return static_cast<std::uint64_t>(
+        (static_cast<uint128>(operator()()) * n) >> 64);
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace tfx

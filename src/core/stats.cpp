@@ -1,0 +1,72 @@
+#include "core/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/contracts.hpp"
+
+namespace tfx::stats {
+
+double min(std::span<const double> xs) {
+  TFX_EXPECTS(!xs.empty());
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max(std::span<const double> xs) {
+  TFX_EXPECTS(!xs.empty());
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double mean(std::span<const double> xs) {
+  TFX_EXPECTS(!xs.empty());
+  double acc = 0;
+  for (double x : xs) acc += x;
+  return acc / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double acc = 0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(xs.size() - 1));
+}
+
+double percentile(std::span<const double> xs, double p) {
+  TFX_EXPECTS(!xs.empty());
+  TFX_EXPECTS(p >= 0.0 && p <= 100.0);
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double median(std::span<const double> xs) { return percentile(xs, 50.0); }
+
+double geomean(std::span<const double> xs) {
+  TFX_EXPECTS(!xs.empty());
+  double acc = 0;
+  for (double x : xs) {
+    TFX_EXPECTS(x > 0.0);
+    acc += std::log(x);
+  }
+  return std::exp(acc / static_cast<double>(xs.size()));
+}
+
+summary summarize(std::span<const double> xs) {
+  summary s;
+  if (xs.empty()) return s;
+  s.n = xs.size();
+  s.min = min(xs);
+  s.max = max(xs);
+  s.mean = mean(xs);
+  s.median = median(xs);
+  s.stddev = stddev(xs);
+  return s;
+}
+
+}  // namespace tfx::stats

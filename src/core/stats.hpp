@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file stats.hpp
+/// Order statistics and dispersion measures for benchmark samples.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace tfx::stats {
+
+/// Minimum of a non-empty sample set.
+double min(std::span<const double> xs);
+
+/// Maximum of a non-empty sample set.
+double max(std::span<const double> xs);
+
+/// Arithmetic mean of a non-empty sample set.
+double mean(std::span<const double> xs);
+
+/// Sample standard deviation (n-1 denominator); 0 for n < 2.
+double stddev(std::span<const double> xs);
+
+/// Median (average of the two middle elements for even n).
+double median(std::span<const double> xs);
+
+/// Linear-interpolated percentile, p in [0, 100].
+double percentile(std::span<const double> xs, double p);
+
+/// Geometric mean of a non-empty, strictly positive sample set.
+double geomean(std::span<const double> xs);
+
+/// Summary bundle for one benchmark series point.
+struct summary {
+  double min = 0, median = 0, mean = 0, max = 0, stddev = 0;
+  std::size_t n = 0;
+};
+
+/// Compute all summary statistics in one pass over a sorted copy.
+summary summarize(std::span<const double> xs);
+
+}  // namespace tfx::stats

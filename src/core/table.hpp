@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file table.hpp
+/// Column-aligned text tables and CSV emission for the per-figure
+/// benchmark binaries. Each bench prints the same rows/series the
+/// paper's figure reports, so the table *is* the reproduced artifact.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace tfx {
+
+/// A simple right-aligned table builder.
+///
+/// Usage:
+///   table t({"n", "Julia", "FujitsuBLAS"});
+///   t.add_row({"1024", "12.3", "11.9"});
+///   t.print(std::cout);
+class table {
+ public:
+  explicit table(std::vector<std::string> header);
+
+  /// Append one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Number of data rows added so far.
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+  /// Render as an aligned text table.
+  void print(std::ostream& os) const;
+
+  /// Render as CSV (RFC-4180-ish: cells containing commas are quoted).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tfx

@@ -1,0 +1,133 @@
+#pragma once
+
+/// \file threadpool.hpp
+/// A work-sharing thread pool with a parallel_for, in the spirit of an
+/// OpenMP `parallel for schedule(static)`.
+///
+/// The paper's kernel benchmarks are single-threaded (Fig. 1 caption),
+/// but the application side of an A64FX node runs 12 cores per CMG;
+/// the parallel kernel variants (kernels/parallel.hpp) and the
+/// multi-core machine-model queries use this pool. Design points:
+///
+///  * fixed worker count, created once (thread creation is never on
+///    the measurement path);
+///  * static blocked partitioning - deterministic assignment of index
+///    ranges to workers, so numerical results are reproducible
+///    run-to-run (no atomic work stealing that would reorder
+///    reductions);
+///  * the calling thread participates as worker 0, so a pool of size 1
+///    degenerates to a plain loop with no synchronization cost.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/contracts.hpp"
+
+namespace tfx {
+
+class thread_pool {
+ public:
+  /// A pool with `threads` workers total (including the caller).
+  explicit thread_pool(int threads)
+      : total_(threads) {
+    TFX_EXPECTS(threads >= 1);
+    workers_.reserve(static_cast<std::size_t>(threads - 1));
+    for (int w = 1; w < threads; ++w) {
+      workers_.emplace_back([this, w] { worker_loop(w); });
+    }
+  }
+
+  ~thread_pool() {
+    {
+      const std::scoped_lock lock(mutex_);
+      stop_ = true;
+    }
+    wake_.notify_all();
+    for (auto& t : workers_) t.join();
+  }
+
+  thread_pool(const thread_pool&) = delete;
+  thread_pool& operator=(const thread_pool&) = delete;
+
+  [[nodiscard]] int size() const { return total_; }
+
+  /// Run body(begin, end) over [0, n) split into `size()` contiguous
+  /// blocks, one per worker, caller included. Blocks until all done.
+  /// Nested parallel_for calls are not supported.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t, std::size_t)>& body) {
+    if (n == 0) return;
+    if (total_ == 1 || n == 1) {
+      body(0, n);
+      return;
+    }
+    {
+      const std::scoped_lock lock(mutex_);
+      TFX_EXPECTS(job_ == nullptr && "nested parallel_for");
+      job_ = &body;
+      job_n_ = n;
+      ++generation_;
+      pending_ = total_ - 1;
+    }
+    wake_.notify_all();
+    run_block(0, body, n);  // caller is worker 0
+    std::unique_lock lock(mutex_);
+    done_.wait(lock, [this] { return pending_ == 0; });
+    job_ = nullptr;
+  }
+
+  /// Static block boundaries for worker w of `workers` over n items.
+  static std::pair<std::size_t, std::size_t> block(std::size_t n, int workers,
+                                                   int w) {
+    const auto uw = static_cast<std::size_t>(workers);
+    const auto k = static_cast<std::size_t>(w);
+    return {n * k / uw, n * (k + 1) / uw};
+  }
+
+ private:
+  void run_block(int w,
+                 const std::function<void(std::size_t, std::size_t)>& body,
+                 std::size_t n) const {
+    const auto [lo, hi] = block(n, total_, w);
+    if (lo < hi) body(lo, hi);
+  }
+
+  void worker_loop(int w) {
+    std::uint64_t seen = 0;
+    for (;;) {
+      const std::function<void(std::size_t, std::size_t)>* job = nullptr;
+      std::size_t n = 0;
+      {
+        std::unique_lock lock(mutex_);
+        wake_.wait(lock, [&] { return stop_ || generation_ != seen; });
+        if (stop_) return;
+        seen = generation_;
+        job = job_;
+        n = job_n_;
+      }
+      run_block(w, *job, n);
+      {
+        const std::scoped_lock lock(mutex_);
+        --pending_;
+      }
+      done_.notify_one();
+    }
+  }
+
+  int total_;
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::condition_variable done_;
+  const std::function<void(std::size_t, std::size_t)>* job_ = nullptr;
+  std::size_t job_n_ = 0;
+  std::uint64_t generation_ = 0;
+  int pending_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace tfx

@@ -1,0 +1,91 @@
+#pragma once
+
+/// \file timer.hpp
+/// Wall-clock timing utilities for the benchmark harness.
+///
+/// The measurement discipline follows the one used by the paper's
+/// benchmarks (BenchmarkTools.jl / IMB): repeat the kernel until a
+/// minimum total runtime is reached, report the minimum per-iteration
+/// time (least-noise estimator for a deterministic kernel), and keep
+/// the full sample set around for dispersion statistics.
+
+#include <chrono>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/stats.hpp"
+
+namespace tfx {
+
+/// Monotonic stopwatch with nanosecond resolution.
+class stopwatch {
+ public:
+  stopwatch() : start_(clock::now()) {}
+
+  /// Restart the stopwatch.
+  void reset() { start_ = clock::now(); }
+
+  /// Elapsed time in seconds since construction or last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  /// Elapsed time in nanoseconds since construction or last reset().
+  [[nodiscard]] std::int64_t nanoseconds() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
+                                                                start_)
+        .count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Result of a repeated-measurement run.
+struct timing_result {
+  std::vector<double> samples;  ///< per-iteration seconds, one per repeat
+  std::uint64_t inner_iters = 1;  ///< kernel executions per sample
+
+  [[nodiscard]] double min() const { return stats::min(samples); }
+  [[nodiscard]] double median() const { return stats::median(samples); }
+  [[nodiscard]] double mean() const { return stats::mean(samples); }
+  [[nodiscard]] double max() const { return stats::max(samples); }
+};
+
+/// Measure `fn` by running it in batches until each batch takes at least
+/// `min_batch_seconds`, collecting `repeats` batch samples.
+///
+/// Returns per-call seconds for each batch. `fn` must be invocable with
+/// no arguments; its result, if any, is discarded (callers should sink
+/// side effects themselves, e.g. via a volatile accumulator or by
+/// touching output buffers).
+template <typename Fn>
+timing_result measure(Fn&& fn, int repeats = 7,
+                      double min_batch_seconds = 2e-3) {
+  timing_result result;
+  // Warm-up and batch-size calibration: grow the inner iteration count
+  // until one batch is long enough to be timed reliably.
+  std::uint64_t iters = 1;
+  for (;;) {
+    stopwatch sw;
+    for (std::uint64_t i = 0; i < iters; ++i) fn();
+    const double t = sw.seconds();
+    if (t >= min_batch_seconds || iters >= (1ULL << 30)) break;
+    const double scale = t > 0 ? min_batch_seconds / t : 16.0;
+    const auto grown = static_cast<std::uint64_t>(
+        static_cast<double>(iters) * (scale < 16.0 ? scale * 1.3 + 1.0 : 16.0));
+    iters = grown > iters ? grown : iters * 2;
+  }
+  result.inner_iters = iters;
+  result.samples.reserve(static_cast<std::size_t>(repeats));
+  for (int r = 0; r < repeats; ++r) {
+    stopwatch sw;
+    for (std::uint64_t i = 0; i < iters; ++i) fn();
+    result.samples.push_back(sw.seconds() / static_cast<double>(iters));
+  }
+  return result;
+}
+
+}  // namespace tfx

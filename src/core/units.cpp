@@ -1,0 +1,47 @@
+#include "core/units.hpp"
+
+#include <array>
+#include <cstdio>
+
+namespace tfx {
+
+std::string format_bytes(std::uint64_t bytes) {
+  static constexpr std::array<const char*, 5> suffix = {"B", "KiB", "MiB",
+                                                        "GiB", "TiB"};
+  double value = static_cast<double>(bytes);
+  std::size_t unit = 0;
+  while (value >= 1024.0 && unit + 1 < suffix.size()) {
+    value /= 1024.0;
+    ++unit;
+  }
+  char buf[64];
+  if (value == static_cast<double>(static_cast<std::uint64_t>(value))) {
+    std::snprintf(buf, sizeof buf, "%llu %s",
+                  static_cast<unsigned long long>(value), suffix[unit]);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2f %s", value, suffix[unit]);
+  }
+  return buf;
+}
+
+std::string format_seconds(double seconds) {
+  char buf[64];
+  if (seconds < 1e-6) {
+    std::snprintf(buf, sizeof buf, "%.1f ns", seconds * 1e9);
+  } else if (seconds < 1e-3) {
+    std::snprintf(buf, sizeof buf, "%.2f us", seconds * 1e6);
+  } else if (seconds < 1.0) {
+    std::snprintf(buf, sizeof buf, "%.2f ms", seconds * 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2f s", seconds);
+  }
+  return buf;
+}
+
+std::string format_fixed(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, value);
+  return buf;
+}
+
+}  // namespace tfx

@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file units.hpp
+/// Formatting of byte sizes, times, and rates the way the paper's
+/// figures label their axes (KiB/MiB, µs, GFLOPS, GB/s).
+
+#include <cstdint>
+#include <string>
+
+namespace tfx {
+
+/// "64 B", "4 KiB", "1 MiB", ... (binary prefixes, exact when possible).
+std::string format_bytes(std::uint64_t bytes);
+
+/// "123 ns", "4.56 µs", "7.89 ms", "1.23 s".
+std::string format_seconds(double seconds);
+
+/// "12.34" with fixed precision; helper for table cells.
+std::string format_fixed(double value, int digits = 2);
+
+/// GFLOPS from a flop count and elapsed seconds.
+constexpr double gflops(double flops, double seconds) {
+  return flops / seconds / 1e9;
+}
+
+/// GB/s (decimal gigabytes, as IMB reports) from bytes and seconds.
+constexpr double gb_per_s(double bytes, double seconds) {
+  return bytes / seconds / 1e9;
+}
+
+/// MiB/s (binary, as some IMB variants report).
+constexpr double mib_per_s(double bytes, double seconds) {
+  return bytes / seconds / (1024.0 * 1024.0);
+}
+
+inline constexpr std::uint64_t KiB = 1024;
+inline constexpr std::uint64_t MiB = 1024 * KiB;
+inline constexpr std::uint64_t GiB = 1024 * MiB;
+
+}  // namespace tfx

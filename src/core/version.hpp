@@ -1,0 +1,15 @@
+#pragma once
+
+/// \file version.hpp
+/// Library version constants.
+
+namespace tfx {
+
+inline constexpr int version_major = 1;
+inline constexpr int version_minor = 0;
+inline constexpr int version_patch = 0;
+
+/// Human-readable version string, e.g. "1.0.0".
+inline constexpr const char* version_string = "1.0.0";
+
+}  // namespace tfx

@@ -1,0 +1,165 @@
+#pragma once
+
+/// \file bfloat16.hpp
+/// Software bfloat16 (1+8+7) with the same extend-compute-truncate
+/// semantics as tfx::fp::float16.
+///
+/// The paper (§ I) contrasts binary16 with bfloat16 as the two 16-bit
+/// formats supported by modern accelerators; A64FX implements only
+/// binary16, so bfloat16 is provided here for the cross-format studies
+/// (range vs precision trade-off in the examples and tests) and is not
+/// wired into the A64FX machine model's fast paths.
+
+#include <cmath>
+#include <cstdint>
+#include <iosfwd>
+#include <limits>
+#include <type_traits>
+
+#include "fp/rounding.hpp"
+
+namespace tfx::fp {
+
+class bfloat16 {
+ public:
+  constexpr bfloat16() = default;
+
+  explicit bfloat16(float f)
+      : bits_(f32_bits_to_bf16_bits(std::bit_cast<std::uint32_t>(f))) {}
+  explicit bfloat16(double d) : bits_(f64_to_bf16_bits(d)) {}
+
+  template <typename Int, typename = std::enable_if_t<std::is_integral_v<Int>>>
+  explicit bfloat16(Int i) : bfloat16(static_cast<double>(i)) {}
+
+  static constexpr bfloat16 from_bits(std::uint16_t bits) {
+    bfloat16 b;
+    b.bits_ = bits;
+    return b;
+  }
+
+  [[nodiscard]] constexpr std::uint16_t bits() const { return bits_; }
+
+  explicit operator float() const {
+    return std::bit_cast<float>(bf16_bits_to_f32_bits(bits_));
+  }
+  explicit operator double() const { return static_cast<float>(*this); }
+
+  [[nodiscard]] constexpr bool isnan() const {
+    return ((bits_ & 0x7f80u) == 0x7f80u) && (bits_ & 0x7fu) != 0;
+  }
+  [[nodiscard]] constexpr bool isinf() const {
+    return (bits_ & 0x7fffu) == 0x7f80u;
+  }
+  [[nodiscard]] constexpr bool isfinite() const {
+    return (bits_ & 0x7f80u) != 0x7f80u;
+  }
+  [[nodiscard]] constexpr bool iszero() const {
+    return (bits_ & 0x7fffu) == 0;
+  }
+  [[nodiscard]] constexpr bool signbit() const { return (bits_ & 0x8000u) != 0; }
+
+  friend bfloat16 operator+(bfloat16 a, bfloat16 b) {
+    return bfloat16(static_cast<float>(a) + static_cast<float>(b));
+  }
+  friend bfloat16 operator-(bfloat16 a, bfloat16 b) {
+    return bfloat16(static_cast<float>(a) - static_cast<float>(b));
+  }
+  friend bfloat16 operator*(bfloat16 a, bfloat16 b) {
+    return bfloat16(static_cast<float>(a) * static_cast<float>(b));
+  }
+  friend bfloat16 operator/(bfloat16 a, bfloat16 b) {
+    return bfloat16(static_cast<float>(a) / static_cast<float>(b));
+  }
+  friend constexpr bfloat16 operator-(bfloat16 a) {
+    return from_bits(static_cast<std::uint16_t>(a.bits_ ^ 0x8000u));
+  }
+
+  bfloat16& operator+=(bfloat16 o) { return *this = *this + o; }
+  bfloat16& operator-=(bfloat16 o) { return *this = *this - o; }
+  bfloat16& operator*=(bfloat16 o) { return *this = *this * o; }
+  bfloat16& operator/=(bfloat16 o) { return *this = *this / o; }
+
+  friend bool operator==(bfloat16 a, bfloat16 b) {
+    return static_cast<float>(a) == static_cast<float>(b);
+  }
+  friend bool operator!=(bfloat16 a, bfloat16 b) { return !(a == b); }
+  friend bool operator<(bfloat16 a, bfloat16 b) {
+    return static_cast<float>(a) < static_cast<float>(b);
+  }
+  friend bool operator>(bfloat16 a, bfloat16 b) { return b < a; }
+  friend bool operator<=(bfloat16 a, bfloat16 b) {
+    return static_cast<float>(a) <= static_cast<float>(b);
+  }
+  friend bool operator>=(bfloat16 a, bfloat16 b) { return b <= a; }
+
+ private:
+  std::uint16_t bits_ = 0;
+};
+
+static_assert(sizeof(bfloat16) == 2);
+static_assert(std::is_trivially_copyable_v<bfloat16>);
+
+inline bfloat16 muladd(bfloat16 x, bfloat16 y, bfloat16 z) {
+  return x * y + z;
+}
+inline bfloat16 fma(bfloat16 x, bfloat16 y, bfloat16 z) {
+  return bfloat16(std::fma(static_cast<double>(x), static_cast<double>(y),
+                           static_cast<double>(z)));
+}
+inline bfloat16 abs(bfloat16 x) {
+  return bfloat16::from_bits(static_cast<std::uint16_t>(x.bits() & 0x7fffu));
+}
+inline bfloat16 sqrt(bfloat16 x) {
+  return bfloat16(std::sqrt(static_cast<float>(x)));
+}
+inline bfloat16 min(bfloat16 a, bfloat16 b) { return b < a ? b : a; }
+inline bfloat16 max(bfloat16 a, bfloat16 b) { return a < b ? b : a; }
+inline bool isnan(bfloat16 x) { return x.isnan(); }
+inline bool isfinite(bfloat16 x) { return x.isfinite(); }
+
+std::ostream& operator<<(std::ostream& os, bfloat16 b);
+
+}  // namespace tfx::fp
+
+template <>
+class std::numeric_limits<tfx::fp::bfloat16> {
+ public:
+  static constexpr bool is_specialized = true;
+  static constexpr bool is_signed = true;
+  static constexpr bool is_integer = false;
+  static constexpr bool is_exact = false;
+  static constexpr bool has_infinity = true;
+  static constexpr bool has_quiet_NaN = true;
+  static constexpr bool is_iec559 = true;
+  static constexpr bool is_bounded = true;
+  static constexpr bool is_modulo = false;
+  static constexpr int digits = 8;
+  static constexpr int digits10 = 2;
+  static constexpr int max_digits10 = 4;
+  static constexpr int radix = 2;
+  static constexpr int min_exponent = -125;
+  static constexpr int max_exponent = 128;
+  static constexpr bool traps = false;
+
+  static constexpr tfx::fp::bfloat16 min() noexcept {
+    return tfx::fp::bfloat16::from_bits(0x0080);
+  }
+  static constexpr tfx::fp::bfloat16 max() noexcept {
+    return tfx::fp::bfloat16::from_bits(0x7f7f);
+  }
+  static constexpr tfx::fp::bfloat16 lowest() noexcept {
+    return tfx::fp::bfloat16::from_bits(0xff7f);
+  }
+  static constexpr tfx::fp::bfloat16 epsilon() noexcept {
+    return tfx::fp::bfloat16::from_bits(0x3c00);  // 2^-7
+  }
+  static constexpr tfx::fp::bfloat16 infinity() noexcept {
+    return tfx::fp::bfloat16::from_bits(0x7f80);
+  }
+  static constexpr tfx::fp::bfloat16 quiet_NaN() noexcept {
+    return tfx::fp::bfloat16::from_bits(0x7fc0);
+  }
+  static constexpr tfx::fp::bfloat16 denorm_min() noexcept {
+    return tfx::fp::bfloat16::from_bits(0x0001);
+  }
+};

@@ -1,0 +1,62 @@
+#include "fp/float16.hpp"
+
+#include <ostream>
+
+#include "fp/bfloat16.hpp"
+
+namespace tfx::fp {
+
+std::ostream& operator<<(std::ostream& os, float16 h) {
+  return os << static_cast<float>(h);
+}
+
+namespace {
+
+/// Map the sign-magnitude bit pattern onto a signed integer line where
+/// consecutive representable values differ by 1 (the standard ordered
+/// encoding trick for IEEE formats).
+std::int32_t ordered(float16 x) {
+  const std::uint16_t b = x.bits();
+  return (b & 0x8000u) ? -static_cast<std::int32_t>(b & 0x7fffu)
+                       : static_cast<std::int32_t>(b & 0x7fffu);
+}
+
+float16 from_ordered(std::int32_t o) {
+  const std::uint16_t b =
+      o < 0 ? static_cast<std::uint16_t>(0x8000u |
+                                         static_cast<std::uint16_t>(-o))
+            : static_cast<std::uint16_t>(o);
+  return float16::from_bits(b);
+}
+
+}  // namespace
+
+float16 nextafter(float16 x, float16 dir) {
+  if (x.isnan() || dir.isnan()) {
+    return std::numeric_limits<float16>::quiet_NaN();
+  }
+  if (x == dir) return dir;
+  std::int32_t o = ordered(x);
+  // Step toward dir on the ordered line; +0 and -0 share position 0,
+  // so stepping off zero lands on the smallest subnormal directly.
+  if (x.iszero()) {
+    return dir.signbit() ? float16::from_bits(0x8001)
+                         : float16::from_bits(0x0001);
+  }
+  o += (x < dir) ? 1 : -1;
+  return from_ordered(o);
+}
+
+std::int64_t ulp_distance(float16 a, float16 b) {
+  if (a.isnan() || b.isnan()) {
+    return std::numeric_limits<std::int64_t>::max();
+  }
+  const std::int64_t d = ordered(a) - ordered(b);
+  return d < 0 ? -d : d;
+}
+
+std::ostream& operator<<(std::ostream& os, bfloat16 b) {
+  return os << static_cast<float>(b);
+}
+
+}  // namespace tfx::fp

@@ -1,0 +1,20 @@
+#include "fp/fpenv.hpp"
+
+namespace tfx::fp {
+
+namespace {
+thread_local ftz_mode g_ftz = ftz_mode::preserve;
+thread_local fp_counters g_counters;
+}  // namespace
+
+ftz_mode current_ftz_mode() noexcept { return g_ftz; }
+
+ftz_mode set_ftz_mode(ftz_mode mode) noexcept {
+  const ftz_mode prev = g_ftz;
+  g_ftz = mode;
+  return prev;
+}
+
+fp_counters& counters() noexcept { return g_counters; }
+
+}  // namespace tfx::fp

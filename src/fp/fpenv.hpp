@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file fpenv.hpp
+/// Floating-point environment for the software 16-bit formats.
+///
+/// A64FX background (paper § III-B): encountering a binary16 subnormal
+/// (magnitudes between ~6e-8 and ~6e-5) triggers a heavy microcode
+/// penalty on A64FX, so production runs set the flush-to-zero (FZ)
+/// control bit; Julia does the same via a compiler flag. We model both
+/// behaviours:
+///
+///  * `ftz_mode::flush`    — subnormal results collapse to signed zero,
+///                           matching A64FX with FZ16 set (and matching
+///                           the configuration used for all the paper's
+///                           Float16 experiments);
+///  * `ftz_mode::preserve` — full IEEE gradual underflow, with a counter
+///                           of subnormal events so the performance
+///                           model can charge the trap penalty.
+///
+/// The mode and counters are thread-local: each simulated MPI rank and
+/// each test owns its own environment.
+
+#include <cstdint>
+
+namespace tfx::fp {
+
+enum class ftz_mode : std::uint8_t {
+  preserve,  ///< IEEE gradual underflow (default, like x86)
+  flush,     ///< flush binary16 subnormal results to signed zero (A64FX FZ16)
+};
+
+/// Per-thread counters of numerically interesting events. These feed
+/// both the analysis tooling (Sherlog-based range checks) and the
+/// machine model's subnormal-trap penalty.
+struct fp_counters {
+  std::uint64_t f16_subnormal_results = 0;  ///< ops producing a subnormal
+  std::uint64_t f16_flushed_results = 0;    ///< ... that were flushed by FTZ
+  std::uint64_t f16_overflows = 0;          ///< ops rounding to +-inf
+  std::uint64_t f16_nans = 0;               ///< ops producing NaN
+
+  void reset() { *this = fp_counters{}; }
+};
+
+/// Current thread's FTZ mode.
+ftz_mode current_ftz_mode() noexcept;
+
+/// Set the current thread's FTZ mode; returns the previous mode.
+ftz_mode set_ftz_mode(ftz_mode mode) noexcept;
+
+/// Mutable access to the current thread's counters.
+fp_counters& counters() noexcept;
+
+/// RAII guard that sets an FTZ mode for a scope.
+class ftz_guard {
+ public:
+  explicit ftz_guard(ftz_mode mode) : previous_(set_ftz_mode(mode)) {}
+  ~ftz_guard() { set_ftz_mode(previous_); }
+  ftz_guard(const ftz_guard&) = delete;
+  ftz_guard& operator=(const ftz_guard&) = delete;
+
+ private:
+  ftz_mode previous_;
+};
+
+}  // namespace tfx::fp

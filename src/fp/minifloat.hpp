@@ -1,0 +1,225 @@
+#pragma once
+
+/// \file minifloat.hpp
+/// Arbitrary small IEEE-style binary floating-point formats.
+///
+/// The paper's § II argument is that a type-flexible code base admits
+/// *any* number format that implements the arithmetic interface. This
+/// header makes the point general: `minifloat<E, M>` is an IEEE-754
+/// style format with E exponent bits and M mantissa bits (sign +
+/// gradual underflow + infinities + NaN), with the same
+/// extend-compute-truncate operational semantics as float16. The 8-bit
+/// deep-learning formats fall out as aliases:
+///
+///   using float8_e5m2 = minifloat<5, 2>;   // "bfloat16 of fp16"
+///   using float8_e4m3 = minifloat<4, 3>;   // more precision, less range
+///
+/// and minifloat<5, 10> is bit-compatible with fp::float16 - the test
+/// suite uses that to cross-validate both conversion pipelines over
+/// every pattern.
+///
+/// Conversions are correctly rounded (RN-even) from double, done with
+/// integer arithmetic on the scaled significand.
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <type_traits>
+
+namespace tfx::fp {
+
+template <int ExpBits, int ManBits>
+class minifloat {
+  static_assert(ExpBits >= 2 && ExpBits <= 8);
+  static_assert(ManBits >= 1 && ManBits <= 23);
+  static_assert(ExpBits + ManBits <= 15, "must fit 16 bits with sign");
+
+ public:
+  static constexpr int exponent_bits = ExpBits;
+  static constexpr int mantissa_bits = ManBits;
+  static constexpr int bias = (1 << (ExpBits - 1)) - 1;
+  static constexpr int total_bits = 1 + ExpBits + ManBits;
+
+  constexpr minifloat() = default;
+
+  explicit minifloat(double d) : bits_(from_double(d)) {}
+  explicit minifloat(float f) : bits_(from_double(static_cast<double>(f))) {}
+  template <typename Int, typename = std::enable_if_t<std::is_integral_v<Int>>>
+  explicit minifloat(Int i) : bits_(from_double(static_cast<double>(i))) {}
+
+  static constexpr minifloat from_bits(std::uint16_t bits) {
+    minifloat m;
+    m.bits_ = bits & mask_all;
+    return m;
+  }
+  [[nodiscard]] constexpr std::uint16_t bits() const { return bits_; }
+
+  explicit operator double() const { return to_double(bits_); }
+  explicit operator float() const {
+    return static_cast<float>(to_double(bits_));
+  }
+
+  [[nodiscard]] constexpr bool isnan() const {
+    return ((bits_ & mask_exp) == mask_exp) && (bits_ & mask_man) != 0;
+  }
+  [[nodiscard]] constexpr bool isinf() const {
+    return (bits_ & (mask_exp | mask_man)) == mask_exp;
+  }
+  [[nodiscard]] constexpr bool isfinite() const {
+    return (bits_ & mask_exp) != mask_exp;
+  }
+  [[nodiscard]] constexpr bool iszero() const {
+    return (bits_ & (mask_exp | mask_man)) == 0;
+  }
+  [[nodiscard]] constexpr bool is_subnormal() const {
+    return (bits_ & mask_exp) == 0 && (bits_ & mask_man) != 0;
+  }
+  [[nodiscard]] constexpr bool signbit() const {
+    return (bits_ & mask_sign) != 0;
+  }
+
+  friend minifloat operator+(minifloat a, minifloat b) {
+    return minifloat(static_cast<double>(a) + static_cast<double>(b));
+  }
+  friend minifloat operator-(minifloat a, minifloat b) {
+    return minifloat(static_cast<double>(a) - static_cast<double>(b));
+  }
+  friend minifloat operator*(minifloat a, minifloat b) {
+    return minifloat(static_cast<double>(a) * static_cast<double>(b));
+  }
+  friend minifloat operator/(minifloat a, minifloat b) {
+    return minifloat(static_cast<double>(a) / static_cast<double>(b));
+  }
+  friend constexpr minifloat operator-(minifloat a) {
+    return from_bits(static_cast<std::uint16_t>(a.bits_ ^ mask_sign));
+  }
+
+  minifloat& operator+=(minifloat o) { return *this = *this + o; }
+  minifloat& operator-=(minifloat o) { return *this = *this - o; }
+  minifloat& operator*=(minifloat o) { return *this = *this * o; }
+  minifloat& operator/=(minifloat o) { return *this = *this / o; }
+
+  friend bool operator==(minifloat a, minifloat b) {
+    return static_cast<double>(a) == static_cast<double>(b);
+  }
+  friend bool operator!=(minifloat a, minifloat b) { return !(a == b); }
+  friend bool operator<(minifloat a, minifloat b) {
+    return static_cast<double>(a) < static_cast<double>(b);
+  }
+  friend bool operator>(minifloat a, minifloat b) { return b < a; }
+  friend bool operator<=(minifloat a, minifloat b) {
+    return static_cast<double>(a) <= static_cast<double>(b);
+  }
+  friend bool operator>=(minifloat a, minifloat b) { return b <= a; }
+
+ private:
+  static constexpr std::uint16_t mask_man =
+      static_cast<std::uint16_t>((1u << ManBits) - 1);
+  static constexpr std::uint16_t mask_exp =
+      static_cast<std::uint16_t>(((1u << ExpBits) - 1) << ManBits);
+  static constexpr std::uint16_t mask_sign =
+      static_cast<std::uint16_t>(1u << (ExpBits + ManBits));
+  static constexpr std::uint16_t mask_all =
+      static_cast<std::uint16_t>((1u << total_bits) - 1);
+  static constexpr int emax = (1 << ExpBits) - 2 - bias;  // largest finite exp
+  static constexpr int emin = 1 - bias;                   // smallest normal exp
+
+  /// Correctly rounded (RN-even) conversion from double, via integer
+  /// rounding of the significand scaled to the target ulp.
+  static std::uint16_t from_double(double d) {
+    if (std::isnan(d)) {
+      return static_cast<std::uint16_t>(
+          mask_exp | (std::uint16_t{1} << (ManBits - 1)) |
+          (std::signbit(d) ? mask_sign : 0));
+    }
+    const std::uint16_t sign = std::signbit(d) ? mask_sign : 0;
+    double a = std::abs(d);
+    if (std::isinf(d)) return static_cast<std::uint16_t>(sign | mask_exp);
+    if (a == 0.0) return sign;
+
+    int e = 0;
+    (void)std::frexp(a, &e);  // a = f * 2^e, f in [0.5, 1)
+    const int exp = e - 1;    // a in [2^exp, 2^{exp+1})
+
+    // Determine the quantum (ulp) at this magnitude: for normals the
+    // ulp is 2^(exp - ManBits); below the normal range it is fixed at
+    // 2^(emin - ManBits).
+    const int ulp_exp =
+        (exp < emin ? emin : exp) - ManBits;
+    // Round a / 2^ulp_exp to an integer, ties to even, exactly:
+    const double scaled = std::ldexp(a, -ulp_exp);
+    double rounded = std::nearbyint(scaled);  // default mode: RN-even
+    if (rounded != scaled) {
+      // nearbyint honours the current rounding mode, which is RN-even
+      // by default; nothing more to do. (Kept explicit for readers.)
+    }
+    // Reassemble: value = rounded * 2^ulp_exp. Renormalize if the
+    // rounding carried into the next binade.
+    std::uint64_t q = static_cast<std::uint64_t>(rounded);
+    int qexp = ulp_exp;
+    while (q >= (std::uint64_t{2} << ManBits)) {
+      // carry: q has ManBits+2 bits; halving is exact (q is even after
+      // a carry out of an all-ones mantissa).
+      q >>= 1;
+      ++qexp;
+    }
+    if (q == 0) return sign;  // underflow to zero
+
+    // Now q in [1, 2^{ManBits+1}): subnormal if q < 2^ManBits.
+    if (q < (std::uint64_t{1} << ManBits)) {
+      // Subnormal: stored exponent 0, mantissa = q (qexp == emin-ManBits).
+      return static_cast<std::uint16_t>(sign | static_cast<std::uint16_t>(q));
+    }
+    const int value_exp = qexp + ManBits;  // exponent of the leading bit
+    if (value_exp > emax) {
+      return static_cast<std::uint16_t>(sign | mask_exp);  // overflow -> inf
+    }
+    const auto stored_exp =
+        static_cast<std::uint16_t>((value_exp + bias) << ManBits);
+    const auto man = static_cast<std::uint16_t>(
+        q & ((std::uint64_t{1} << ManBits) - 1));
+    return static_cast<std::uint16_t>(sign | stored_exp | man);
+  }
+
+  static double to_double(std::uint16_t bits) {
+    const bool neg = (bits & mask_sign) != 0;
+    const int stored_exp = (bits & mask_exp) >> ManBits;
+    const int man = bits & mask_man;
+    double v;
+    if (stored_exp == (1 << ExpBits) - 1) {
+      v = man != 0 ? std::numeric_limits<double>::quiet_NaN()
+                   : std::numeric_limits<double>::infinity();
+    } else if (stored_exp == 0) {
+      v = std::ldexp(man, emin - ManBits);
+    } else {
+      v = std::ldexp((1 << ManBits) + man, stored_exp - bias - ManBits);
+    }
+    return neg ? -v : v;
+  }
+
+  std::uint16_t bits_ = 0;
+};
+
+/// The OCP / deep-learning 8-bit formats.
+using float8_e5m2 = minifloat<5, 2>;
+using float8_e4m3 = minifloat<4, 3>;
+
+/// minifloat<5, 10> is the same format as fp::float16; the tests pin
+/// the two conversion pipelines against each other exhaustively.
+using minifloat16 = minifloat<5, 10>;
+
+template <int E, int M>
+minifloat<E, M> abs(minifloat<E, M> x) {
+  return x.signbit() ? -x : x;
+}
+template <int E, int M>
+minifloat<E, M> muladd(minifloat<E, M> a, minifloat<E, M> b,
+                       minifloat<E, M> c) {
+  return a * b + c;
+}
+template <int E, int M>
+bool isnan(minifloat<E, M> x) {
+  return x.isnan();
+}
+
+}  // namespace tfx::fp

@@ -1,0 +1,40 @@
+#include "fp/scaling.hpp"
+
+#include <cmath>
+
+namespace tfx::fp {
+
+scaling_choice choose_scaling(const exponent_histogram& hist,
+                              format_range target, double clip) {
+  scaling_choice choice;
+  if (hist.total() == 0) {
+    choice.scale = 1.0;
+    choice.fits = true;
+    return choice;
+  }
+
+  const int lo = hist.quantile(clip);
+  const int hi = hist.quantile(1.0 - clip);
+  const int span = hi - lo;
+  const int target_span = target.max_exponent - target.min_normal_exponent;
+
+  // Centre the observed [lo, hi] inside the target range: solve for k in
+  // midpoint(lo+k, hi+k) == midpoint(target range).
+  const int k = (target.min_normal_exponent + target.max_exponent) / 2 -
+                (lo + hi) / 2;
+
+  choice.log2_scale = k;
+  choice.scale = std::ldexp(1.0, k);
+  choice.subnormal_fraction_before =
+      hist.fraction_below(target.min_normal_exponent);
+  choice.subnormal_fraction_after =
+      hist.fraction_below(target.min_normal_exponent - k);
+  choice.overflow_fraction_after =
+      hist.fraction_at_or_above(target.max_exponent + 1 - k);
+  choice.fits = span <= target_span &&
+                hist.min_observed() + k >= target.min_normal_exponent &&
+                hist.max_observed() + k <= target.max_exponent;
+  return choice;
+}
+
+}  // namespace tfx::fp

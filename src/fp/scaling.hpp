@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file scaling.hpp
+/// Choosing the multiplicative scaling `s` of the equations.
+///
+/// The paper (§ III-B): "The available normal range of Float16,
+/// 6e-5 to 65504, is less than 10 orders of magnitude and scaling is
+/// often required to guarantee no under or overflow. [...] we developed
+/// the analysis-number format Sherlogs.jl, which records a histogram of
+/// numbers during the simulation that allowed us to monitor, for
+/// example, how a multiplicative scaling s of the equations avoids
+/// Float16 subnormals."
+///
+/// `choose_scaling` implements that workflow: given the exponent
+/// histogram from a Sherlog development run and a description of the
+/// target format, it returns the power-of-two scale that centres the
+/// observed dynamic range inside the target's safe range. Powers of two
+/// are exact in binary arithmetic, so the scaling perturbs no bits.
+
+#include <cstdint>
+
+#include "fp/sherlog.hpp"
+
+namespace tfx::fp {
+
+/// Exponent range of a floating-point target format.
+struct format_range {
+  int min_normal_exponent;  ///< smallest e with 2^e normal (binary16: -14)
+  int max_exponent;         ///< largest e with 2^e finite (binary16: 15)
+};
+
+inline constexpr format_range float16_range{-14, 15};
+inline constexpr format_range bfloat16_range{-126, 127};
+inline constexpr format_range float32_range{-126, 127};
+
+/// Result of the scaling search.
+struct scaling_choice {
+  int log2_scale = 0;       ///< s = 2^log2_scale
+  double scale = 1.0;       ///< the factor itself
+  double subnormal_fraction_before = 0;  ///< samples below normal range, unscaled
+  double subnormal_fraction_after = 0;   ///< ... after scaling
+  double overflow_fraction_after = 0;    ///< samples at/above overflow after scaling
+  bool fits = false;        ///< whole observed range fits after scaling
+};
+
+/// Choose s = 2^k so that the observed exponent range (between the
+/// `clip` and 1-`clip` quantiles, to shrug off stray outliers) sits
+/// centred in [target.min_normal_exponent, target.max_exponent].
+///
+/// When even the clipped range is wider than the target can hold, the
+/// scale still centres it and `fits` reports false: the caller must
+/// either accept flushed/overflowed tails or restructure the algorithm
+/// (the paper's compensated integration is one such restructuring).
+scaling_choice choose_scaling(const exponent_histogram& hist,
+                              format_range target, double clip = 1e-4);
+
+}  // namespace tfx::fp

@@ -1,0 +1,55 @@
+#include "fp/sherlog.hpp"
+
+namespace tfx::fp {
+
+namespace {
+thread_local exponent_histogram g_sink;
+}  // namespace
+
+exponent_histogram& sherlog_sink() noexcept { return g_sink; }
+
+int exponent_histogram::min_observed() const {
+  for (int e = min_exponent; e <= max_exponent; ++e)
+    if (count(e) != 0) return e;
+  return 0;
+}
+
+int exponent_histogram::max_observed() const {
+  for (int e = max_exponent; e >= min_exponent; --e)
+    if (count(e) != 0) return e;
+  return 0;
+}
+
+int exponent_histogram::quantile(double q) const {
+  if (total_ == 0) return 0;
+  const auto target = static_cast<std::uint64_t>(
+      q * static_cast<double>(total_));
+  std::uint64_t seen = 0;
+  for (int e = min_exponent; e <= max_exponent; ++e) {
+    seen += count(e);
+    if (seen > target) return e;
+  }
+  return max_exponent;
+}
+
+double exponent_histogram::fraction_below(int e) const {
+  if (total_ == 0) return 0.0;
+  std::uint64_t below = 0;
+  for (int i = min_exponent; i < e && i <= max_exponent; ++i)
+    below += count(i);
+  return static_cast<double>(below) / static_cast<double>(total_);
+}
+
+double exponent_histogram::fraction_at_or_above(int e) const {
+  if (total_ == 0) return 0.0;
+  return 1.0 - fraction_below(e);
+}
+
+void exponent_histogram::merge(const exponent_histogram& other) {
+  for (std::size_t i = 0; i < bins_.size(); ++i) bins_[i] += other.bins_[i];
+  total_ += other.total_;
+  zeros_ += other.zeros_;
+  nonfinite_ += other.nonfinite_;
+}
+
+}  // namespace tfx::fp

@@ -1,0 +1,227 @@
+#pragma once
+
+/// \file sherlog.hpp
+/// The analysis number type of the paper (§ III-B): Sherlogs.jl records
+/// a histogram of all numbers occurring during a simulation, which the
+/// authors used to pick the multiplicative scaling `s` that keeps a
+/// Float16 run clear of the subnormal range.
+///
+/// `sherlog<T>` behaves arithmetically exactly like `T` but logs the
+/// base-2 exponent of every arithmetic *result* into a thread-local
+/// `exponent_histogram`. A development run with `sherlog<float>`
+/// (the paper's `Sherlog32`) therefore reveals the dynamic range the
+/// production `float16` run must fit into; `fp::choose_scaling` (see
+/// scaling.hpp) turns the histogram into a scale factor.
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <iosfwd>
+#include <limits>
+
+namespace tfx::fp {
+
+/// Histogram over base-2 exponents, plus buckets for zeros and
+/// non-finite values. Covers the binary64 exponent range.
+class exponent_histogram {
+ public:
+  static constexpr int min_exponent = -1080;  // includes binary64 subnormals
+  static constexpr int max_exponent = 1024;
+
+  /// Record one value: its ilogb goes into the matching bin.
+  void record(double value) {
+    if (value == 0.0) {
+      ++zeros_;
+      return;
+    }
+    if (!std::isfinite(value)) {
+      ++nonfinite_;
+      return;
+    }
+    const int e = std::ilogb(value);
+    const int clamped =
+        e < min_exponent ? min_exponent : (e > max_exponent ? max_exponent : e);
+    ++bins_[static_cast<std::size_t>(clamped - min_exponent)];
+    ++total_;
+  }
+
+  /// Total finite nonzero samples recorded.
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  [[nodiscard]] std::uint64_t zeros() const { return zeros_; }
+  [[nodiscard]] std::uint64_t nonfinite() const { return nonfinite_; }
+
+  /// Count in the bin for exponent e (0 if out of range).
+  [[nodiscard]] std::uint64_t count(int e) const {
+    if (e < min_exponent || e > max_exponent) return 0;
+    return bins_[static_cast<std::size_t>(e - min_exponent)];
+  }
+
+  /// Smallest / largest exponent with a nonzero count. Meaningless when
+  /// total() == 0 (returns {0, 0}).
+  [[nodiscard]] int min_observed() const;
+  [[nodiscard]] int max_observed() const;
+
+  /// Exponent below which a fraction `q` of the samples lies (the
+  /// q-quantile of the exponent distribution), q in [0, 1].
+  [[nodiscard]] int quantile(double q) const;
+
+  /// Fraction of samples with exponent < e (e.g. the binary16 subnormal
+  /// cutoff -14).
+  [[nodiscard]] double fraction_below(int e) const;
+
+  /// Fraction of samples with exponent >= e (e.g. the binary16 overflow
+  /// exponent 16).
+  [[nodiscard]] double fraction_at_or_above(int e) const;
+
+  /// Merge another histogram into this one.
+  void merge(const exponent_histogram& other);
+
+  void reset() { *this = exponent_histogram{}; }
+
+ private:
+  std::array<std::uint64_t, max_exponent - min_exponent + 1> bins_{};
+  std::uint64_t total_ = 0;
+  std::uint64_t zeros_ = 0;
+  std::uint64_t nonfinite_ = 0;
+};
+
+/// The current thread's Sherlog sink. Every sherlog<T> operation
+/// records here; benches/tests snapshot and reset it around a run.
+exponent_histogram& sherlog_sink() noexcept;
+
+/// Arithmetic wrapper that logs every result's exponent.
+template <typename T>
+class sherlog {
+ public:
+  constexpr sherlog() = default;
+
+  /// Wrapping a value does not log: only *computed* results are
+  /// interesting, matching Sherlogs.jl's behaviour.
+  explicit constexpr sherlog(T v) : value_(v) {}
+  template <typename U>
+  explicit sherlog(U v) : value_(static_cast<T>(v)) {}
+
+  [[nodiscard]] constexpr T value() const { return value_; }
+  explicit operator T() const { return value_; }
+  explicit operator double() const { return static_cast<double>(value_); }
+
+  friend sherlog operator+(sherlog a, sherlog b) {
+    return logged(a.value_ + b.value_);
+  }
+  friend sherlog operator-(sherlog a, sherlog b) {
+    return logged(a.value_ - b.value_);
+  }
+  friend sherlog operator*(sherlog a, sherlog b) {
+    return logged(a.value_ * b.value_);
+  }
+  friend sherlog operator/(sherlog a, sherlog b) {
+    return logged(a.value_ / b.value_);
+  }
+  friend constexpr sherlog operator-(sherlog a) { return sherlog(-a.value_); }
+  friend constexpr sherlog operator+(sherlog a) { return a; }
+
+  sherlog& operator+=(sherlog o) { return *this = *this + o; }
+  sherlog& operator-=(sherlog o) { return *this = *this - o; }
+  sherlog& operator*=(sherlog o) { return *this = *this * o; }
+  sherlog& operator/=(sherlog o) { return *this = *this / o; }
+
+  friend constexpr bool operator==(sherlog a, sherlog b) {
+    return a.value_ == b.value_;
+  }
+  friend constexpr bool operator!=(sherlog a, sherlog b) { return !(a == b); }
+  friend constexpr bool operator<(sherlog a, sherlog b) {
+    return a.value_ < b.value_;
+  }
+  friend constexpr bool operator>(sherlog a, sherlog b) { return b < a; }
+  friend constexpr bool operator<=(sherlog a, sherlog b) {
+    return a.value_ <= b.value_;
+  }
+  friend constexpr bool operator>=(sherlog a, sherlog b) { return b <= a; }
+
+ private:
+  static sherlog logged(T result) {
+    sherlog_sink().record(static_cast<double>(result));
+    return sherlog(result);
+  }
+
+  T value_{};
+};
+
+/// The paper's names for the two development configurations.
+using sherlog32 = sherlog<float>;
+using sherlog64 = sherlog<double>;
+
+template <typename T>
+sherlog<T> muladd(sherlog<T> x, sherlog<T> y, sherlog<T> z) {
+  return x * y + z;
+}
+template <typename T>
+sherlog<T> abs(sherlog<T> x) {
+  using std::abs;
+  return sherlog<T>(abs(x.value()));
+}
+template <typename T>
+sherlog<T> sqrt(sherlog<T> x) {
+  using std::sqrt;
+  sherlog_sink().record(static_cast<double>(sqrt(x.value())));
+  return sherlog<T>(sqrt(x.value()));
+}
+template <typename T>
+sherlog<T> min(sherlog<T> a, sherlog<T> b) {
+  return b < a ? b : a;
+}
+template <typename T>
+sherlog<T> max(sherlog<T> a, sherlog<T> b) {
+  return a < b ? b : a;
+}
+template <typename T>
+bool isfinite(sherlog<T> x) {
+  return std::isfinite(static_cast<double>(x.value()));
+}
+template <typename T>
+bool isnan(sherlog<T> x) {
+  return std::isnan(static_cast<double>(x.value()));
+}
+
+}  // namespace tfx::fp
+
+/// numeric_limits forwards to the underlying type so generic code (the
+/// shallow-water model) can run unchanged with sherlog<T>.
+template <typename T>
+class std::numeric_limits<tfx::fp::sherlog<T>> {
+  using base = std::numeric_limits<T>;
+
+ public:
+  static constexpr bool is_specialized = true;
+  static constexpr bool is_signed = base::is_signed;
+  static constexpr bool is_integer = false;
+  static constexpr bool is_exact = false;
+  static constexpr bool has_infinity = base::has_infinity;
+  static constexpr bool has_quiet_NaN = base::has_quiet_NaN;
+  static constexpr bool is_iec559 = base::is_iec559;
+  static constexpr bool is_bounded = true;
+  static constexpr int digits = base::digits;
+  static constexpr int radix = base::radix;
+
+  static constexpr tfx::fp::sherlog<T> min() noexcept {
+    return tfx::fp::sherlog<T>(base::min());
+  }
+  static constexpr tfx::fp::sherlog<T> max() noexcept {
+    return tfx::fp::sherlog<T>(base::max());
+  }
+  static constexpr tfx::fp::sherlog<T> lowest() noexcept {
+    return tfx::fp::sherlog<T>(base::lowest());
+  }
+  static constexpr tfx::fp::sherlog<T> epsilon() noexcept {
+    return tfx::fp::sherlog<T>(base::epsilon());
+  }
+  static constexpr tfx::fp::sherlog<T> infinity() noexcept {
+    return tfx::fp::sherlog<T>(base::infinity());
+  }
+  static constexpr tfx::fp::sherlog<T> quiet_NaN() noexcept {
+    return tfx::fp::sherlog<T>(base::quiet_NaN());
+  }
+  static constexpr tfx::fp::sherlog<T> denorm_min() noexcept {
+    return tfx::fp::sherlog<T>(base::denorm_min());
+  }
+};

@@ -1,0 +1,104 @@
+#pragma once
+
+/// \file stochastic.hpp
+/// Stochastic rounding to the 16-bit formats.
+///
+/// The paper's Float16 configuration fights systematic rounding error
+/// with compensated summation (§ III-B). The reduced-precision climate
+/// literature it builds on (Klower et al.) explores the alternative:
+/// *stochastic* rounding, where a value between two representable
+/// neighbours rounds up with probability proportional to its position
+/// in the gap, making the rounding error zero-mean. This header
+/// provides deterministic-seeded SR conversions and an SR accumulator,
+/// used by bench/ablation_rounding to compare the two cures on the
+/// same drift problem.
+///
+/// Implementation: for binary16 we exploit that every binary32 value
+/// splits exactly into (binary16 neighbour + residual); rounding draws
+/// a 13-bit uniform integer and adds it below the kept mantissa bits
+/// before truncating - the textbook construction, exact because the
+/// discarded field is exactly 13 bits wide for normal results.
+
+#include <cstdint>
+
+#include "core/rng.hpp"
+#include "fp/bfloat16.hpp"
+#include "fp/float16.hpp"
+#include "fp/rounding.hpp"
+
+namespace tfx::fp {
+
+/// A stochastic-rounding context: owns the RNG stream so results are
+/// reproducible run-to-run for a fixed seed.
+class stochastic_rounder {
+ public:
+  explicit stochastic_rounder(std::uint64_t seed = 0x5eed) : rng_(seed) {}
+
+  /// Round a binary32 value to binary16 stochastically.
+  float16 round_f16(float value) {
+    const std::uint32_t bits = std::bit_cast<std::uint32_t>(value);
+    const std::uint32_t absx = bits & 0x7fffffffu;
+    if (absx >= 0x7f800000u) {  // inf/NaN: nothing to dither
+      return float16::from_bits(f32_bits_to_f16_bits(bits));
+    }
+    const std::int32_t exp16 =
+        static_cast<std::int32_t>(absx >> 23) - 127 + 15;
+    if (exp16 < 1 || exp16 >= 31) {
+      // Subnormal or overflow region: fall back to RN-even. (SR into
+      // gradual underflow is possible but the applications here scale
+      // away from that region anyway.)
+      return float16::from_bits(f32_bits_to_f16_bits(bits));
+    }
+    // Normal result: the discarded field is exactly the low 13 bits.
+    const auto dither = static_cast<std::uint32_t>(rng_() & 0x1fffu);
+    const std::uint32_t dithered = bits + dither;
+    // Adding the dither may carry into the exponent; that is exactly
+    // the "round up to the next binade" case and is correct. Truncate
+    // the discarded field and convert (now exact).
+    const std::uint32_t truncated = dithered & ~0x1fffu;
+    return float16::from_bits(f32_bits_to_f16_bits(truncated));
+  }
+
+  /// Round a binary32 value to bfloat16 stochastically (16-bit gap).
+  bfloat16 round_bf16(float value) {
+    const std::uint32_t bits = std::bit_cast<std::uint32_t>(value);
+    if ((bits & 0x7fffffffu) >= 0x7f800000u) {
+      return bfloat16::from_bits(f32_bits_to_bf16_bits(bits));
+    }
+    const auto dither = static_cast<std::uint32_t>(rng_() & 0xffffu);
+    return bfloat16::from_bits(
+        static_cast<std::uint16_t>((bits + dither) >> 16));
+  }
+
+  /// Stochastically rounded add: extend, add in binary32, SR-truncate.
+  float16 add(float16 a, float16 b) {
+    return round_f16(static_cast<float>(a) + static_cast<float>(b));
+  }
+  float16 mul(float16 a, float16 b) {
+    return round_f16(static_cast<float>(a) * static_cast<float>(b));
+  }
+  float16 muladd(float16 a, float16 b, float16 c) {
+    return add(mul(a, b), c);
+  }
+
+ private:
+  xoshiro256 rng_;
+};
+
+/// Accumulator that adds terms with stochastic rounding - the
+/// zero-mean-drift alternative to kahan_accumulator<float16>.
+class sr_accumulator {
+ public:
+  explicit sr_accumulator(float16 initial = float16{},
+                          std::uint64_t seed = 0x5eed)
+      : rounder_(seed), sum_(initial) {}
+
+  void add(float16 x) { sum_ = rounder_.add(sum_, x); }
+  [[nodiscard]] float16 value() const { return sum_; }
+
+ private:
+  stochastic_rounder rounder_;
+  float16 sum_;
+};
+
+}  // namespace tfx::fp

@@ -1,0 +1,79 @@
+#pragma once
+
+/// \file traits.hpp
+/// Compile-time descriptions of the number formats the library sweeps
+/// over. This is the C++ analogue of what the paper gets from Julia's
+/// type hierarchy (`Float16 <: AbstractFloat`, § II): generic code asks
+/// `precision_traits<T>` instead of dispatching on concrete methods.
+
+#include <cstddef>
+#include <string_view>
+
+#include "fp/bfloat16.hpp"
+#include "fp/float16.hpp"
+
+namespace tfx::fp {
+
+/// Marker for how an operation on T executes on the modeled machine.
+enum class hardware_support {
+  native,   ///< full-width SVE arithmetic at this element size (A64FX: all three IEEE widths)
+  widened,  ///< computed at the next-wider format (pre-1.6-Julia style)
+  software, ///< scalar soft-float (no SIMD credit in the machine model)
+};
+
+template <typename T>
+struct precision_traits;
+
+template <>
+struct precision_traits<double> {
+  static constexpr std::string_view name = "Float64";
+  static constexpr std::size_t bytes = 8;
+  static constexpr int significand_bits = 53;
+  static constexpr hardware_support a64fx = hardware_support::native;
+};
+
+template <>
+struct precision_traits<float> {
+  static constexpr std::string_view name = "Float32";
+  static constexpr std::size_t bytes = 4;
+  static constexpr int significand_bits = 24;
+  static constexpr hardware_support a64fx = hardware_support::native;
+};
+
+template <>
+struct precision_traits<float16> {
+  static constexpr std::string_view name = "Float16";
+  static constexpr std::size_t bytes = 2;
+  static constexpr int significand_bits = 11;
+  // The experiments in the paper's § III-B explicitly enable native
+  // Float16 lowering (their footnote 3); the machine model follows.
+  static constexpr hardware_support a64fx = hardware_support::native;
+};
+
+template <>
+struct precision_traits<bfloat16> {
+  static constexpr std::string_view name = "BFloat16";
+  static constexpr std::size_t bytes = 2;
+  static constexpr int significand_bits = 8;
+  // A64FX has no bfloat16 arithmetic; it would execute as software.
+  static constexpr hardware_support a64fx = hardware_support::software;
+};
+
+/// Widest-compute helper: the type arithmetic actually runs in on the
+/// host for each storage format.
+template <typename T>
+struct compute_type {
+  using type = T;
+};
+template <>
+struct compute_type<float16> {
+  using type = float;
+};
+template <>
+struct compute_type<bfloat16> {
+  using type = float;
+};
+template <typename T>
+using compute_type_t = typename compute_type<T>::type;
+
+}  // namespace tfx::fp

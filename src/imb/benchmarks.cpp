@@ -1,0 +1,262 @@
+#include "imb/benchmarks.hpp"
+
+#include <algorithm>
+
+#include "core/contracts.hpp"
+#include "core/stats.hpp"
+#include "mpisim/patterns.hpp"
+#include "mpisim/runtime.hpp"
+
+namespace tfx::imb {
+
+std::vector<std::size_t> power_of_two_sizes(unsigned lo, unsigned hi,
+                                            bool include_zero) {
+  TFX_EXPECTS(lo <= hi && hi < 64);
+  std::vector<std::size_t> sizes;
+  if (include_zero) sizes.push_back(0);
+  for (unsigned e = lo; e <= hi; ++e) sizes.push_back(std::size_t{1} << e);
+  return sizes;
+}
+
+std::vector<measurement> run_pingpong(const binding_profile& binding,
+                                      const bench_config& config,
+                                      const std::vector<std::size_t>& sizes) {
+  std::vector<measurement> out;
+  out.reserve(sizes.size());
+
+  // Two ranks on two nodes, one hop apart - the paper's scheduler setup
+  // `-L node=2 -mpi max-proc-per-node=1`.
+  mpisim::world w(mpisim::torus_placement::line(2), config.net);
+
+  for (const std::size_t bytes : sizes) {
+    // IMB never sends truly zero bytes for the latency number; keep a
+    // 1-byte floor so a transfer actually happens.
+    const std::size_t payload = std::max<std::size_t>(bytes, 1);
+    std::vector<double> samples;
+
+    w.run([&](mpisim::communicator& comm) {
+      std::vector<std::byte> buf(payload);
+      const double cost =
+          call_cost_seconds(config.machine, binding, config.net, payload);
+      const int peer = 1 - comm.rank();
+      const int total = config.warmup + config.repetitions;
+      for (int it = 0; it < total; ++it) {
+        const double t0 = comm.now();
+        if (comm.rank() == 0) {
+          comm.advance(cost);
+          comm.send_bytes(buf, peer, 1);
+          comm.advance(cost);
+          comm.recv_bytes(buf, peer, 2);
+          if (it >= config.warmup) {
+            samples.push_back((comm.now() - t0) / 2.0);  // half RTT
+          }
+        } else {
+          comm.advance(cost);
+          comm.recv_bytes(buf, peer, 1);
+          comm.advance(cost);
+          comm.send_bytes(buf, peer, 2);
+        }
+      }
+    });
+
+    measurement m;
+    m.bytes = bytes;
+    m.latency_s = stats::median(samples);
+    m.throughput_Bps = static_cast<double>(bytes) / m.latency_s;
+    out.push_back(m);
+  }
+  return out;
+}
+
+std::vector<measurement> run_pingping(const binding_profile& binding,
+                                      const bench_config& config,
+                                      const std::vector<std::size_t>& sizes) {
+  std::vector<measurement> out;
+  out.reserve(sizes.size());
+  mpisim::world w(mpisim::torus_placement::line(2), config.net);
+
+  for (const std::size_t bytes : sizes) {
+    const std::size_t payload = std::max<std::size_t>(bytes, 1);
+    std::vector<double> samples;
+
+    w.run([&](mpisim::communicator& comm) {
+      std::vector<std::byte> buf(payload);
+      const double cost =
+          call_cost_seconds(config.machine, binding, config.net, payload);
+      const int peer = 1 - comm.rank();
+      const int total = config.warmup + config.repetitions;
+      for (int it = 0; it < total; ++it) {
+        const double t0 = comm.now();
+        comm.advance(cost);
+        comm.send_bytes(buf, peer, 1);  // both directions in flight...
+        comm.advance(cost);
+        comm.recv_bytes(buf, peer, 1);  // ...then drain
+        if (comm.rank() == 0 && it >= config.warmup) {
+          samples.push_back(comm.now() - t0);
+        }
+      }
+    });
+
+    measurement m;
+    m.bytes = bytes;
+    m.latency_s = stats::median(samples);
+    m.throughput_Bps = static_cast<double>(bytes) / m.latency_s;
+    out.push_back(m);
+  }
+  return out;
+}
+
+namespace {
+
+/// Shared chain driver for Sendrecv (2 messages/rank) and Exchange
+/// (4 messages/rank).
+std::vector<measurement> run_chain(const binding_profile& binding,
+                                   const bench_config& config, int ranks,
+                                   const std::vector<std::size_t>& sizes,
+                                   bool exchange) {
+  std::vector<measurement> out;
+  out.reserve(sizes.size());
+  mpisim::world w(mpisim::torus_placement::line(ranks), config.net);
+
+  for (const std::size_t bytes : sizes) {
+    const std::size_t payload = std::max<std::size_t>(bytes, 1);
+    std::vector<double> rank0_samples;
+
+    w.run([&](mpisim::communicator& comm) {
+      std::vector<std::byte> buf(payload);
+      const double cost =
+          call_cost_seconds(config.machine, binding, config.net, payload);
+      const int right = (comm.rank() + 1) % comm.size();
+      const int left = (comm.rank() - 1 + comm.size()) % comm.size();
+      const int total = config.warmup + config.repetitions;
+      for (int it = 0; it < total; ++it) {
+        const double t0 = comm.now();
+        comm.advance(cost);
+        comm.send_bytes(buf, right, 1);
+        if (exchange) {
+          comm.advance(cost);
+          comm.send_bytes(buf, left, 2);
+        }
+        comm.advance(cost);
+        comm.recv_bytes(buf, left, 1);
+        if (exchange) {
+          comm.advance(cost);
+          comm.recv_bytes(buf, right, 2);
+        }
+        if (comm.rank() == 0 && it >= config.warmup) {
+          rank0_samples.push_back(comm.now() - t0);
+        }
+      }
+    });
+
+    measurement m;
+    m.bytes = bytes;
+    m.latency_s = stats::median(rank0_samples);
+    const double moved = static_cast<double>(bytes) * (exchange ? 4.0 : 2.0);
+    m.throughput_Bps = moved / m.latency_s;
+    out.push_back(m);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<measurement> run_sendrecv(const binding_profile& binding,
+                                      const bench_config& config, int ranks,
+                                      const std::vector<std::size_t>& sizes) {
+  return run_chain(binding, config, ranks, sizes, /*exchange=*/false);
+}
+
+std::vector<measurement> run_exchange(const binding_profile& binding,
+                                      const bench_config& config, int ranks,
+                                      const std::vector<std::size_t>& sizes) {
+  return run_chain(binding, config, ranks, sizes, /*exchange=*/true);
+}
+
+namespace {
+
+mpisim::sim_program make_program(collective_kind kind,
+                                 const mpisim::tofud_params& net, int p,
+                                 std::size_t bytes,
+                                 mpisim::coll_algorithm algo) {
+  // All Fig. 3 benchmarks use 4-byte elements (MPI_FLOAT in IMB).
+  constexpr std::size_t elem = 4;
+  const std::size_t count = std::max<std::size_t>(bytes / elem, 1);
+  switch (kind) {
+    case collective_kind::allreduce:
+      return mpisim::make_allreduce_program(net, p, count, elem, algo);
+    case collective_kind::reduce:
+      return mpisim::make_reduce_program(net, p, count, elem, 0);
+    case collective_kind::gatherv:
+      return mpisim::make_gatherv_program(p, count, elem, 0);
+    case collective_kind::bcast:
+      return mpisim::make_bcast_program(p, count, elem, 0);
+    case collective_kind::barrier:
+      return mpisim::make_barrier_program(p);
+    case collective_kind::allgather:
+      return mpisim::make_allgather_program(p, count, elem);
+  }
+  TFX_ASSERT(false && "unknown collective kind");
+  return mpisim::sim_program(p);
+}
+
+}  // namespace
+
+std::vector<measurement> run_collective(collective_kind kind,
+                                        const binding_profile& binding,
+                                        const bench_config& config,
+                                        const mpisim::torus_placement& place,
+                                        const std::vector<std::size_t>& sizes,
+                                        mpisim::coll_algorithm algo) {
+  std::vector<measurement> out;
+  out.reserve(sizes.size());
+  const int p = place.rank_count();
+
+  for (const std::size_t bytes : sizes) {
+    const mpisim::sim_program base =
+        make_program(kind, config.net, p, bytes, algo);
+
+    // Harness cost: one dispatch + input-buffer touch per rank per call.
+    const double cost =
+        call_cost_seconds(config.machine, binding, config.net, bytes);
+
+    // Concatenate `iters` repetitions into ONE program, exactly the
+    // IMB timing loop (back-to-back calls, no barrier): port-contention
+    // state then persists across iterations, which is what makes e.g.
+    // the Gatherv root's drain port the steady-state bottleneck.
+    auto repeated = [&](int iters) {
+      mpisim::sim_program prog(p);
+      for (int r = 0; r < p; ++r) {
+        auto& ops = prog.rank(r);
+        const auto& src = base.ranks[static_cast<std::size_t>(r)];
+        for (int it = 0; it < iters; ++it) {
+          ops.push_back(mpisim::sim_op::compute_for(cost));
+          ops.insert(ops.end(), src.begin(), src.end());
+        }
+      }
+      return prog;
+    };
+
+    const double t_warm =
+        mpisim::simulate(repeated(config.warmup), config.net, place)
+            .max_clock();
+    const double t_end =
+        mpisim::simulate(repeated(config.warmup + config.repetitions),
+                         config.net, place)
+            .max_clock();
+
+    measurement m;
+    m.bytes = bytes;
+    m.latency_s = (t_end - t_warm) / config.repetitions;
+    m.throughput_Bps =
+        m.latency_s > 0 ? static_cast<double>(bytes) / m.latency_s : 0.0;
+    out.push_back(m);
+  }
+  return out;
+}
+
+mpisim::torus_placement fugaku_fig3_placement() {
+  return mpisim::torus_placement({4, 6, 16}, 4);
+}
+
+}  // namespace tfx::imb

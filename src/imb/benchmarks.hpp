@@ -1,0 +1,97 @@
+#pragma once
+
+/// \file benchmarks.hpp
+/// IMB-style benchmark drivers over the simulated MPI.
+///
+/// These reproduce the measurement methodology of the Intel MPI
+/// Benchmarks (and of MPIBenchmarks.jl, which mimics it): sweep message
+/// sizes in powers of two, run many repetitions per size, report the
+/// per-iteration latency; PingPong reports half the round-trip time and
+/// the derived throughput. The harness personality (dispatch overhead,
+/// cache avoidance) is injected through a binding_profile.
+///
+/// PingPong runs on the threaded runtime (2 ranks, real messages);
+/// collectives run through the discrete-event engine so the paper's
+/// 1536-rank configuration is reachable.
+
+#include <cstddef>
+#include <vector>
+
+#include "arch/a64fx.hpp"
+#include "imb/binding.hpp"
+#include "mpisim/collectives.hpp"
+#include "mpisim/des.hpp"
+#include "mpisim/network.hpp"
+
+namespace tfx::imb {
+
+/// One point of a latency curve.
+struct measurement {
+  std::size_t bytes = 0;
+  double latency_s = 0;
+  double throughput_Bps = 0;  ///< bytes / latency (PingPong only)
+};
+
+/// Message sizes 2^lo .. 2^hi inclusive, plus 0 if `include_zero`.
+std::vector<std::size_t> power_of_two_sizes(unsigned lo, unsigned hi,
+                                            bool include_zero = false);
+
+/// Which collective to drive (the three panels of Fig. 3 plus extras).
+enum class collective_kind {
+  allreduce,
+  reduce,
+  gatherv,
+  bcast,
+  barrier,
+  allgather,
+};
+
+/// Everything a benchmark run needs to know about the machine/fabric.
+struct bench_config {
+  arch::a64fx_params machine{};
+  mpisim::tofud_params net{};
+  int warmup = 2;
+  int repetitions = 6;
+};
+
+/// IMB PingPong between ranks 0 and 1 placed on two distinct nodes.
+/// Latency is half the round trip, as IMB defines it.
+std::vector<measurement> run_pingpong(const binding_profile& binding,
+                                      const bench_config& config,
+                                      const std::vector<std::size_t>& sizes);
+
+/// IMB PingPing: both ranks send simultaneously, then receive; the
+/// latency is a full (overlapped) exchange. Stresses the duplex path -
+/// with the LogGP port model each direction has its own wire, so
+/// PingPing latency stays close to PingPong's despite double traffic.
+std::vector<measurement> run_pingping(const binding_profile& binding,
+                                      const bench_config& config,
+                                      const std::vector<std::size_t>& sizes);
+
+/// IMB Sendrecv over a periodic chain of `ranks`: everyone sends right
+/// and receives from the left each iteration; reported latency is the
+/// per-iteration time of the slowest rank, throughput counts 2x the
+/// payload per rank as IMB does.
+std::vector<measurement> run_sendrecv(const binding_profile& binding,
+                                      const bench_config& config, int ranks,
+                                      const std::vector<std::size_t>& sizes);
+
+/// IMB Exchange: every rank exchanges with BOTH chain neighbours each
+/// iteration (4 messages per rank: 2 sends + 2 receives).
+std::vector<measurement> run_exchange(const binding_profile& binding,
+                                      const bench_config& config, int ranks,
+                                      const std::vector<std::size_t>& sizes);
+
+/// Collective latency (t_max over ranks per iteration, IMB's headline
+/// number) on an arbitrary placement via the discrete-event engine.
+std::vector<measurement> run_collective(
+    collective_kind kind, const binding_profile& binding,
+    const bench_config& config, const mpisim::torus_placement& place,
+    const std::vector<std::size_t>& sizes,
+    mpisim::coll_algorithm algo = mpisim::coll_algorithm::automatic);
+
+/// The Fig. 3 allocation: 384 nodes as a 4x6x16 torus, 4 ranks per
+/// node = 1536 ranks ("-L node=4x6x16:torus -mpi proc=1536").
+mpisim::torus_placement fugaku_fig3_placement();
+
+}  // namespace tfx::imb

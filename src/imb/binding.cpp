@@ -1,0 +1,32 @@
+#include "imb/binding.hpp"
+
+#include <algorithm>
+
+namespace tfx::imb {
+
+double buffer_touch_seconds(const arch::a64fx_params& machine,
+                            const binding_profile& binding,
+                            const mpisim::tofud_params& net,
+                            std::size_t bytes) {
+  if (bytes == 0) return 0.0;
+  if (bytes > net.eager_threshold) return 0.0;  // rendezvous: zero-copy DMA
+
+  // A cache-avoiding harness cycles through a pool sized to defeat the
+  // whole hierarchy (IMB's -off_cache uses a multiple of the LLC):
+  // model its buffers as part of a pool-sized working set. A reusing
+  // harness's working set is just the message itself.
+  const std::size_t pool = 4 * machine.l2.size_bytes;  // IMB rotation pool
+  const std::size_t working_set =
+      binding.cache_avoidance ? std::max(bytes, pool) : bytes;
+  const double bw_gbs = arch::effective_bandwidth_gbs(machine, working_set);
+  return static_cast<double>(bytes) / (bw_gbs * 1e9);
+}
+
+double call_cost_seconds(const arch::a64fx_params& machine,
+                         const binding_profile& binding,
+                         const mpisim::tofud_params& net, std::size_t bytes) {
+  return binding.dispatch_overhead_s +
+         buffer_touch_seconds(machine, binding, net, bytes);
+}
+
+}  // namespace tfx::imb

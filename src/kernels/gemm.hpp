@@ -1,0 +1,118 @@
+#pragma once
+
+/// \file gemm.hpp
+/// Type-generic Level-3 BLAS: C <- alpha A B + beta C, with the three
+/// classic implementation tiers:
+///
+///   * gemm_naive    - the textbook triple loop (ijk): streams B
+///                     column-wise with no reuse, the reference for
+///                     correctness;
+///   * gemm_reordered- the ikj loop order: unit-stride inner loop,
+///                     vectorizable, still no blocking;
+///   * gemm_blocked  - cache blocking over all three dimensions, the
+///                     structure every tuned BLAS is built on.
+///
+/// These exist for two reasons: they extend the paper's "generic code,
+/// every number format" argument to the BLAS level where libraries
+/// actually earn their keep, and they give the trace-driven cache
+/// simulator a workload with *strongly* different locality, which
+/// bench/ablation_blocking quantifies (miss counts per variant,
+/// validated in tests/kernels_gemm_test against the analytic
+/// expectations).
+
+#include <algorithm>
+#include <cstddef>
+
+#include "arch/cache.hpp"
+#include "kernels/gemv.hpp"
+
+namespace tfx::kernels {
+
+/// C <- alpha*A*B + beta*C, textbook ijk loop (reference).
+template <typename T>
+void gemm_naive(T alpha, matrix_view<const T> a, matrix_view<const T> b,
+                T beta, matrix_view<T> c) {
+  TFX_EXPECTS(a.cols() == b.rows());
+  TFX_EXPECTS(c.rows() == a.rows() && c.cols() == b.cols());
+  using tfx::fp::muladd;
+  using tfx::kernels::muladd;
+  for (std::size_t i = 0; i < c.rows(); ++i) {
+    for (std::size_t j = 0; j < c.cols(); ++j) {
+      T acc{};
+      for (std::size_t k = 0; k < a.cols(); ++k) {
+        acc = muladd(a(i, k), b(k, j), acc);
+      }
+      c(i, j) = muladd(alpha, acc, beta * c(i, j));
+    }
+  }
+}
+
+/// C <- alpha*A*B + beta*C, ikj loop order: the inner loop runs along
+/// rows of B and C (unit stride).
+template <typename T>
+void gemm_reordered(T alpha, matrix_view<const T> a, matrix_view<const T> b,
+                    T beta, matrix_view<T> c) {
+  TFX_EXPECTS(a.cols() == b.rows());
+  TFX_EXPECTS(c.rows() == a.rows() && c.cols() == b.cols());
+  using tfx::fp::muladd;
+  using tfx::kernels::muladd;
+  for (std::size_t i = 0; i < c.rows(); ++i) {
+    for (std::size_t j = 0; j < c.cols(); ++j) {
+      c(i, j) = beta * c(i, j);
+    }
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const T aik = alpha * a(i, k);
+      for (std::size_t j = 0; j < c.cols(); ++j) {
+        c(i, j) = muladd(aik, b(k, j), c(i, j));
+      }
+    }
+  }
+}
+
+/// C <- alpha*A*B + beta*C with square cache blocking of size `block`.
+template <typename T>
+void gemm_blocked(T alpha, matrix_view<const T> a, matrix_view<const T> b,
+                  T beta, matrix_view<T> c, std::size_t block = 64) {
+  TFX_EXPECTS(a.cols() == b.rows());
+  TFX_EXPECTS(c.rows() == a.rows() && c.cols() == b.cols());
+  TFX_EXPECTS(block > 0);
+  using tfx::fp::muladd;
+  using tfx::kernels::muladd;
+
+  for (std::size_t i = 0; i < c.rows(); ++i) {
+    for (std::size_t j = 0; j < c.cols(); ++j) {
+      c(i, j) = beta * c(i, j);
+    }
+  }
+  const std::size_t m = c.rows(), n = c.cols(), kk = a.cols();
+  for (std::size_t i0 = 0; i0 < m; i0 += block) {
+    const std::size_t i1 = std::min(i0 + block, m);
+    for (std::size_t k0 = 0; k0 < kk; k0 += block) {
+      const std::size_t k1 = std::min(k0 + block, kk);
+      for (std::size_t j0 = 0; j0 < n; j0 += block) {
+        const std::size_t j1 = std::min(j0 + block, n);
+        for (std::size_t i = i0; i < i1; ++i) {
+          for (std::size_t k = k0; k < k1; ++k) {
+            const T aik = alpha * a(i, k);
+            for (std::size_t j = j0; j < j1; ++j) {
+              c(i, j) = muladd(aik, b(k, j), c(i, j));
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+/// The per-variant access pattern replayed through the trace-driven
+/// cache simulator: returns the simulated hierarchy after one
+/// C = A*B pass of n x n matrices of `elem_bytes` elements, using the
+/// same loop structure as the kernels above (addresses only; no data).
+/// Declared here, defined in gemm_trace.cpp.
+enum class gemm_variant { naive, reordered, blocked };
+
+arch::cache_hierarchy trace_gemm(gemm_variant variant, std::size_t n,
+                                 std::size_t elem_bytes,
+                                 std::size_t block = 64);
+
+}  // namespace tfx::kernels

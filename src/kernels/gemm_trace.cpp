@@ -1,0 +1,83 @@
+#include "kernels/gemm.hpp"
+
+namespace tfx::kernels {
+
+namespace {
+
+/// Virtual base addresses far enough apart that the three matrices
+/// never alias in the simulated cache.
+constexpr std::uint64_t base_a = 0;
+constexpr std::uint64_t base_b = 1ull << 32;
+constexpr std::uint64_t base_c = 1ull << 33;
+
+struct tracer {
+  arch::cache_hierarchy& sim;
+  std::size_t n;
+  std::size_t elem;
+
+  void a(std::size_t i, std::size_t k) {
+    sim.access(base_a + (i * n + k) * elem, elem, false);
+  }
+  void b(std::size_t k, std::size_t j) {
+    sim.access(base_b + (k * n + j) * elem, elem, false);
+  }
+  void c_rw(std::size_t i, std::size_t j) {
+    sim.access(base_c + (i * n + j) * elem, elem, true);
+  }
+};
+
+}  // namespace
+
+arch::cache_hierarchy trace_gemm(gemm_variant variant, std::size_t n,
+                                 std::size_t elem_bytes, std::size_t block) {
+  arch::cache_hierarchy sim;
+  tracer t{sim, n, elem_bytes};
+
+  switch (variant) {
+    case gemm_variant::naive:
+      for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+          for (std::size_t k = 0; k < n; ++k) {
+            t.a(i, k);
+            t.b(k, j);  // column walk: one line per element
+          }
+          t.c_rw(i, j);
+        }
+      }
+      break;
+    case gemm_variant::reordered:
+      for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t k = 0; k < n; ++k) {
+          t.a(i, k);
+          for (std::size_t j = 0; j < n; ++j) {
+            t.b(k, j);
+            t.c_rw(i, j);
+          }
+        }
+      }
+      break;
+    case gemm_variant::blocked:
+      for (std::size_t i0 = 0; i0 < n; i0 += block) {
+        const std::size_t i1 = std::min(i0 + block, n);
+        for (std::size_t k0 = 0; k0 < n; k0 += block) {
+          const std::size_t k1 = std::min(k0 + block, n);
+          for (std::size_t j0 = 0; j0 < n; j0 += block) {
+            const std::size_t j1 = std::min(j0 + block, n);
+            for (std::size_t i = i0; i < i1; ++i) {
+              for (std::size_t k = k0; k < k1; ++k) {
+                t.a(i, k);
+                for (std::size_t j = j0; j < j1; ++j) {
+                  t.b(k, j);
+                  t.c_rw(i, j);
+                }
+              }
+            }
+          }
+        }
+      }
+      break;
+  }
+  return sim;
+}
+
+}  // namespace tfx::kernels

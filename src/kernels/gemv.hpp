@@ -1,0 +1,109 @@
+#pragma once
+
+/// \file gemv.hpp
+/// Type-generic Level-2 BLAS: matrix-vector operations.
+///
+/// The paper's § III-A.1 recalls the BLAS level structure (Level 1:
+/// vector-vector, Level 2: matrix-vector, Level 3: matrix-matrix) and
+/// benchmarks a Level-1 routine; these Level-2 kernels extend the
+/// type-generic library to the next tier with the same one-template
+/// discipline. Matrices are dense row-major views.
+
+#include <cstddef>
+#include <span>
+
+#include "arch/roofline.hpp"
+#include "core/contracts.hpp"
+#include "kernels/generic.hpp"
+
+namespace tfx::kernels {
+
+/// Dense row-major matrix view (rows x cols, leading dimension = cols).
+template <typename T>
+class matrix_view {
+ public:
+  matrix_view(T* data, std::size_t rows, std::size_t cols)
+      : data_(data), rows_(rows), cols_(cols) {}
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  T& operator()(std::size_t i, std::size_t j) const {
+    return data_[i * cols_ + j];
+  }
+  [[nodiscard]] std::span<T> row(std::size_t i) const {
+    return {data_ + i * cols_, cols_};
+  }
+
+ private:
+  T* data_;
+  std::size_t rows_, cols_;
+};
+
+/// y <- alpha * A x + beta * y  (dgemv, no-transpose).
+template <typename T>
+void gemv(T alpha, matrix_view<const T> a, std::span<const T> x, T beta,
+          std::span<T> y) {
+  TFX_EXPECTS(a.cols() == x.size());
+  TFX_EXPECTS(a.rows() == y.size());
+  using tfx::fp::muladd;
+  using tfx::kernels::muladd;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    T acc{};
+    const auto row = a.row(i);
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      acc = muladd(row[j], x[j], acc);
+    }
+    y[i] = muladd(alpha, acc, beta * y[i]);
+  }
+}
+
+/// y <- alpha * A^T x + beta * y  (dgemv, transpose). Column-order
+/// accumulation over the rows keeps the access pattern streaming.
+template <typename T>
+void gemv_transpose(T alpha, matrix_view<const T> a, std::span<const T> x,
+                    T beta, std::span<T> y) {
+  TFX_EXPECTS(a.rows() == x.size());
+  TFX_EXPECTS(a.cols() == y.size());
+  using tfx::fp::muladd;
+  using tfx::kernels::muladd;
+  for (std::size_t j = 0; j < a.cols(); ++j) y[j] = beta * y[j];
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const T ax = alpha * x[i];
+    const auto row = a.row(i);
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      y[j] = muladd(ax, row[j], y[j]);
+    }
+  }
+}
+
+/// A <- alpha * x y^T + A  (dger, rank-1 update).
+template <typename T>
+void ger(T alpha, std::span<const T> x, std::span<const T> y,
+         matrix_view<T> a) {
+  TFX_EXPECTS(a.rows() == x.size());
+  TFX_EXPECTS(a.cols() == y.size());
+  using tfx::fp::muladd;
+  using tfx::kernels::muladd;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const T ax = alpha * x[i];
+    auto row = a.row(i);
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      row[j] = muladd(ax, y[j], row[j]);
+    }
+  }
+}
+
+/// Machine-model profile of the no-transpose gemv: per element of A,
+/// one load of A plus (amortized) x, one FMA; the matrix streams once.
+inline arch::kernel_profile gemv_profile() {
+  arch::kernel_profile p;
+  p.name = "gemv";
+  p.flops_per_elem = 2.0;
+  p.loads_per_elem = 1.0;   // A dominates; x/y amortize over rows/cols
+  p.stores_per_elem = 0.0;
+  p.vector_bits = 512;
+  p.simd_efficiency = 0.9;
+  return p;
+}
+
+}  // namespace tfx::kernels

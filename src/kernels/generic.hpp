@@ -1,0 +1,128 @@
+#pragma once
+
+/// \file generic.hpp
+/// Type-generic Level 1 BLAS kernels - the C++ analogue of the paper's
+/// generic Julia `axpy!` (§ III-A.1):
+///
+///   function axpy!(a::T, x::Vector{T}, y::Vector{T}) where {T<:Number}
+///       @simd for i in eachindex(x, y)
+///           @inbounds y[i] = muladd(a, x[i], y[i])
+///       end
+///       return y
+///   end
+///
+/// One template works for double, float, float16, bfloat16 and
+/// sherlog<T>; this single definition is what the whole "productivity"
+/// argument of the paper rests on. `@simd`/`@inbounds` correspond to
+/// writing a tight, bounds-check-free loop the optimizer can vectorize.
+
+#include <cmath>
+#include <cstddef>
+#include <span>
+
+#include "core/contracts.hpp"
+#include "fp/float16.hpp"
+#include "fp/sherlog.hpp"
+
+namespace tfx::kernels {
+
+/// muladd for the built-in types: contraction-friendly a*b + c, exactly
+/// Julia's `muladd` contract (the compiler may or may not fuse).
+constexpr double muladd(double a, double b, double c) { return a * b + c; }
+constexpr float muladd(float a, float b, float c) { return a * b + c; }
+// float16/bfloat16/sherlog pick up their own muladd via ADL from tfx::fp.
+
+/// y <- a*x + y. The headline kernel of the paper's Fig. 1.
+template <typename T>
+void axpy(T a, std::span<const T> x, std::span<T> y) {
+  TFX_EXPECTS(x.size() == y.size());
+  using tfx::fp::muladd;  // ADL fallback for the soft-float types
+  using tfx::kernels::muladd;
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    y[i] = muladd(a, x[i], y[i]);
+  }
+}
+
+/// dot <- x . y (sequential reduction, as the reference BLAS does).
+template <typename T>
+[[nodiscard]] T dot(std::span<const T> x, std::span<const T> y) {
+  TFX_EXPECTS(x.size() == y.size());
+  using tfx::fp::muladd;
+  using tfx::kernels::muladd;
+  T acc{};
+  for (std::size_t i = 0; i < x.size(); ++i) acc = muladd(x[i], y[i], acc);
+  return acc;
+}
+
+/// x <- a*x.
+template <typename T>
+void scal(T a, std::span<T> x) {
+  for (auto& v : x) v = a * v;
+}
+
+/// y <- x.
+template <typename T>
+void copy(std::span<const T> x, std::span<T> y) {
+  TFX_EXPECTS(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = x[i];
+}
+
+/// sum of |x_i| (the BLAS asum).
+template <typename T>
+[[nodiscard]] T asum(std::span<const T> x) {
+  using std::abs;
+  using tfx::fp::abs;
+  T acc{};
+  for (const T& v : x) acc += abs(v);
+  return acc;
+}
+
+/// Euclidean norm, computed with scaling against spurious
+/// overflow/underflow (the classic netlib dnrm2 algorithm) - exactly
+/// the kind of range care § III-B says Float16 code needs.
+template <typename T>
+[[nodiscard]] T nrm2(std::span<const T> x) {
+  using std::abs;
+  using std::sqrt;
+  using tfx::fp::abs;
+  using tfx::fp::sqrt;
+  T scale{};
+  T ssq{1};
+  bool any = false;
+  for (const T& v : x) {
+    if (v == T{}) continue;
+    any = true;
+    const T a = abs(v);
+    if (scale < a) {
+      const T r = scale / a;
+      ssq = T{1} + ssq * (r * r);
+      scale = a;
+    } else {
+      const T r = a / scale;
+      ssq = ssq + r * r;
+    }
+  }
+  if (!any) return T{};
+  return scale * sqrt(ssq);
+}
+
+/// Index of the element with the largest magnitude (BLAS iamax);
+/// returns 0 for an empty span.
+template <typename T>
+[[nodiscard]] std::size_t iamax(std::span<const T> x) {
+  using std::abs;
+  using tfx::fp::abs;
+  std::size_t best = 0;
+  T best_mag{};
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const T m = abs(x[i]);
+    if (i == 0 || best_mag < m) {
+      best_mag = m;
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace tfx::kernels

@@ -1,0 +1,111 @@
+#pragma once
+
+/// \file parallel.hpp
+/// Thread-parallel variants of the Level-1 kernels.
+///
+/// Same type-flexibility as generic.hpp, partitioned over a
+/// thread_pool with *deterministic* static blocks: the axpy result is
+/// bit-identical to the serial kernel (disjoint writes), and the dot
+/// reduction combines per-block partials in a fixed order so it is
+/// reproducible for a given pool size (the classic HPC trade-off: the
+/// result may differ from the serial sum by reassociation, but never
+/// run-to-run).
+
+#include <span>
+#include <vector>
+
+#include "core/threadpool.hpp"
+#include "kernels/gemm.hpp"
+#include "kernels/generic.hpp"
+
+namespace tfx::kernels {
+
+/// y <- a*x + y over the pool; bit-identical to the serial axpy.
+template <typename T>
+void axpy_parallel(thread_pool& pool, T a, std::span<const T> x,
+                   std::span<T> y) {
+  TFX_EXPECTS(x.size() == y.size());
+  pool.parallel_for(x.size(), [&](std::size_t lo, std::size_t hi) {
+    axpy(a, x.subspan(lo, hi - lo), y.subspan(lo, hi - lo));
+  });
+}
+
+/// Parallel dot: per-block partials (serial kernel each), combined in
+/// block order on the calling thread.
+template <typename T>
+[[nodiscard]] T dot_parallel(thread_pool& pool, std::span<const T> x,
+                             std::span<const T> y) {
+  TFX_EXPECTS(x.size() == y.size());
+  std::vector<T> partial(static_cast<std::size_t>(pool.size()), T{});
+  pool.parallel_for(x.size(), [&](std::size_t lo, std::size_t hi) {
+    // Identify which block this is from its boundaries (static
+    // partitioning makes this well-defined).
+    for (int w = 0; w < pool.size(); ++w) {
+      const auto [blo, bhi] = thread_pool::block(x.size(), pool.size(), w);
+      if (blo == lo && bhi == hi) {
+        partial[static_cast<std::size_t>(w)] =
+            dot(x.subspan(lo, hi - lo), y.subspan(lo, hi - lo));
+        return;
+      }
+    }
+    TFX_ASSERT(false && "block not found");
+  });
+  T acc{};
+  for (const T& p : partial) acc += p;
+  return acc;
+}
+
+/// Parallel scal (disjoint writes: bit-identical to serial).
+template <typename T>
+void scal_parallel(thread_pool& pool, T a, std::span<T> x) {
+  pool.parallel_for(x.size(), [&](std::size_t lo, std::size_t hi) {
+    scal(a, x.subspan(lo, hi - lo));
+  });
+}
+
+/// Parallel blocked GEMM: C-rows are partitioned over the workers
+/// (disjoint writes: bit-identical to the serial blocked kernel with
+/// the same block size, because each row's k-loop order is unchanged).
+template <typename T>
+void gemm_parallel(thread_pool& pool, T alpha, matrix_view<const T> a,
+                   matrix_view<const T> b, T beta, matrix_view<T> c,
+                   std::size_t block = 64) {
+  TFX_EXPECTS(a.cols() == b.rows());
+  TFX_EXPECTS(c.rows() == a.rows() && c.cols() == b.cols());
+  using tfx::fp::muladd;
+  using tfx::kernels::muladd;
+  pool.parallel_for(c.rows(), [&](std::size_t r0, std::size_t r1) {
+    for (std::size_t i = r0; i < r1; ++i) {
+      for (std::size_t j = 0; j < c.cols(); ++j) c(i, j) = beta * c(i, j);
+    }
+    const std::size_t n = c.cols(), kk = a.cols();
+    for (std::size_t k0 = 0; k0 < kk; k0 += block) {
+      const std::size_t k1 = std::min(k0 + block, kk);
+      for (std::size_t j0 = 0; j0 < n; j0 += block) {
+        const std::size_t j1 = std::min(j0 + block, n);
+        for (std::size_t i = r0; i < r1; ++i) {
+          for (std::size_t k = k0; k < k1; ++k) {
+            const T aik = alpha * a(i, k);
+            for (std::size_t j = j0; j < j1; ++j) {
+              c(i, j) = muladd(aik, b(k, j), c(i, j));
+            }
+          }
+        }
+      }
+    }
+  });
+}
+
+/// Parallel triad (BabelStream's headline kernel).
+template <typename T>
+void triad_parallel(thread_pool& pool, T s, std::span<const T> b,
+                    std::span<const T> c, std::span<T> a) {
+  TFX_EXPECTS(a.size() == b.size() && b.size() == c.size());
+  pool.parallel_for(a.size(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      a[i] = b[i] + s * c[i];
+    }
+  });
+}
+
+}  // namespace tfx::kernels

@@ -1,0 +1,63 @@
+#include "kernels/registry.hpp"
+
+#include "core/contracts.hpp"
+
+namespace tfx::kernels {
+
+blas_registry::blas_registry() {
+  for (auto& backend : make_all_backends()) {
+    backends_.emplace_back(std::move(backend));
+  }
+  current_ = backends_.front();  // generic ("Julia") by default
+}
+
+blas_registry& blas_registry::instance() {
+  static blas_registry registry;
+  return registry;
+}
+
+bool blas_registry::register_backend(
+    std::shared_ptr<const blas_backend> backend) {
+  TFX_EXPECTS(backend != nullptr);
+  const std::scoped_lock lock(mutex_);
+  for (const auto& existing : backends_) {
+    if (existing->name() == backend->name()) return false;
+  }
+  backends_.push_back(std::move(backend));
+  return true;
+}
+
+bool blas_registry::set_current(std::string_view name) {
+  const std::scoped_lock lock(mutex_);
+  for (const auto& backend : backends_) {
+    if (backend->name() == name) {
+      current_ = backend;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::shared_ptr<const blas_backend> blas_registry::current() const {
+  const std::scoped_lock lock(mutex_);
+  return current_;
+}
+
+std::shared_ptr<const blas_backend> blas_registry::find(
+    std::string_view name) const {
+  const std::scoped_lock lock(mutex_);
+  for (const auto& backend : backends_) {
+    if (backend->name() == name) return backend;
+  }
+  return nullptr;
+}
+
+std::vector<std::string_view> blas_registry::names() const {
+  const std::scoped_lock lock(mutex_);
+  std::vector<std::string_view> out;
+  out.reserve(backends_.size());
+  for (const auto& backend : backends_) out.push_back(backend->name());
+  return out;
+}
+
+}  // namespace tfx::kernels

@@ -1,0 +1,64 @@
+#pragma once
+
+/// \file registry.hpp
+/// Runtime-swappable BLAS dispatch - the libblastrampoline analogue.
+///
+/// The paper's benchmarks use libblastrampoline, "a library which uses
+/// PLT trampolines to forward BLAS calls to a chosen library at runtime
+/// with near-zero overhead [...], without having to recompile an
+/// application to link to a different BLAS library" (§ III-A.1).
+/// `blas_registry` provides the same contract: register backends once,
+/// point `set_current` at one of them, and every call through the
+/// forwarding functions lands in the selected library. The forwarding
+/// cost is one atomic load + one virtual call; `bench/ablation_trampoline`
+/// measures that it is negligible against the routine itself.
+
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "kernels/backend.hpp"
+
+namespace tfx::kernels {
+
+class blas_registry {
+ public:
+  /// The process-wide registry, pre-populated with the five paper
+  /// backends and defaulting to the generic one.
+  static blas_registry& instance();
+
+  /// Add a backend; its name must be unique. Returns false on a
+  /// duplicate name (the registration is dropped).
+  bool register_backend(std::shared_ptr<const blas_backend> backend);
+
+  /// Select the forwarding target by name; false if unknown.
+  bool set_current(std::string_view name);
+
+  /// The currently selected backend (never null).
+  [[nodiscard]] std::shared_ptr<const blas_backend> current() const;
+
+  /// Look a backend up by name without selecting it; null if unknown.
+  [[nodiscard]] std::shared_ptr<const blas_backend> find(
+      std::string_view name) const;
+
+  /// Names in registration order.
+  [[nodiscard]] std::vector<std::string_view> names() const;
+
+ private:
+  blas_registry();
+
+  mutable std::mutex mutex_;
+  std::vector<std::shared_ptr<const blas_backend>> backends_;
+  std::shared_ptr<const blas_backend> current_;
+};
+
+/// Forwarding entry points ("the trampoline"): call whatever backend is
+/// currently selected.
+template <typename T>
+void axpy_dispatch(T a, std::span<const T> x, std::span<T> y) {
+  blas_registry::instance().current()->axpy(a, x, y);
+}
+
+}  // namespace tfx::kernels

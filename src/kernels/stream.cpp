@@ -1,0 +1,34 @@
+#include "kernels/stream.hpp"
+
+namespace tfx::kernels {
+
+arch::kernel_profile make_stream_profile(stream_kernel kernel,
+                                         const stream_impl_profile& impl) {
+  const stream_resources res = stream_kernel_resources(kernel);
+  arch::kernel_profile p;
+  p.name = stream_kernel_name(kernel);
+  p.flops_per_elem = res.flops;
+  p.loads_per_elem = res.loads;
+  p.stores_per_elem = res.stores;
+  p.vector_bits = impl.vector_bits;
+  p.simd_efficiency = impl.simd_efficiency;
+  p.loop_overhead_cycles = impl.loop_overhead_cycles;
+  p.call_overhead_ns = 6.0;
+  return p;
+}
+
+double modeled_stream_gbs(const arch::a64fx_params& machine,
+                          stream_kernel kernel,
+                          const stream_impl_profile& impl, std::size_t n,
+                          std::size_t elem_bytes) {
+  const stream_resources res = stream_kernel_resources(kernel);
+  const auto profile = make_stream_profile(kernel, impl);
+  const std::size_t working_set =
+      static_cast<std::size_t>(res.arrays) * n * elem_bytes;
+  const auto m = arch::predict(machine, profile, n, elem_bytes, working_set);
+  const double bytes =
+      (res.loads + res.stores) * static_cast<double>(n * elem_bytes);
+  return bytes / m.seconds / 1e9;
+}
+
+}  // namespace tfx::kernels

@@ -1,0 +1,127 @@
+#pragma once
+
+/// \file stream.hpp
+/// BabelStream-style memory-bandwidth kernels.
+///
+/// The paper's § IV-A cites Lin & McIntosh-Smith [ref 20], who compared
+/// Julia against C/C++ performance-portability frameworks with
+/// BabelStream-like kernels on several machines including A64FX, and
+/// found Julia close to C/C++ (markedly closer after Julia v1.7 /
+/// LLVM 12). This header supplies the five classic kernels as generic
+/// templates plus their machine-model resource profiles; the
+/// `bench/portability_stream` binary reproduces the comparison with
+/// code-generation profiles for C/C++, Julia v1.7 (LLVM 12) and Julia
+/// v1.6 (LLVM 11).
+
+#include <cstddef>
+#include <span>
+#include <string_view>
+
+#include "arch/roofline.hpp"
+#include "core/contracts.hpp"
+
+namespace tfx::kernels {
+
+/// c <- a
+template <typename T>
+void stream_copy(std::span<const T> a, std::span<T> c) {
+  TFX_EXPECTS(a.size() == c.size());
+  for (std::size_t i = 0; i < a.size(); ++i) c[i] = a[i];
+}
+
+/// b <- s * c
+template <typename T>
+void stream_mul(T s, std::span<const T> c, std::span<T> b) {
+  TFX_EXPECTS(c.size() == b.size());
+  for (std::size_t i = 0; i < c.size(); ++i) b[i] = s * c[i];
+}
+
+/// c <- a + b
+template <typename T>
+void stream_add(std::span<const T> a, std::span<const T> b, std::span<T> c) {
+  TFX_EXPECTS(a.size() == b.size() && b.size() == c.size());
+  for (std::size_t i = 0; i < a.size(); ++i) c[i] = a[i] + b[i];
+}
+
+/// a <- b + s * c
+template <typename T>
+void stream_triad(T s, std::span<const T> b, std::span<const T> c,
+                  std::span<T> a) {
+  TFX_EXPECTS(a.size() == b.size() && b.size() == c.size());
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] = b[i] + s * c[i];
+}
+
+/// sum(a .* b)
+template <typename T>
+[[nodiscard]] T stream_dot(std::span<const T> a, std::span<const T> b) {
+  TFX_EXPECTS(a.size() == b.size());
+  T acc{};
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+/// Which of the five kernels (for profile lookup / reporting).
+enum class stream_kernel { copy, mul, add, triad, dot };
+
+inline constexpr std::string_view stream_kernel_name(stream_kernel k) {
+  switch (k) {
+    case stream_kernel::copy: return "Copy";
+    case stream_kernel::mul: return "Mul";
+    case stream_kernel::add: return "Add";
+    case stream_kernel::triad: return "Triad";
+    case stream_kernel::dot: return "Dot";
+  }
+  return "?";
+}
+
+/// Resource usage per element for each kernel (BabelStream's own
+/// accounting: Copy/Mul move 2 elements, Add/Triad 3, Dot reads 2).
+struct stream_resources {
+  double loads;
+  double stores;
+  double flops;
+  int arrays;  ///< arrays in the working set
+};
+
+inline constexpr stream_resources stream_kernel_resources(stream_kernel k) {
+  switch (k) {
+    case stream_kernel::copy: return {1, 1, 0, 2};
+    case stream_kernel::mul: return {1, 1, 1, 2};
+    case stream_kernel::add: return {2, 1, 1, 3};
+    case stream_kernel::triad: return {2, 1, 2, 3};
+    case stream_kernel::dot: return {2, 0, 2, 2};
+  }
+  return {0, 0, 0, 0};
+}
+
+/// A "language/toolchain" code-generation personality for the stream
+/// kernels, mirroring what ref [20] compared.
+struct stream_impl_profile {
+  std::string_view name;
+  std::size_t vector_bits;
+  double simd_efficiency;
+  double loop_overhead_cycles;
+};
+
+/// C/C++ with the vendor compiler: the reference.
+inline constexpr stream_impl_profile stream_cxx{"C/C++", 512, 1.0, 0.2};
+/// Julia v1.7 (LLVM 12, -aarch64-sve-vector-bits-min=512): close to C.
+inline constexpr stream_impl_profile stream_julia17{"Julia v1.7", 512, 0.95,
+                                                    0.25};
+/// Julia v1.6 (LLVM 11): the configuration ref [20] found "sensibly"
+/// slower before the LLVM 12 upgrade.
+inline constexpr stream_impl_profile stream_julia16{"Julia v1.6", 128, 0.85,
+                                                    0.5};
+
+/// Build the arch::kernel_profile of one kernel under one personality.
+arch::kernel_profile make_stream_profile(stream_kernel kernel,
+                                         const stream_impl_profile& impl);
+
+/// Modeled sustained bandwidth (GB/s) for one kernel/personality at a
+/// given array length and element size.
+double modeled_stream_gbs(const arch::a64fx_params& machine,
+                          stream_kernel kernel,
+                          const stream_impl_profile& impl, std::size_t n,
+                          std::size_t elem_bytes);
+
+}  // namespace tfx::kernels

@@ -1,0 +1,143 @@
+#pragma once
+
+/// \file strided.hpp
+/// Strided Level-1 BLAS, completing the classic interface.
+///
+/// Real BLAS routines take (n, x, incx, y, incy) with possibly negative
+/// increments (the vector is then traversed backwards from the end, as
+/// the reference BLAS defines). The generic kernels in generic.hpp are
+/// the contiguous fast path; these wrappers provide the full calling
+/// convention over any element type, so the library is a drop-in shape
+/// for code ported from Fortran-style BLAS usage.
+
+#include <cstddef>
+
+#include "core/contracts.hpp"
+#include "fp/float16.hpp"
+
+namespace tfx::kernels {
+
+/// A BLAS-style strided vector view: n logical elements over a base
+/// pointer with increment `inc` (non-zero; negative walks backwards
+/// from the physical end, exactly the netlib convention).
+template <typename T>
+class strided_view {
+ public:
+  strided_view(T* data, std::size_t n, std::ptrdiff_t inc)
+      : data_(data), n_(n), inc_(inc) {
+    TFX_EXPECTS(inc != 0 || n <= 1);
+  }
+
+  [[nodiscard]] std::size_t size() const { return n_; }
+  [[nodiscard]] std::ptrdiff_t inc() const { return inc_; }
+
+  /// Element i in BLAS order.
+  T& operator[](std::size_t i) const {
+    const std::ptrdiff_t base =
+        inc_ >= 0 ? 0
+                  : -(static_cast<std::ptrdiff_t>(n_) - 1) * inc_;
+    return data_[base + static_cast<std::ptrdiff_t>(i) * inc_];
+  }
+
+ private:
+  T* data_;
+  std::size_t n_;
+  std::ptrdiff_t inc_;
+};
+
+/// y <- a*x + y over strided views (daxpy/saxpy/haxpy shape).
+template <typename T>
+void axpy_strided(T a, strided_view<const T> x, strided_view<T> y) {
+  TFX_EXPECTS(x.size() == y.size());
+  using tfx::fp::muladd;
+  using tfx::kernels::muladd;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    y[i] = muladd(a, x[i], y[i]);
+  }
+}
+
+/// dot <- x . y over strided views.
+template <typename T>
+[[nodiscard]] T dot_strided(strided_view<const T> x, strided_view<const T> y) {
+  TFX_EXPECTS(x.size() == y.size());
+  using tfx::fp::muladd;
+  using tfx::kernels::muladd;
+  T acc{};
+  for (std::size_t i = 0; i < x.size(); ++i) acc = muladd(x[i], y[i], acc);
+  return acc;
+}
+
+/// x <- a*x over a strided view.
+template <typename T>
+void scal_strided(T a, strided_view<T> x) {
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = a * x[i];
+}
+
+/// y <- x over strided views (dcopy).
+template <typename T>
+void copy_strided(strided_view<const T> x, strided_view<T> y) {
+  TFX_EXPECTS(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = x[i];
+}
+
+/// x <-> y (dswap).
+template <typename T>
+void swap_strided(strided_view<T> x, strided_view<T> y) {
+  TFX_EXPECTS(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const T t = x[i];
+    x[i] = y[i];
+    y[i] = t;
+  }
+}
+
+/// Apply a plane (Givens) rotation (drot):
+///   x_i <-  c*x_i + s*y_i
+///   y_i <- -s*x_i + c*y_i
+template <typename T>
+void rot_strided(strided_view<T> x, strided_view<T> y, T c, T s) {
+  TFX_EXPECTS(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const T xi = x[i];
+    const T yi = y[i];
+    x[i] = c * xi + s * yi;
+    y[i] = c * yi - s * xi;
+  }
+}
+
+/// Construct a Givens rotation (drotg): given (a, b) produce (c, s)
+/// with c*a + s*b = r, -s*a + c*b = 0. The BLAS convention for signs.
+template <typename T>
+void rotg(T& a, T& b, T& c, T& s) {
+  using std::abs;
+  using std::sqrt;
+  using tfx::fp::abs;
+  using tfx::fp::sqrt;
+  const T zero{};
+  if (b == zero) {
+    c = T(1);
+    s = zero;
+    b = zero;
+    return;
+  }
+  if (a == zero) {
+    c = zero;
+    s = T(1);
+    a = b;
+    b = T(1);
+    return;
+  }
+  // Scaled to avoid overflow, as the reference implementation does.
+  const T scale = abs(a) + abs(b);
+  const T ar = a / scale;
+  const T br = b / scale;
+  const T r0 = scale * sqrt(ar * ar + br * br);
+  const T r = (abs(a) > abs(b) ? (a < zero ? -r0 : r0)
+                               : (b < zero ? -r0 : r0));
+  c = a / r;
+  s = b / r;
+  a = r;
+  b = abs(c) > abs(s) ? s : (c == zero ? T(1) : T(1) / c);
+}
+
+}  // namespace tfx::kernels

@@ -1,0 +1,101 @@
+#include "mpisim/des.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+
+#include "core/contracts.hpp"
+
+namespace tfx::mpisim {
+
+double des_result::max_clock() const {
+  TFX_EXPECTS(!clocks.empty());
+  return *std::max_element(clocks.begin(), clocks.end());
+}
+
+double des_result::min_clock() const {
+  TFX_EXPECTS(!clocks.empty());
+  return *std::min_element(clocks.begin(), clocks.end());
+}
+
+double des_result::avg_clock() const {
+  TFX_EXPECTS(!clocks.empty());
+  double acc = 0;
+  for (double c : clocks) acc += c;
+  return acc / static_cast<double>(clocks.size());
+}
+
+des_result simulate(const sim_program& prog, const tofud_params& net,
+                    const torus_placement& place,
+                    std::vector<double> start_clocks) {
+  const int p = prog.size();
+  TFX_EXPECTS(p == place.rank_count());
+
+  des_result result;
+  if (start_clocks.empty()) {
+    result.clocks.assign(static_cast<std::size_t>(p), 0.0);
+  } else {
+    TFX_EXPECTS(static_cast<int>(start_clocks.size()) == p);
+    result.clocks = std::move(start_clocks);
+  }
+
+  // In-flight messages: depart times per (src,dst) pair, FIFO - exactly
+  // the matching discipline of the threaded runtime's mailboxes for a
+  // deterministic program.
+  std::unordered_map<std::uint64_t, std::deque<double>> wire;
+  auto channel = [p](int src, int dst) {
+    return static_cast<std::uint64_t>(src) * static_cast<std::uint64_t>(p) +
+           static_cast<std::uint64_t>(dst);
+  };
+
+  std::vector<std::size_t> pc(static_cast<std::size_t>(p), 0);
+  std::vector<double> send_port_free(static_cast<std::size_t>(p), 0.0);
+  std::vector<double> recv_port_free(static_cast<std::size_t>(p), 0.0);
+  std::size_t done = 0;
+  for (int r = 0; r < p; ++r) {
+    if (prog.ranks[static_cast<std::size_t>(r)].empty()) ++done;
+  }
+
+  while (done < static_cast<std::size_t>(p)) {
+    bool progressed = false;
+    for (int r = 0; r < p; ++r) {
+      const auto& ops = prog.ranks[static_cast<std::size_t>(r)];
+      auto& i = pc[static_cast<std::size_t>(r)];
+      double& clock = result.clocks[static_cast<std::size_t>(r)];
+      while (i < ops.size()) {
+        const sim_op& op = ops[i];
+        if (op.what == sim_op::kind::compute) {
+          clock += op.seconds;
+        } else if (op.what == sim_op::kind::send) {
+          clock += net.send_overhead_s;
+          double& port = send_port_free[static_cast<std::size_t>(r)];
+          const double inject_start = std::max(clock, port);
+          port = inject_start +
+                 serialization_seconds(net, place, r, op.peer, op.bytes);
+          wire[channel(r, op.peer)].push_back(inject_start);
+        } else {  // recv
+          auto it = wire.find(channel(op.peer, r));
+          if (it == wire.end() || it->second.empty()) break;  // blocked
+          const double depart = it->second.front();
+          it->second.pop_front();
+          const double ready =
+              depart +
+              transfer_latency_seconds(net, place, op.peer, r, op.bytes);
+          double& port = recv_port_free[static_cast<std::size_t>(r)];
+          const double arrival =
+              std::max(ready, port) +
+              serialization_seconds(net, place, op.peer, r, op.bytes);
+          port = arrival;
+          clock = std::max(clock, arrival) + net.recv_overhead_s;
+        }
+        ++i;
+        progressed = true;
+        if (i == ops.size()) ++done;
+      }
+    }
+    TFX_ASSERT(progressed && "sim_program deadlocked");
+  }
+  return result;
+}
+
+}  // namespace tfx::mpisim

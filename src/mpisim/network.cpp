@@ -1,0 +1,74 @@
+#include "mpisim/network.hpp"
+
+#include "core/contracts.hpp"
+
+namespace tfx::mpisim {
+
+torus_placement::torus_placement(std::array<int, 3> shape, int ranks_per_node)
+    : shape_(shape), ranks_per_node_(ranks_per_node) {
+  TFX_EXPECTS(shape[0] > 0 && shape[1] > 0 && shape[2] > 0);
+  TFX_EXPECTS(ranks_per_node > 0);
+}
+
+torus_placement torus_placement::line(int nodes, int ranks_per_node) {
+  return torus_placement({nodes, 1, 1}, ranks_per_node);
+}
+
+std::array<int, 3> torus_placement::coords_of(int node) const {
+  TFX_EXPECTS(node >= 0 && node < node_count());
+  const int x = node % shape_[0];
+  const int y = (node / shape_[0]) % shape_[1];
+  const int z = node / (shape_[0] * shape_[1]);
+  return {x, y, z};
+}
+
+int torus_placement::hops(int node_a, int node_b) const {
+  const auto a = coords_of(node_a);
+  const auto b = coords_of(node_b);
+  int total = 0;
+  for (int d = 0; d < 3; ++d) {
+    const int direct = a[d] > b[d] ? a[d] - b[d] : b[d] - a[d];
+    const int wrapped = shape_[d] - direct;
+    total += direct < wrapped ? direct : wrapped;
+  }
+  return total;
+}
+
+double transfer_latency_seconds(const tofud_params& net,
+                                const torus_placement& place, int src,
+                                int dst, std::size_t bytes) {
+  double t = 0;
+  if (src != dst) {
+    const int node_src = place.node_of(src);
+    const int node_dst = place.node_of(dst);
+    if (node_src == node_dst) {
+      t = net.intra_alpha_s;
+    } else {
+      const int h = place.hops(node_src, node_dst);
+      t = net.alpha_s + static_cast<double>(h) * net.per_hop_s;
+    }
+  }
+  if (bytes > net.eager_threshold) t += net.rendezvous_extra_s;
+  return t;
+}
+
+double serialization_seconds(const tofud_params& net,
+                             const torus_placement& place, int src, int dst,
+                             std::size_t bytes) {
+  const bool on_node = place.node_of(src) == place.node_of(dst);
+  const double bw =
+      on_node ? net.intra_bandwidth_Bps : net.link_bandwidth_Bps;
+  return static_cast<double>(bytes) / bw;
+}
+
+double transfer_seconds(const tofud_params& net, const torus_placement& place,
+                        int src, int dst, std::size_t bytes) {
+  return transfer_latency_seconds(net, place, src, dst, bytes) +
+         serialization_seconds(net, place, src, dst, bytes);
+}
+
+double reduce_compute_seconds(const tofud_params& net, std::size_t bytes) {
+  return static_cast<double>(bytes) * net.reduce_compute_s_per_byte;
+}
+
+}  // namespace tfx::mpisim

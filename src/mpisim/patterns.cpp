@@ -1,0 +1,282 @@
+#include "mpisim/patterns.hpp"
+
+#include "core/contracts.hpp"
+
+namespace tfx::mpisim {
+
+namespace {
+
+int largest_pow2_below(int p) {
+  int v = 1;
+  while (v * 2 <= p) v *= 2;
+  return v;
+}
+
+}  // namespace
+
+sim_program make_barrier_program(int p) {
+  sim_program prog(p);
+  if (p == 1) return prog;
+  for (int r = 0; r < p; ++r) {
+    for (int k = 1; k < p; k <<= 1) {
+      const int dst = (r + k) % p;
+      const int src = (r - k % p + p) % p;
+      prog.rank(r).push_back(sim_op::send_to(dst, 1));
+      prog.rank(r).push_back(sim_op::recv_from(src, 1));
+    }
+  }
+  return prog;
+}
+
+sim_program make_bcast_program(int p, std::size_t count,
+                               std::size_t elem_bytes, int root) {
+  sim_program prog(p);
+  const std::size_t bytes = count * elem_bytes;
+  if (p == 1) return prog;
+  for (int r = 0; r < p; ++r) {
+    const int vrank = (r - root + p) % p;
+    int mask = 1;
+    while (mask < p) {
+      if (vrank & mask) {
+        const int src = ((vrank - mask) + root) % p;
+        prog.rank(r).push_back(sim_op::recv_from(src, bytes));
+        break;
+      }
+      mask <<= 1;
+    }
+    mask >>= 1;
+    while (mask > 0) {
+      if (vrank + mask < p) {
+        const int dst = ((vrank + mask) + root) % p;
+        prog.rank(r).push_back(sim_op::send_to(dst, bytes));
+      }
+      mask >>= 1;
+    }
+  }
+  return prog;
+}
+
+sim_program make_reduce_program(const tofud_params& net, int p,
+                                std::size_t count, std::size_t elem_bytes,
+                                int root) {
+  sim_program prog(p);
+  const std::size_t bytes = count * elem_bytes;
+  const double combine_s = reduce_compute_seconds(net, bytes);
+  for (int r = 0; r < p; ++r) {
+    const int vrank = (r - root + p) % p;
+    int mask = 1;
+    while (mask < p) {
+      if (vrank & mask) {
+        const int dst = ((vrank - mask) + root) % p;
+        prog.rank(r).push_back(sim_op::send_to(dst, bytes));
+        break;
+      }
+      if (vrank + mask < p) {
+        const int src = ((vrank + mask) + root) % p;
+        prog.rank(r).push_back(sim_op::recv_from(src, bytes));
+        prog.rank(r).push_back(sim_op::compute_for(combine_s));
+      }
+      mask <<= 1;
+    }
+  }
+  return prog;
+}
+
+sim_program make_allreduce_program(const tofud_params& net, int p,
+                                   std::size_t count, std::size_t elem_bytes,
+                                   coll_algorithm algo) {
+  if (algo == coll_algorithm::automatic) {
+    algo = count * elem_bytes <= allreduce_ring_threshold
+               ? coll_algorithm::recursive_doubling
+               : coll_algorithm::rabenseifner;
+  }
+  TFX_EXPECTS(algo == coll_algorithm::recursive_doubling ||
+              algo == coll_algorithm::ring ||
+              algo == coll_algorithm::rabenseifner);
+
+  sim_program prog(p);
+  if (p == 1) return prog;
+  const std::size_t bytes = count * elem_bytes;
+  const double combine_s = reduce_compute_seconds(net, bytes);
+
+  if (algo == coll_algorithm::recursive_doubling) {
+    const int pof2 = largest_pow2_below(p);
+    const int rem = p - pof2;
+    auto real_rank = [rem](int nr) { return nr < rem ? nr * 2 : nr + rem; };
+    for (int r = 0; r < p; ++r) {
+      auto& ops = prog.rank(r);
+      int newrank;
+      if (r < 2 * rem) {
+        if (r % 2 != 0) {
+          ops.push_back(sim_op::send_to(r - 1, bytes));
+          newrank = -1;
+        } else {
+          ops.push_back(sim_op::recv_from(r + 1, bytes));
+          ops.push_back(sim_op::compute_for(combine_s));
+          newrank = r / 2;
+        }
+      } else {
+        newrank = r - rem;
+      }
+      if (newrank != -1) {
+        for (int mask = 1; mask < pof2; mask <<= 1) {
+          const int partner = real_rank(newrank ^ mask);
+          ops.push_back(sim_op::send_to(partner, bytes));
+          ops.push_back(sim_op::recv_from(partner, bytes));
+          ops.push_back(sim_op::compute_for(combine_s));
+        }
+      }
+      if (r < 2 * rem) {
+        if (r % 2 == 0) {
+          ops.push_back(sim_op::send_to(r + 1, bytes));
+        } else {
+          ops.push_back(sim_op::recv_from(r - 1, bytes));
+        }
+      }
+    }
+    return prog;
+  }
+
+  if (algo == coll_algorithm::rabenseifner) {
+    // Mirrors detail::allreduce_rabenseifner operation for operation.
+    const int pof2 = largest_pow2_below(p);
+    const int rem = p - pof2;
+    auto real_rank = [rem](int nr) { return nr < rem ? nr * 2 : nr + rem; };
+    auto bound = [count, pof2](int b) {
+      return count * static_cast<std::size_t>(b) /
+             static_cast<std::size_t>(pof2);
+    };
+    for (int r = 0; r < p; ++r) {
+      auto& ops = prog.rank(r);
+      int newrank;
+      if (r < 2 * rem) {
+        if (r % 2 != 0) {
+          ops.push_back(sim_op::send_to(r - 1, bytes));
+          newrank = -1;
+        } else {
+          ops.push_back(sim_op::recv_from(r + 1, bytes));
+          ops.push_back(sim_op::compute_for(combine_s));
+          newrank = r / 2;
+        }
+      } else {
+        newrank = r - rem;
+      }
+      int lo = 0, hi = pof2;
+      if (newrank != -1) {
+        for (int mask = pof2 >> 1; mask > 0; mask >>= 1) {
+          const int partner = real_rank(newrank ^ mask);
+          const int mid = (lo + hi) / 2;
+          const std::size_t lo_b = bound(lo), mid_b = bound(mid),
+                            hi_b = bound(hi);
+          if (newrank < (newrank ^ mask)) {
+            ops.push_back(sim_op::send_to(partner,
+                                          (hi_b - mid_b) * elem_bytes));
+            ops.push_back(sim_op::recv_from(partner,
+                                            (mid_b - lo_b) * elem_bytes));
+            ops.push_back(sim_op::compute_for(reduce_compute_seconds(
+                net, (mid_b - lo_b) * elem_bytes)));
+            hi = mid;
+          } else {
+            ops.push_back(sim_op::send_to(partner,
+                                          (mid_b - lo_b) * elem_bytes));
+            ops.push_back(sim_op::recv_from(partner,
+                                            (hi_b - mid_b) * elem_bytes));
+            ops.push_back(sim_op::compute_for(reduce_compute_seconds(
+                net, (hi_b - mid_b) * elem_bytes)));
+            lo = mid;
+          }
+        }
+        for (int mask = 1; mask < pof2; mask <<= 1) {
+          const int partner = real_rank(newrank ^ mask);
+          const int span_blocks = hi - lo;
+          const std::size_t lo_b = bound(lo), hi_b = bound(hi);
+          ops.push_back(sim_op::send_to(partner, (hi_b - lo_b) * elem_bytes));
+          if (newrank < (newrank ^ mask)) {
+            const std::size_t sib_b = bound(hi + span_blocks);
+            ops.push_back(sim_op::recv_from(partner,
+                                            (sib_b - hi_b) * elem_bytes));
+            hi += span_blocks;
+          } else {
+            const std::size_t sib_b = bound(lo - span_blocks);
+            ops.push_back(sim_op::recv_from(partner,
+                                            (lo_b - sib_b) * elem_bytes));
+            lo -= span_blocks;
+          }
+        }
+      }
+      if (r < 2 * rem) {
+        if (r % 2 == 0) {
+          ops.push_back(sim_op::send_to(r + 1, bytes));
+        } else {
+          ops.push_back(sim_op::recv_from(r - 1, bytes));
+        }
+      }
+    }
+    return prog;
+  }
+
+  // Ring: reduce-scatter then allgather with the same segment sizes as
+  // the template (n*(k)/p boundaries over *elements*, then scaled).
+  auto seg_elems = [&](int s) {
+    const int seg = ((s % p) + p) % p;
+    const std::size_t b =
+        count * static_cast<std::size_t>(seg) / static_cast<std::size_t>(p);
+    const std::size_t e = count * (static_cast<std::size_t>(seg) + 1) /
+                          static_cast<std::size_t>(p);
+    return e - b;
+  };
+  for (int r = 0; r < p; ++r) {
+    auto& ops = prog.rank(r);
+    const int right = (r + 1) % p;
+    const int left = (r - 1 + p) % p;
+    for (int step = 0; step < p - 1; ++step) {
+      const std::size_t out_b = seg_elems(r - step) * elem_bytes;
+      const std::size_t in_b = seg_elems(r - step - 1) * elem_bytes;
+      ops.push_back(sim_op::send_to(right, out_b));
+      ops.push_back(sim_op::recv_from(left, in_b));
+      ops.push_back(sim_op::compute_for(
+          reduce_compute_seconds(net, in_b)));
+    }
+    for (int step = 0; step < p - 1; ++step) {
+      const std::size_t out_b = seg_elems(r + 1 - step) * elem_bytes;
+      const std::size_t in_b = seg_elems(r - step) * elem_bytes;
+      ops.push_back(sim_op::send_to(right, out_b));
+      ops.push_back(sim_op::recv_from(left, in_b));
+    }
+  }
+  return prog;
+}
+
+sim_program make_allgather_program(int p, std::size_t count,
+                                   std::size_t elem_bytes) {
+  sim_program prog(p);
+  const std::size_t bytes = count * elem_bytes;
+  if (p == 1) return prog;
+  for (int r = 0; r < p; ++r) {
+    const int right = (r + 1) % p;
+    const int left = (r - 1 + p) % p;
+    for (int step = 0; step < p - 1; ++step) {
+      prog.rank(r).push_back(sim_op::send_to(right, bytes));
+      prog.rank(r).push_back(sim_op::recv_from(left, bytes));
+    }
+  }
+  return prog;
+}
+
+sim_program make_gatherv_program(int p, std::size_t count,
+                                 std::size_t elem_bytes, int root) {
+  sim_program prog(p);
+  const std::size_t bytes = count * elem_bytes;
+  for (int r = 0; r < p; ++r) {
+    if (r != root) {
+      prog.rank(r).push_back(sim_op::send_to(root, bytes));
+    }
+  }
+  for (int src = 0; src < p; ++src) {
+    if (src == root) continue;
+    prog.rank(root).push_back(sim_op::recv_from(src, bytes));
+  }
+  return prog;
+}
+
+}  // namespace tfx::mpisim

@@ -1,0 +1,80 @@
+#pragma once
+
+/// \file patterns.hpp
+/// Collective algorithms restated as per-rank event programs.
+///
+/// Running 1536 real threads (the paper's Fig. 3 configuration) is not
+/// feasible, so the large-scale benchmarks time the collectives with a
+/// discrete-event walk (des.hpp) over these programs. Each generator
+/// mirrors, operation for operation, the corresponding template in
+/// collectives.hpp; tests/mpisim_des_test pins the two against each
+/// other by comparing virtual completion times at thread-runnable rank
+/// counts. If you change an algorithm, change it in both places or the
+/// test will fail.
+
+#include <cstddef>
+#include <vector>
+
+#include "mpisim/collectives.hpp"
+#include "mpisim/network.hpp"
+
+namespace tfx::mpisim {
+
+/// One step of a rank's program.
+struct sim_op {
+  enum class kind { send, recv, compute };
+  kind what = kind::compute;
+  int peer = 0;           ///< destination (send) or source (recv)
+  std::size_t bytes = 0;  ///< payload size
+  double seconds = 0;     ///< compute duration (kind::compute only)
+
+  static sim_op send_to(int dst, std::size_t bytes) {
+    return {kind::send, dst, bytes, 0.0};
+  }
+  static sim_op recv_from(int src, std::size_t bytes) {
+    return {kind::recv, src, bytes, 0.0};
+  }
+  static sim_op compute_for(double seconds) {
+    return {kind::compute, 0, 0, seconds};
+  }
+};
+
+/// A complete collective: one ordered op list per rank.
+struct sim_program {
+  std::vector<std::vector<sim_op>> ranks;
+
+  explicit sim_program(int p) : ranks(static_cast<std::size_t>(p)) {}
+  [[nodiscard]] int size() const { return static_cast<int>(ranks.size()); }
+  std::vector<sim_op>& rank(int r) {
+    return ranks[static_cast<std::size_t>(r)];
+  }
+};
+
+/// Dissemination barrier (mirrors mpisim::barrier; 1-byte tokens).
+sim_program make_barrier_program(int p);
+
+/// Binomial bcast of count*elem_bytes from root (mirrors mpisim::bcast).
+sim_program make_bcast_program(int p, std::size_t count,
+                               std::size_t elem_bytes, int root);
+
+/// Binomial reduce to root (mirrors mpisim::reduce).
+sim_program make_reduce_program(const tofud_params& net, int p,
+                                std::size_t count, std::size_t elem_bytes,
+                                int root);
+
+/// Allreduce; algo must be recursive_doubling or ring (automatic is
+/// resolved with the same threshold as the template).
+sim_program make_allreduce_program(const tofud_params& net, int p,
+                                   std::size_t count, std::size_t elem_bytes,
+                                   coll_algorithm algo);
+
+/// Linear gatherv with uniform counts (mirrors mpisim::gatherv).
+sim_program make_gatherv_program(int p, std::size_t count,
+                                 std::size_t elem_bytes, int root);
+
+/// Ring allgather of count*elem_bytes per rank (mirrors
+/// mpisim::allgather).
+sim_program make_allgather_program(int p, std::size_t count,
+                                   std::size_t elem_bytes);
+
+}  // namespace tfx::mpisim

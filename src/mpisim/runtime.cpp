@@ -1,0 +1,141 @@
+#include "mpisim/runtime.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <thread>
+
+#include "core/contracts.hpp"
+
+namespace tfx::mpisim {
+
+recv_status request::wait() {
+  if (kind_ == kind::recv) {
+    status_ = comm_->recv_bytes(buffer_, src_, tag_);
+    kind_ = kind::none;
+  }
+  return status_;
+}
+
+void waitall(std::span<request> requests) {
+  for (auto& r : requests) r.wait();
+}
+
+int communicator::size() const { return world_->size(); }
+
+const tofud_params& communicator::net() const { return world_->net(); }
+
+const torus_placement& communicator::placement() const {
+  return world_->placement();
+}
+
+void communicator::send_bytes(std::span<const std::byte> data, int dst,
+                              int tag) {
+  TFX_EXPECTS(dst >= 0 && dst < size());
+  TFX_EXPECTS(tag >= 0);
+  clock_ += world_->net().send_overhead_s;
+  const double inject_start = std::max(clock_, send_port_free_);
+  send_port_free_ =
+      inject_start + serialization_seconds(world_->net(),
+                                           world_->placement(), rank_, dst,
+                                           data.size());
+  world::message msg{rank_, tag, inject_start,
+                     std::vector<std::byte>(data.begin(), data.end())};
+  world_->deposit(dst, std::move(msg));
+}
+
+recv_status communicator::recv_bytes(std::span<std::byte> out, int src,
+                                     int tag) {
+  TFX_EXPECTS(src == any_source || (src >= 0 && src < size()));
+  world::message msg = world_->collect(rank_, src, tag);
+  TFX_EXPECTS(msg.payload.size() <= out.size());
+  std::copy(msg.payload.begin(), msg.payload.end(), out.begin());
+
+  const auto& net = world_->net();
+  const auto& place = world_->placement();
+  const double ready =
+      msg.depart_vtime + transfer_latency_seconds(net, place, msg.source,
+                                                  rank_, msg.payload.size());
+  const double arrival =
+      std::max(ready, recv_port_free_) +
+      serialization_seconds(net, place, msg.source, rank_,
+                            msg.payload.size());
+  recv_port_free_ = arrival;
+  clock_ = std::max(clock_, arrival) + net.recv_overhead_s;
+  return recv_status{msg.source, msg.tag, msg.payload.size(), arrival};
+}
+
+recv_status communicator::sendrecv_bytes(std::span<const std::byte> out_data,
+                                         int dst, int send_tag,
+                                         std::span<std::byte> in_data, int src,
+                                         int recv_tag) {
+  send_bytes(out_data, dst, send_tag);
+  return recv_bytes(in_data, src, recv_tag);
+}
+
+world::world(int ranks, tofud_params net)
+    : world(torus_placement::line(ranks), net) {}
+
+world::world(torus_placement place, tofud_params net)
+    : net_(net), place_(place) {
+  TFX_EXPECTS(place_.rank_count() > 0);
+  mailboxes_.reserve(static_cast<std::size_t>(place_.rank_count()));
+  for (int r = 0; r < place_.rank_count(); ++r) {
+    mailboxes_.push_back(std::make_unique<mailbox>());
+  }
+}
+
+void world::run(const std::function<void(communicator&)>& fn) {
+  const int ranks = size();
+  for (auto& box : mailboxes_) {
+    const std::scoped_lock lock(box->mutex);
+    box->queue.clear();
+  }
+  final_clocks_.assign(static_cast<std::size_t>(ranks), 0.0);
+
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(ranks));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(ranks));
+  for (int r = 0; r < ranks; ++r) {
+    threads.emplace_back([this, r, &fn, &errors] {
+      communicator comm(this, r);
+      try {
+        fn(comm);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+      }
+      final_clocks_[static_cast<std::size_t>(r)] = comm.now();
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+void world::deposit(int dst, message msg) {
+  mailbox& box = *mailboxes_[static_cast<std::size_t>(dst)];
+  {
+    const std::scoped_lock lock(box.mutex);
+    box.queue.push_back(std::move(msg));
+  }
+  box.arrived.notify_all();
+}
+
+world::message world::collect(int dst, int src, int tag) {
+  mailbox& box = *mailboxes_[static_cast<std::size_t>(dst)];
+  std::unique_lock lock(box.mutex);
+  for (;;) {
+    for (auto it = box.queue.begin(); it != box.queue.end(); ++it) {
+      const bool src_ok = src == any_source || it->source == src;
+      const bool tag_ok = tag == any_tag || it->tag == tag;
+      if (src_ok && tag_ok) {
+        message msg = std::move(*it);
+        box.queue.erase(it);
+        return msg;
+      }
+    }
+    box.arrived.wait(lock);
+  }
+}
+
+}  // namespace tfx::mpisim

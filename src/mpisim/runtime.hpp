@@ -1,0 +1,229 @@
+#pragma once
+
+/// \file runtime.hpp
+/// The message-passing runtime: ranks as threads, real data movement,
+/// virtual time.
+///
+/// This is the substrate standing in for Fujitsu MPI on Fugaku
+/// (DESIGN.md § 2). Each rank runs in its own std::thread and
+/// communicates through matched, tagged mailboxes - messages really
+/// move, so programs are tested end-to-end - while a per-rank *virtual
+/// clock* advances by modeled costs (software overheads, TofuD wire
+/// time from network.hpp). Benchmarks read latencies off the virtual
+/// clocks, which is what lets a laptop reproduce the timing shape of a
+/// 384-node torus.
+///
+/// Timing rules (LogGP-flavoured; the DES in des.cpp applies the same
+/// rules and the two are pinned against each other in tests):
+///  * send:  clock += o_send; the message starts injecting at
+///           max(clock, sender's port_free); the sender's port stays
+///           busy for the serialization time (G*bytes). Eager: the
+///           sender never blocks; the payload is copied.
+///  * recv:  first byte ready at inject_start + latency; the payload
+///           drains through the receiver's port:
+///           arrival = max(ready, receiver port_free) + G*bytes;
+///           clock = max(clock, arrival) + o_recv. The port term is
+///           what serializes a many-to-one flood (e.g. the Gatherv
+///           root) instead of letting all messages land in parallel.
+///  * compute/overhead: advance(seconds) adds straight to the clock.
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "mpisim/network.hpp"
+
+namespace tfx::mpisim {
+
+inline constexpr int any_source = -1;
+inline constexpr int any_tag = -1;
+
+/// Completion information of a receive.
+struct recv_status {
+  int source = 0;
+  int tag = 0;
+  std::size_t bytes = 0;
+  double arrival_vtime = 0;  ///< when the message hit the receiver
+};
+
+class world;
+class communicator;
+
+/// Handle for a nonblocking operation. Sends are eager (complete at
+/// post time); receives are matched lazily when wait() is called, so
+/// two pending irecvs with identical (source, tag) complete in wait
+/// order rather than post order - the one deviation from MPI
+/// semantics, which deterministic programs do not observe.
+class request {
+ public:
+  request() = default;
+
+  /// Block until the operation completes; returns its status (sends
+  /// report the posted byte count). Idempotent after completion.
+  recv_status wait();
+
+  /// True once the operation has completed (sends: immediately).
+  [[nodiscard]] bool done() const { return kind_ == kind::none; }
+
+ private:
+  friend class communicator;
+  enum class kind : std::uint8_t { none, recv };
+
+  request(communicator* comm, std::span<std::byte> buffer, int src, int tag)
+      : comm_(comm), buffer_(buffer), src_(src), tag_(tag),
+        kind_(kind::recv) {}
+  explicit request(recv_status immediate) : status_(immediate) {}
+
+  communicator* comm_ = nullptr;
+  std::span<std::byte> buffer_{};
+  int src_ = 0;
+  int tag_ = 0;
+  kind kind_ = kind::none;
+  recv_status status_{};
+};
+
+/// Wait on a batch of requests (MPI_Waitall).
+void waitall(std::span<request> requests);
+
+/// Per-rank handle: p2p operations and the rank's virtual clock.
+/// Not thread-safe across user threads (each rank thread owns its own).
+class communicator {
+ public:
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] int size() const;
+
+  /// The rank's virtual clock, seconds since the world started.
+  [[nodiscard]] double now() const { return clock_; }
+
+  /// Charge local compute or software overhead to the clock.
+  void advance(double seconds) { clock_ += seconds; }
+
+  /// Eagerly send `data` to `dst` with `tag`; never blocks.
+  void send_bytes(std::span<const std::byte> data, int dst, int tag);
+
+  /// Blocking receive into `out` (must be large enough for the matched
+  /// message). `src`/`tag` may be any_source/any_tag.
+  recv_status recv_bytes(std::span<std::byte> out, int src, int tag);
+
+  /// Combined send-then-receive (safe because sends are eager).
+  recv_status sendrecv_bytes(std::span<const std::byte> out_data, int dst,
+                             int send_tag, std::span<std::byte> in_data,
+                             int src, int recv_tag);
+
+  /// Nonblocking send: eager, completes immediately; the returned
+  /// request is already done (kept for symmetric program structure).
+  request isend_bytes(std::span<const std::byte> data, int dst, int tag) {
+    send_bytes(data, dst, tag);
+    return request(recv_status{rank_, tag, data.size(), clock_});
+  }
+
+  /// Nonblocking receive: matching and the clock update happen at
+  /// wait() time.
+  request irecv_bytes(std::span<std::byte> out, int src, int tag) {
+    return request(this, out, src, tag);
+  }
+
+  template <typename T>
+  request isend(std::span<const T> data, int dst, int tag = 0) {
+    return isend_bytes(std::as_bytes(data), dst, tag);
+  }
+  template <typename T>
+  request irecv(std::span<T> out, int src, int tag = 0) {
+    return irecv_bytes(std::as_writable_bytes(out), src, tag);
+  }
+
+  /// Typed conveniences over the byte interface.
+  template <typename T>
+  void send(std::span<const T> data, int dst, int tag = 0) {
+    send_bytes(std::as_bytes(data), dst, tag);
+  }
+  template <typename T>
+  recv_status recv(std::span<T> out, int src, int tag = 0) {
+    return recv_bytes(std::as_writable_bytes(out), src, tag);
+  }
+  template <typename T>
+  void send_value(const T& v, int dst, int tag = 0) {
+    send(std::span<const T>(&v, 1), dst, tag);
+  }
+  template <typename T>
+  T recv_value(int src, int tag = 0) {
+    T v{};
+    recv(std::span<T>(&v, 1), src, tag);
+    return v;
+  }
+
+  /// The world's network model (collectives use these for compute
+  /// charging and algorithm selection).
+  [[nodiscard]] const tofud_params& net() const;
+  [[nodiscard]] const torus_placement& placement() const;
+
+ private:
+  friend class world;
+  communicator(world* w, int rank) : world_(w), rank_(rank) {}
+
+  world* world_;
+  int rank_;
+  double clock_ = 0;
+  double send_port_free_ = 0;  ///< when my injection port next idles
+  double recv_port_free_ = 0;  ///< when my drain port next idles
+};
+
+/// A set of ranks with mailboxes, a placement, and a network model.
+///
+/// Usage:
+///   world w(4);
+///   w.run([](communicator& comm) { ... });
+class world {
+ public:
+  /// `ranks` threads on a default line placement (1 rank per node).
+  explicit world(int ranks, tofud_params net = tofud_params{});
+
+  /// Explicit placement; rank count comes from the placement.
+  world(torus_placement place, tofud_params net);
+
+  /// Execute `fn` on every rank concurrently; joins all threads. The
+  /// first exception thrown by any rank is rethrown here. May be
+  /// called repeatedly; clocks and mailboxes are reset between runs.
+  void run(const std::function<void(communicator&)>& fn);
+
+  /// Virtual clocks of all ranks at the end of the last run().
+  [[nodiscard]] const std::vector<double>& final_clocks() const {
+    return final_clocks_;
+  }
+
+  [[nodiscard]] int size() const { return place_.rank_count(); }
+  [[nodiscard]] const tofud_params& net() const { return net_; }
+  [[nodiscard]] const torus_placement& placement() const { return place_; }
+
+ private:
+  friend class communicator;
+
+  struct message {
+    int source;
+    int tag;
+    double depart_vtime;
+    std::vector<std::byte> payload;
+  };
+
+  struct mailbox {
+    std::mutex mutex;
+    std::condition_variable arrived;
+    std::deque<message> queue;
+  };
+
+  void deposit(int dst, message msg);
+  message collect(int dst, int src, int tag);
+
+  tofud_params net_;
+  torus_placement place_;
+  std::vector<std::unique_ptr<mailbox>> mailboxes_;
+  std::vector<double> final_clocks_;
+};
+
+}  // namespace tfx::mpisim

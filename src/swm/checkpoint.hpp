@@ -1,0 +1,99 @@
+#pragma once
+
+/// \file checkpoint.hpp
+/// Binary checkpoints of the model's prognostic state.
+///
+/// Long climate integrations restart from checkpoints; for the
+/// precision experiments a checkpoint also lets a Float64 spin-up be
+/// handed to a Float16 production run (a common reduced-precision
+/// deployment pattern). The file stores raw element bits plus a typed
+/// header, so a checkpoint can only be loaded at the element type it
+/// was written with - cross-precision handoff goes through
+/// convert_state, deliberately visible in user code.
+///
+/// Format (little-endian host assumed, like every HPC restart file):
+///   magic "TFXSWM1\0" | u32 elem_bytes | u32 nx | u32 ny | u64 steps
+///   | f64 scale | u, v, eta arrays (nx*ny elements each, raw bits)
+///
+/// The Kahan compensation arrays are not stored: restarting clears
+/// them, which perturbs the trajectory by one rounding at most (the
+/// compensation is always < 1 ulp of the state).
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <string>
+
+#include "swm/field.hpp"
+
+namespace tfx::swm {
+
+/// What a checkpoint file carries besides the fields.
+struct checkpoint_info {
+  int nx = 0;
+  int ny = 0;
+  std::uint64_t steps_taken = 0;
+  double scale = 1.0;
+};
+
+namespace detail {
+inline constexpr char checkpoint_magic[8] = {'T', 'F', 'X', 'S',
+                                             'W', 'M', '1', '\0'};
+}
+
+/// Write a checkpoint. Returns false on I/O failure.
+template <typename T>
+bool save_checkpoint(const state<T>& s, const checkpoint_info& info,
+                     const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out.write(detail::checkpoint_magic, 8);
+  const auto elem = static_cast<std::uint32_t>(sizeof(T));
+  const auto nx = static_cast<std::uint32_t>(info.nx);
+  const auto ny = static_cast<std::uint32_t>(info.ny);
+  out.write(reinterpret_cast<const char*>(&elem), 4);
+  out.write(reinterpret_cast<const char*>(&nx), 4);
+  out.write(reinterpret_cast<const char*>(&ny), 4);
+  out.write(reinterpret_cast<const char*>(&info.steps_taken), 8);
+  out.write(reinterpret_cast<const char*>(&info.scale), 8);
+  for (const auto* f : {&s.u, &s.v, &s.eta}) {
+    out.write(reinterpret_cast<const char*>(f->flat().data()),
+              static_cast<std::streamsize>(f->size() * sizeof(T)));
+  }
+  return static_cast<bool>(out);
+}
+
+/// Load a checkpoint written at element type T. Returns nullopt on I/O
+/// failure, bad magic, or element-size mismatch.
+template <typename T>
+std::optional<std::pair<state<T>, checkpoint_info>> load_checkpoint(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  char magic[8];
+  in.read(magic, 8);
+  if (!in || std::memcmp(magic, detail::checkpoint_magic, 8) != 0) {
+    return std::nullopt;
+  }
+  std::uint32_t elem = 0, nx = 0, ny = 0;
+  checkpoint_info info;
+  in.read(reinterpret_cast<char*>(&elem), 4);
+  in.read(reinterpret_cast<char*>(&nx), 4);
+  in.read(reinterpret_cast<char*>(&ny), 4);
+  in.read(reinterpret_cast<char*>(&info.steps_taken), 8);
+  in.read(reinterpret_cast<char*>(&info.scale), 8);
+  if (!in || elem != sizeof(T) || nx == 0 || ny == 0) return std::nullopt;
+  info.nx = static_cast<int>(nx);
+  info.ny = static_cast<int>(ny);
+
+  state<T> s(info.nx, info.ny);
+  for (auto* f : {&s.u, &s.v, &s.eta}) {
+    in.read(reinterpret_cast<char*>(f->flat().data()),
+            static_cast<std::streamsize>(f->size() * sizeof(T)));
+  }
+  if (!in) return std::nullopt;
+  return std::make_pair(std::move(s), info);
+}
+
+}  // namespace tfx::swm

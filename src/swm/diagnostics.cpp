@@ -1,0 +1,115 @@
+#include "swm/diagnostics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/contracts.hpp"
+
+namespace tfx::swm {
+
+diagnostics compute_diagnostics(const state<double>& s, const swm_params& p) {
+  diagnostics d;
+  const double dA = p.dx() * p.dy();
+  double mass = 0, energy = 0, vmax = 0;
+  bool finite = true;
+  for (int j = 0; j < s.ny(); ++j) {
+    for (int i = 0; i < s.nx(); ++i) {
+      const double u = s.u(i, j);
+      const double v = s.v(i, j);
+      const double eta = s.eta(i, j);
+      finite = finite && std::isfinite(u) && std::isfinite(v) &&
+               std::isfinite(eta);
+      mass += eta;
+      energy += 0.5 * (p.depth * (u * u + v * v) + p.gravity * eta * eta);
+      vmax = std::max({vmax, std::abs(u), std::abs(v)});
+    }
+  }
+  d.mass = mass * dA;
+  d.energy = energy * dA;
+  d.max_speed = vmax;
+  d.cfl = vmax * p.dt() / p.dx();
+  d.finite = finite;
+
+  const auto zeta = relative_vorticity(s, p);
+  double ens = 0;
+  for (const double z : zeta.flat()) ens += 0.5 * z * z;
+  d.enstrophy = ens * dA;
+  return d;
+}
+
+field2d<double> relative_vorticity(const state<double>& s,
+                                   const swm_params& p) {
+  field2d<double> zeta(s.nx(), s.ny());
+  for (int j = 0; j < s.ny(); ++j) {
+    const int jm = zeta.jm(j);
+    for (int i = 0; i < s.nx(); ++i) {
+      const int im = zeta.im(i);
+      zeta(i, j) = (s.v(i, j) - s.v(im, j)) / p.dx() -
+                   (s.u(i, j) - s.u(i, jm)) / p.dy();
+    }
+  }
+  return zeta;
+}
+
+double rmse(const field2d<double>& a, const field2d<double>& b) {
+  TFX_EXPECTS(a.size() == b.size());
+  auto fa = a.flat();
+  auto fb = b.flat();
+  double acc = 0;
+  for (std::size_t k = 0; k < fa.size(); ++k) {
+    const double d = fa[k] - fb[k];
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(fa.size()));
+}
+
+double rms(const field2d<double>& a) {
+  auto fa = a.flat();
+  double acc = 0;
+  for (const double v : fa) acc += v * v;
+  return std::sqrt(acc / static_cast<double>(fa.size()));
+}
+
+std::vector<double> zonal_power_spectrum(const field2d<double>& f) {
+  const int nx = f.nx();
+  const int ny = f.ny();
+  std::vector<double> power(static_cast<std::size_t>(nx / 2 + 1), 0.0);
+  for (int j = 0; j < ny; ++j) {
+    for (int k = 0; k <= nx / 2; ++k) {
+      double re = 0, im = 0;
+      for (int i = 0; i < nx; ++i) {
+        const double phase = -2.0 * M_PI * k * i / nx;
+        re += f(i, j) * std::cos(phase);
+        im += f(i, j) * std::sin(phase);
+      }
+      power[static_cast<std::size_t>(k)] += (re * re + im * im) / nx;
+    }
+  }
+  return power;
+}
+
+double correlation(const field2d<double>& a, const field2d<double>& b) {
+  TFX_EXPECTS(a.size() == b.size() && a.size() > 1);
+  auto fa = a.flat();
+  auto fb = b.flat();
+  const auto n = static_cast<double>(fa.size());
+  double ma = 0, mb = 0;
+  for (std::size_t k = 0; k < fa.size(); ++k) {
+    ma += fa[k];
+    mb += fb[k];
+  }
+  ma /= n;
+  mb /= n;
+  double cov = 0, va = 0, vb = 0;
+  for (std::size_t k = 0; k < fa.size(); ++k) {
+    const double da = fa[k] - ma;
+    const double db = fb[k] - mb;
+    cov += da * db;
+    va += da * da;
+    vb += db * db;
+  }
+  if (va == 0 || vb == 0) return 0.0;
+  return cov / std::sqrt(va * vb);
+}
+
+}  // namespace tfx::swm

@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file diagnostics.hpp
+/// Conserved quantities and precision-comparison metrics, always
+/// evaluated in double on the unscaled state (diagnosis is not part of
+/// the precision experiment).
+
+#include <cstddef>
+#include <vector>
+
+#include "swm/field.hpp"
+#include "swm/params.hpp"
+
+namespace tfx::swm {
+
+struct diagnostics {
+  double mass = 0;       ///< volume anomaly: sum(eta) dA  (conserved)
+  double energy = 0;     ///< 0.5 sum(h0 (u^2+v^2) + g eta^2) dA
+  double enstrophy = 0;  ///< 0.5 sum(zeta^2) dA
+  double max_speed = 0;  ///< max(|u|, |v|)
+  double cfl = 0;        ///< max_speed * dt / dx
+  bool finite = true;    ///< no NaN/Inf anywhere
+};
+
+/// Evaluate all diagnostics for an unscaled double state.
+diagnostics compute_diagnostics(const state<double>& s, const swm_params& p);
+
+/// Relative vorticity zeta = dv/dx - du/dy at corner points (1/s).
+field2d<double> relative_vorticity(const state<double>& s,
+                                   const swm_params& p);
+
+/// Root-mean-square difference of two same-shaped fields.
+double rmse(const field2d<double>& a, const field2d<double>& b);
+
+/// RMS of a field.
+double rms(const field2d<double>& a);
+
+/// Pearson correlation of two same-shaped fields (the Fig. 4
+/// "qualitatively indistinguishable" check, made quantitative).
+double correlation(const field2d<double>& a, const field2d<double>& b);
+
+/// Zonal (x-direction) power spectrum, averaged over all rows: entry k
+/// holds |DFT_k|^2 / nx summed over j, for k = 0 .. nx/2. Direct O(n^2)
+/// evaluation - grids here are small, and it keeps the library free of
+/// an FFT dependency. Used to compare the turbulence energy cascade
+/// across precisions beyond point-wise error norms.
+std::vector<double> zonal_power_spectrum(const field2d<double>& f);
+
+}  // namespace tfx::swm

@@ -1,0 +1,430 @@
+#pragma once
+
+/// \file distributed.hpp
+/// Domain-decomposed shallow-water model over the simulated MPI.
+///
+/// The paper's § III-A measures MPI overheads and § III-B a
+/// single-node application; a production weather model combines them.
+/// This header does exactly that on the library's own substrates: the
+/// grid is split into y-slabs across mpisim ranks, each step exchanges
+/// halo rows (width 1, twice per RHS evaluation - once for the
+/// prognostic fields, once for the derived zeta/KE/Laplacian fields
+/// that the tendency stencils read at +-1), and the physics is the
+/// *same arithmetic in the same order* as the serial rhs_evaluator -
+/// tests/swm_distributed_test pins the two trajectories bit-for-bit at
+/// Float64.
+///
+/// Restrictions: ny must divide evenly by the rank count and each slab
+/// must be at least 2 rows tall; standard or compensated integration
+/// (mixed precision is a single-rank feature).
+
+#include <vector>
+
+#include "core/contracts.hpp"
+#include "mpisim/collectives.hpp"
+#include "mpisim/runtime.hpp"
+#include "swm/diagnostics.hpp"
+#include "swm/field.hpp"
+#include "swm/params.hpp"
+#include "swm/rhs.hpp"
+#include "swm/timestep.hpp"
+
+namespace tfx::swm {
+
+/// nx x local_ny slab with one halo row below (j = -1) and above
+/// (j = local_ny). Periodic in x only; y neighbours come from MPI.
+template <typename T>
+class slab {
+ public:
+  slab() = default;
+  slab(int nx, int local_ny)
+      : nx_(nx), local_ny_(local_ny),
+        data_(static_cast<std::size_t>(nx) *
+              static_cast<std::size_t>(local_ny + 2)) {
+    TFX_EXPECTS(nx > 0 && local_ny >= 2);
+  }
+
+  [[nodiscard]] int nx() const { return nx_; }
+  [[nodiscard]] int local_ny() const { return local_ny_; }
+
+  /// j in [-1, local_ny] (halo rows included).
+  T& operator()(int i, int j) {
+    return data_[static_cast<std::size_t>(j + 1) *
+                     static_cast<std::size_t>(nx_) +
+                 static_cast<std::size_t>(i)];
+  }
+  const T& operator()(int i, int j) const {
+    return data_[static_cast<std::size_t>(j + 1) *
+                     static_cast<std::size_t>(nx_) +
+                 static_cast<std::size_t>(i)];
+  }
+
+  [[nodiscard]] int ip(int i) const { return i + 1 == nx_ ? 0 : i + 1; }
+  [[nodiscard]] int im(int i) const { return i == 0 ? nx_ - 1 : i - 1; }
+
+  /// Interior row j as a span (for sends and bulk updates).
+  [[nodiscard]] std::span<T> row(int j) {
+    return {&(*this)(0, j), static_cast<std::size_t>(nx_)};
+  }
+  [[nodiscard]] std::span<const T> row(int j) const {
+    return {&(*this)(0, j), static_cast<std::size_t>(nx_)};
+  }
+
+  /// All interior elements, row-major (halo rows excluded).
+  [[nodiscard]] std::span<T> interior() {
+    return {&(*this)(0, 0), static_cast<std::size_t>(nx_) *
+                                static_cast<std::size_t>(local_ny_)};
+  }
+
+  void fill(T v) {
+    for (auto& x : data_) x = v;
+  }
+
+ private:
+  int nx_ = 0, local_ny_ = 0;
+  std::vector<T> data_;
+};
+
+/// The three prognostic slabs of one rank.
+template <typename T>
+struct slab_state {
+  slab<T> u, v, eta;
+
+  slab_state() = default;
+  slab_state(int nx, int local_ny)
+      : u(nx, local_ny), v(nx, local_ny), eta(nx, local_ny) {}
+
+  void fill(T value) {
+    u.fill(value);
+    v.fill(value);
+    eta.fill(value);
+  }
+};
+
+namespace detail {
+
+/// Exchange one slab's halo rows with the y-neighbours (periodic).
+template <typename T>
+void exchange_halo(mpisim::communicator& comm, slab<T>& f, int tag) {
+  const int p = comm.size();
+  const int r = comm.rank();
+  const int up = (r + 1) % p;          // owns rows above mine
+  const int down = (r - 1 + p) % p;    // owns rows below mine
+  if (p == 1) {
+    // Periodic wrap within the single rank.
+    const int top = f.local_ny() - 1;
+    for (int i = 0; i < f.nx(); ++i) {
+      f(i, -1) = f(i, top);
+      f(i, f.local_ny()) = f(i, 0);
+    }
+    return;
+  }
+  // Send my top row up and my bottom row down; receive symmetric.
+  comm.send(std::span<const T>(f.row(f.local_ny() - 1)), up, tag);
+  comm.send(std::span<const T>(f.row(0)), down, tag + 1);
+  comm.recv(std::span<T>(&f(0, -1), static_cast<std::size_t>(f.nx())), down,
+            tag);
+  comm.recv(std::span<T>(&f(0, f.local_ny()), static_cast<std::size_t>(f.nx())),
+            up, tag + 1);
+}
+
+}  // namespace detail
+
+/// The distributed model: same template discipline as swm::model, with
+/// an mpisim::communicator driving the halo exchanges.
+template <typename T>
+class distributed_model {
+ public:
+  distributed_model(mpisim::communicator& comm, swm_params params,
+                    integration_scheme scheme = integration_scheme::standard)
+      : comm_(comm), params_(params), scheme_(scheme),
+        coeffs_(coefficients<T>::make(params)) {
+    TFX_EXPECTS(params.bc == boundary::periodic &&
+                "distributed_model supports periodic boundaries");
+    TFX_EXPECTS(params.ny % comm.size() == 0);
+    local_ny_ = params.ny / comm.size();
+    TFX_EXPECTS(local_ny_ >= 2);
+    j0_ = comm.rank() * local_ny_;
+
+    const int nx = params.nx;
+    prog_ = slab_state<T>(nx, local_ny_);
+    comp_ = slab_state<T>(nx, local_ny_);
+    stage_ = slab_state<T>(nx, local_ny_);
+    zeta_ = slab<T>(nx, local_ny_);
+    ke_ = slab<T>(nx, local_ny_);
+    lap_u_ = slab<T>(nx, local_ny_);
+    lap_v_ = slab<T>(nx, local_ny_);
+    for (auto* k : {&k1_, &k2_, &k3_, &k4_}) {
+      k->u = slab<T>(nx, local_ny_);
+      k->v = slab<T>(nx, local_ny_);
+      k->eta = slab<T>(nx, local_ny_);
+    }
+    inc_ = slab_state<T>(nx, local_ny_);
+    prog_.fill(T{});
+    comp_.fill(T{});
+
+    const double dt = params.dt();
+    const double dy = params.dy();
+    const double s = coeffs_.scale;
+    dt_cor_u_.resize(static_cast<std::size_t>(local_ny_));
+    dt_cor_v_.resize(static_cast<std::size_t>(local_ny_));
+    wind_u_.resize(static_cast<std::size_t>(local_ny_));
+    for (int j = 0; j < local_ny_; ++j) {
+      const int gj = j0_ + j;
+      const double y_center = (gj + 0.5) * dy - 0.5 * params.Ly;
+      const double y_face = gj * dy - 0.5 * params.Ly;
+      dt_cor_u_[static_cast<std::size_t>(j)] = T(
+          dt * (params.coriolis_f0 + params.coriolis_beta * y_center));
+      dt_cor_v_[static_cast<std::size_t>(j)] =
+          T(dt * (params.coriolis_f0 + params.coriolis_beta * y_face));
+      wind_u_[static_cast<std::size_t>(j)] =
+          T(-dt * s * params.wind_stress / (params.rho * params.depth) *
+            std::cos(2.0 * M_PI * (gj + 0.5) / params.ny));
+    }
+  }
+
+  [[nodiscard]] int local_ny() const { return local_ny_; }
+  [[nodiscard]] int global_j0() const { return j0_; }
+  [[nodiscard]] const swm_params& params() const { return params_; }
+
+  /// Adopt the rank's slab of a global state (e.g. produced by the
+  /// serial model's seeding, for reproducible comparisons).
+  void set_from_global(const state<T>& global) {
+    TFX_EXPECTS(global.nx() == params_.nx && global.ny() == params_.ny);
+    for (int j = 0; j < local_ny_; ++j) {
+      for (int i = 0; i < params_.nx; ++i) {
+        prog_.u(i, j) = global.u(i, j0_ + j);
+        prog_.v(i, j) = global.v(i, j0_ + j);
+        prog_.eta(i, j) = global.eta(i, j0_ + j);
+      }
+    }
+    comp_.fill(T{});
+  }
+
+  /// Gather the full state to every rank (allgather by rows).
+  [[nodiscard]] state<T> gather_global() {
+    state<T> out(params_.nx, params_.ny);
+    const std::size_t chunk = static_cast<std::size_t>(params_.nx) *
+                              static_cast<std::size_t>(local_ny_);
+    std::vector<T> mine(chunk);
+    auto pack = [&](slab<T>& s, field2d<T>& dst) {
+      std::copy(s.interior().begin(), s.interior().end(), mine.begin());
+      std::vector<T> all(chunk * static_cast<std::size_t>(comm_.size()));
+      mpisim::allgather(comm_, std::span<const T>(mine), std::span<T>(all));
+      std::copy(all.begin(), all.end(), dst.flat().begin());
+    };
+    pack(prog_.u, out.u);
+    pack(prog_.v, out.v);
+    pack(prog_.eta, out.eta);
+    return out;
+  }
+
+  /// One RK4 step (collective: every rank must call it).
+  void step() {
+    const T half = T(0.5);
+    const T one = T(1);
+    eval_rhs(prog_, k1_);
+    combine_stage(prog_, k1_, half);
+    eval_rhs(stage_, k2_);
+    combine_stage(prog_, k2_, half);
+    eval_rhs(stage_, k3_);
+    combine_stage(prog_, k3_, one);
+    eval_rhs(stage_, k4_);
+
+    rk4_combine(inc_.u, k1_.u, k2_.u, k3_.u, k4_.u);
+    rk4_combine(inc_.v, k1_.v, k2_.v, k3_.v, k4_.v);
+    rk4_combine(inc_.eta, k1_.eta, k2_.eta, k3_.eta, k4_.eta);
+
+    if (scheme_ == integration_scheme::compensated) {
+      apply_comp(prog_.u, inc_.u, comp_.u);
+      apply_comp(prog_.v, inc_.v, comp_.v);
+      apply_comp(prog_.eta, inc_.eta, comp_.eta);
+    } else {
+      apply_plain(prog_.u, inc_.u);
+      apply_plain(prog_.v, inc_.v);
+      apply_plain(prog_.eta, inc_.eta);
+    }
+    ++steps_;
+  }
+
+  void run(int steps) {
+    for (int s = 0; s < steps; ++s) step();
+  }
+
+  [[nodiscard]] int steps_taken() const { return steps_; }
+
+  /// Global maximum speed via allreduce (a CFL monitor every rank
+  /// obtains collectively).
+  [[nodiscard]] double global_max_speed() {
+    double local = 0;
+    for (int j = 0; j < local_ny_; ++j) {
+      for (int i = 0; i < params_.nx; ++i) {
+        local = std::max({local,
+                          std::abs(static_cast<double>(prog_.u(i, j))),
+                          std::abs(static_cast<double>(prog_.v(i, j)))});
+      }
+    }
+    local /= coeffs_.scale;
+    std::vector<double> in{local}, out{0.0};
+    mpisim::allreduce(comm_, std::span<const double>(in),
+                      std::span<double>(out), mpisim::ops::max{},
+                      mpisim::coll_algorithm::recursive_doubling);
+    return out[0];
+  }
+
+ private:
+  /// The same five passes as rhs_evaluator::operator(), on slabs, with
+  /// two halo-exchange phases. Formulas must stay textually in sync
+  /// with rhs.hpp (the bit-equality test enforces it).
+  void eval_rhs(slab_state<T>& st, slab_state<T>& out) {
+    const int nx = params_.nx;
+    const int nyl = local_ny_;
+    const coefficients<T>& c = coeffs_;
+    auto& U = st.u;
+    auto& V = st.v;
+    auto& H = st.eta;
+
+    detail::exchange_halo(comm_, U, 1000);
+    detail::exchange_halo(comm_, V, 1010);
+    detail::exchange_halo(comm_, H, 1020);
+
+    for (int j = 0; j < nyl; ++j) {
+      for (int i = 0; i < nx; ++i) {
+        const int im = U.im(i);
+        const int ip = U.ip(i);
+        zeta_(i, j) = (V(i, j) - V(im, j)) - (U(i, j) - U(i, j - 1));
+        const T ubar = c.half * (U(i, j) + U(ip, j));
+        const T vbar = c.half * (V(i, j) + V(i, j + 1));
+        ke_(i, j) = c.half * (ubar * (c.inv_s * ubar) +
+                              vbar * (c.inv_s * vbar));
+      }
+    }
+    for (int j = 0; j < nyl; ++j) {
+      for (int i = 0; i < nx; ++i) {
+        const int im = U.im(i);
+        const int ip = U.ip(i);
+        const T four = T(4);
+        lap_u_(i, j) = U(ip, j) + U(im, j) + U(i, j + 1) + U(i, j - 1) -
+                       four * U(i, j);
+        lap_v_(i, j) = V(ip, j) + V(im, j) + V(i, j + 1) + V(i, j - 1) -
+                       four * V(i, j);
+      }
+    }
+
+    detail::exchange_halo(comm_, zeta_, 1030);
+    detail::exchange_halo(comm_, ke_, 1040);
+    detail::exchange_halo(comm_, lap_u_, 1050);
+    detail::exchange_halo(comm_, lap_v_, 1060);
+
+    for (int j = 0; j < nyl; ++j) {
+      const T dtf = dt_cor_u_[static_cast<std::size_t>(j)];
+      const T wind = wind_u_[static_cast<std::size_t>(j)];
+      for (int i = 0; i < nx; ++i) {
+        const int im = U.im(i);
+        const int ip = U.ip(i);
+        const T vbar = c.quarter *
+                       (V(im, j) + V(i, j) + V(im, j + 1) + V(i, j + 1));
+        const T zbar = c.inv_s * (c.half * (zeta_(i, j) + zeta_(i, j + 1)));
+        const T biharm = lap_u_(ip, j) + lap_u_(im, j) + lap_u_(i, j + 1) +
+                         lap_u_(i, j - 1) - T(4) * lap_u_(i, j);
+        out.u(i, j) = dtf * vbar + c.dtdx * (zbar * vbar) -
+                      c.g_dtdx * (H(i, j) - H(im, j)) -
+                      c.dtdx * (ke_(i, j) - ke_(im, j)) + wind -
+                      c.dt_drag * U(i, j) - c.dt_visc * biharm;
+      }
+    }
+    for (int j = 0; j < nyl; ++j) {
+      const T dtf = dt_cor_v_[static_cast<std::size_t>(j)];
+      for (int i = 0; i < nx; ++i) {
+        const int im = V.im(i);
+        const int ip = V.ip(i);
+        const T ubar = c.quarter *
+                       (U(i, j - 1) + U(i, j) + U(ip, j - 1) + U(ip, j));
+        const T zbar = c.inv_s * (c.half * (zeta_(i, j) + zeta_(ip, j)));
+        const T biharm = lap_v_(ip, j) + lap_v_(im, j) + lap_v_(i, j + 1) +
+                         lap_v_(i, j - 1) - T(4) * lap_v_(i, j);
+        out.v(i, j) = -dtf * ubar - c.dtdx * (zbar * ubar) -
+                      c.g_dtdy * (H(i, j) - H(i, j - 1)) -
+                      c.dtdy * (ke_(i, j) - ke_(i, j - 1)) -
+                      c.dt_drag * V(i, j) - c.dt_visc * biharm;
+      }
+    }
+    for (int j = 0; j < nyl; ++j) {
+      for (int i = 0; i < nx; ++i) {
+        const int im = H.im(i);
+        const int ip = H.ip(i);
+        const T div = c.h0_dtdx * (U(ip, j) - U(i, j)) +
+                      c.h0_dtdy * (V(i, j + 1) - V(i, j));
+        const T fx_e = U(ip, j) * (c.inv_s * (c.half * (H(i, j) + H(ip, j))));
+        const T fx_w = U(i, j) * (c.inv_s * (c.half * (H(im, j) + H(i, j))));
+        const T fy_n =
+            V(i, j + 1) * (c.inv_s * (c.half * (H(i, j) + H(i, j + 1))));
+        const T fy_s =
+            V(i, j) * (c.inv_s * (c.half * (H(i, j - 1) + H(i, j))));
+        out.eta(i, j) = -div - c.dtdx * (fx_e - fx_w) -
+                        c.dtdy * (fy_n - fy_s);
+      }
+    }
+  }
+
+  void combine_stage(slab_state<T>& y, slab_state<T>& k, T a) {
+    auto combine_one = [a](slab<T>& dst, slab<T>& yy, slab<T>& kk) {
+      auto d = dst.interior();
+      auto yv = yy.interior();
+      auto kv = kk.interior();
+      for (std::size_t idx = 0; idx < d.size(); ++idx) {
+        d[idx] = yv[idx] + a * kv[idx];
+      }
+    };
+    combine_one(stage_.u, y.u, k.u);
+    combine_one(stage_.v, y.v, k.v);
+    combine_one(stage_.eta, y.eta, k.eta);
+  }
+
+  void rk4_combine(slab<T>& inc, slab<T>& a, slab<T>& b, slab<T>& cc,
+                   slab<T>& d) {
+    auto o = inc.interior();
+    auto k1 = a.interior();
+    auto k2 = b.interior();
+    auto k3 = cc.interior();
+    auto k4 = d.interior();
+    const T two{2};
+    const T sixth = T(1.0 / 6.0);
+    for (std::size_t idx = 0; idx < o.size(); ++idx) {
+      o[idx] = sixth * (k1[idx] + two * k2[idx] + two * k3[idx] + k4[idx]);
+    }
+  }
+
+  void apply_plain(slab<T>& y, slab<T>& inc) {
+    auto yv = y.interior();
+    auto iv = inc.interior();
+    for (std::size_t idx = 0; idx < yv.size(); ++idx) yv[idx] += iv[idx];
+  }
+
+  void apply_comp(slab<T>& y, slab<T>& inc, slab<T>& comp) {
+    auto yv = y.interior();
+    auto iv = inc.interior();
+    auto cv = comp.interior();
+    for (std::size_t idx = 0; idx < yv.size(); ++idx) {
+      const T adjusted = iv[idx] - cv[idx];
+      const T t = yv[idx] + adjusted;
+      cv[idx] = (t - yv[idx]) - adjusted;
+      yv[idx] = t;
+    }
+  }
+
+  mpisim::communicator& comm_;
+  swm_params params_;
+  integration_scheme scheme_;
+  coefficients<T> coeffs_;
+  int local_ny_ = 0;
+  int j0_ = 0;
+  int steps_ = 0;
+
+  slab_state<T> prog_, comp_, stage_, inc_;
+  slab_state<T> k1_, k2_, k3_, k4_;
+  slab<T> zeta_, ke_, lap_u_, lap_v_;
+  std::vector<T> dt_cor_u_, dt_cor_v_, wind_u_;
+};
+
+}  // namespace tfx::swm

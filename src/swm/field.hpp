@@ -1,0 +1,105 @@
+#pragma once
+
+/// \file field.hpp
+/// 2-D gridded fields for the shallow-water model.
+///
+/// Row-major storage, (i, j) = (x, y) indices, periodic in both
+/// directions (the doubly-periodic beta-plane configuration; DESIGN.md
+/// documents this simplification of ShallowWaters.jl's closed basin).
+/// The element type is the template parameter the whole
+/// type-flexibility story rests on: the same model instantiates with
+/// double, float, float16 or sherlog<float>.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/contracts.hpp"
+
+namespace tfx::swm {
+
+template <typename T>
+class field2d {
+ public:
+  field2d() = default;
+  field2d(int nx, int ny)
+      : nx_(nx), ny_(ny),
+        data_(static_cast<std::size_t>(nx) * static_cast<std::size_t>(ny)) {
+    TFX_EXPECTS(nx > 0 && ny > 0);
+  }
+
+  [[nodiscard]] int nx() const { return nx_; }
+  [[nodiscard]] int ny() const { return ny_; }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+
+  /// Unchecked interior access (callers use wrapped indices).
+  T& operator()(int i, int j) {
+    return data_[static_cast<std::size_t>(j) * static_cast<std::size_t>(nx_) +
+                 static_cast<std::size_t>(i)];
+  }
+  const T& operator()(int i, int j) const {
+    return data_[static_cast<std::size_t>(j) * static_cast<std::size_t>(nx_) +
+                 static_cast<std::size_t>(i)];
+  }
+
+  /// Periodic neighbour indices.
+  [[nodiscard]] int ip(int i) const { return i + 1 == nx_ ? 0 : i + 1; }
+  [[nodiscard]] int im(int i) const { return i == 0 ? nx_ - 1 : i - 1; }
+  [[nodiscard]] int jp(int j) const { return j + 1 == ny_ ? 0 : j + 1; }
+  [[nodiscard]] int jm(int j) const { return j == 0 ? ny_ - 1 : j - 1; }
+
+  void fill(T value) {
+    for (auto& v : data_) v = value;
+  }
+
+  [[nodiscard]] std::span<T> flat() { return data_; }
+  [[nodiscard]] std::span<const T> flat() const { return data_; }
+
+ private:
+  int nx_ = 0, ny_ = 0;
+  std::vector<T> data_;
+};
+
+/// Element-wise precision conversion between field types (via double,
+/// which is exact for every format in the library).
+template <typename To, typename From>
+field2d<To> convert_field(const field2d<From>& src) {
+  field2d<To> dst(src.nx(), src.ny());
+  auto in = src.flat();
+  auto out = dst.flat();
+  for (std::size_t k = 0; k < in.size(); ++k) {
+    out[k] = To(static_cast<double>(in[k]));
+  }
+  return dst;
+}
+
+/// The model's prognostic variables on the Arakawa C-grid. With
+/// doubly-periodic boundaries all three arrays share the cell count;
+/// u lives on x-faces, v on y-faces, eta at centres.
+template <typename T>
+struct state {
+  field2d<T> u, v, eta;
+
+  state() = default;
+  state(int nx, int ny) : u(nx, ny), v(nx, ny), eta(nx, ny) {}
+
+  [[nodiscard]] int nx() const { return eta.nx(); }
+  [[nodiscard]] int ny() const { return eta.ny(); }
+
+  void fill(T value) {
+    u.fill(value);
+    v.fill(value);
+    eta.fill(value);
+  }
+};
+
+template <typename To, typename From>
+state<To> convert_state(const state<From>& src) {
+  state<To> dst;
+  dst.u = convert_field<To>(src.u);
+  dst.v = convert_field<To>(src.v);
+  dst.eta = convert_field<To>(src.eta);
+  return dst;
+}
+
+}  // namespace tfx::swm

@@ -1,0 +1,217 @@
+#pragma once
+
+/// \file model.hpp
+/// The shallow-water model facade: ShallowWaters.jl's role in the
+/// paper, written once and instantiated at any precision.
+///
+///   model<double>                       - the Float64 reference
+///   model<float>                        - Float32
+///   model<fp::float16>                  - Float16, compensated RK4
+///   model<fp::float16, float>           - the mixed Float16/32 run
+///   model<fp::sherlog<float>>           - the Sherlog32 analysis run
+///
+/// The first template parameter T is the *computation* type (all RHS
+/// arithmetic); the second, Tprog, is the *time-integration* type the
+/// prognostic fields are stored and accumulated in (defaults to T).
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "core/rng.hpp"
+#include "swm/diagnostics.hpp"
+#include "swm/field.hpp"
+#include "swm/params.hpp"
+#include "swm/rhs.hpp"
+#include "swm/timestep.hpp"
+
+namespace tfx::swm {
+
+template <typename T, typename Tprog = T>
+class model {
+ public:
+  explicit model(swm_params params,
+                 integration_scheme scheme = integration_scheme::standard)
+      : params_(params),
+        scheme_(scheme),
+        rhs_(params),
+        prog_(params.nx, params.ny),
+        comp_(params.nx, params.ny),
+        stage_(params.nx, params.ny),
+        inc_u_(params.nx, params.ny),
+        inc_v_(params.nx, params.ny),
+        inc_eta_(params.nx, params.ny),
+        k1_(params.nx, params.ny),
+        k2_(params.nx, params.ny),
+        k3_(params.nx, params.ny),
+        k4_(params.nx, params.ny) {
+    prog_.fill(Tprog{});
+    comp_.fill(Tprog{});
+  }
+
+  [[nodiscard]] const swm_params& params() const { return params_; }
+  [[nodiscard]] integration_scheme scheme() const { return scheme_; }
+  [[nodiscard]] int steps_taken() const { return steps_; }
+  [[nodiscard]] double time() const { return steps_ * params_.dt(); }
+
+  /// The prognostic (scaled) state in integration precision.
+  [[nodiscard]] const state<Tprog>& prognostic() const { return prog_; }
+  [[nodiscard]] state<Tprog>& prognostic() { return prog_; }
+
+  /// Attach a thread pool: the RHS passes run row-parallel (results
+  /// bit-identical to serial; see rhs_evaluator::attach_pool). The pool
+  /// must outlive the model.
+  void attach_pool(thread_pool* pool) { rhs_.attach_pool(pool); }
+
+  /// Restart from a checkpointed state: adopts the fields and the step
+  /// counter, clears the Kahan compensation (see checkpoint.hpp).
+  void restore(const state<Tprog>& s, int steps_taken) {
+    TFX_EXPECTS(s.nx() == params_.nx && s.ny() == params_.ny);
+    prog_ = s;
+    comp_.fill(Tprog{});
+    steps_ = steps_taken;
+  }
+
+  /// Unscaled state in double precision, for diagnostics and output.
+  [[nodiscard]] state<double> unscaled() const {
+    state<double> out = convert_state<double>(prog_);
+    const double inv_s = 1.0 / rhs_.coeffs().scale;
+    for (auto& v : out.u.flat()) v *= inv_s;
+    for (auto& v : out.v.flat()) v *= inv_s;
+    for (auto& v : out.eta.flat()) v *= inv_s;
+    return out;
+  }
+
+  /// Initialize with a balanced random eddy field: a band-limited
+  /// random streamfunction, nondivergent velocities and a
+  /// geostrophically balanced surface displacement. Produces the
+  /// turbulent regime of Fig. 4 within a short spin-up.
+  void seed_random_eddies(std::uint64_t seed, double velocity_amplitude) {
+    xoshiro256 rng(seed);
+    const int nx = params_.nx;
+    const int ny = params_.ny;
+    field2d<double> psi(nx, ny);
+    psi.fill(0.0);
+
+    // A handful of large-scale Fourier modes with random phases.
+    constexpr int kmax = 4;
+    for (int kx = 1; kx <= kmax; ++kx) {
+      for (int ky = 1; ky <= kmax; ++ky) {
+        const double amp = rng.uniform(-1.0, 1.0) /
+                           std::sqrt(static_cast<double>(kx * kx + ky * ky));
+        const double phx = rng.uniform(0.0, 2.0 * M_PI);
+        const double phy = rng.uniform(0.0, 2.0 * M_PI);
+        for (int j = 0; j < ny; ++j) {
+          for (int i = 0; i < nx; ++i) {
+            psi(i, j) += amp *
+                         std::sin(2.0 * M_PI * kx * i / nx + phx) *
+                         std::sin(2.0 * M_PI * ky * j / ny + phy);
+          }
+        }
+      }
+    }
+
+    // Normalize so max |u| ~ velocity_amplitude, then derive fields.
+    double max_grad = 0.0;
+    for (int j = 0; j < ny; ++j) {
+      for (int i = 0; i < nx; ++i) {
+        const double gx = (psi(psi.ip(i), j) - psi(i, j)) / params_.dx();
+        const double gy = (psi(i, psi.jp(j)) - psi(i, j)) / params_.dy();
+        max_grad = std::max({max_grad, std::abs(gx), std::abs(gy)});
+      }
+    }
+    const double norm = max_grad > 0 ? velocity_amplitude / max_grad : 0.0;
+    const double s = rhs_.coeffs().scale;
+    for (int j = 0; j < ny; ++j) {
+      for (int i = 0; i < nx; ++i) {
+        const double u = -(psi(i, psi.jp(j)) - psi(i, j)) / params_.dy() * norm;
+        const double v = (psi(psi.ip(i), j) - psi(i, j)) / params_.dx() * norm;
+        const double eta =
+            params_.coriolis_f0 / params_.gravity * psi(i, j) * norm;
+        prog_.u(i, j) = Tprog(s * u);
+        prog_.v(i, j) = Tprog(s * v);
+        prog_.eta(i, j) = Tprog(s * eta);
+      }
+    }
+    if (params_.bc == boundary::channel) {
+      // The j = 0 v-row is the solid wall (south and, via the wrap,
+      // north): no flow through it, ever. The RHS keeps it at zero.
+      for (int i = 0; i < nx; ++i) prog_.v(i, 0) = Tprog{};
+    }
+    comp_.fill(Tprog{});
+  }
+
+  /// Advance one RK4 step.
+  void step() {
+    const Tprog half = Tprog(0.5);
+    const Tprog one = Tprog(1);
+
+    // k1 = F(y)
+    eval_stage(prog_, k1_);
+    // k2 = F(y + k1/2)
+    combine_stage(prog_, k1_, half);
+    eval_stage(stage_, k2_);
+    // k3 = F(y + k2/2)
+    combine_stage(prog_, k2_, half);
+    eval_stage(stage_, k3_);
+    // k4 = F(y + k3)
+    combine_stage(prog_, k3_, one);
+    eval_stage(stage_, k4_);
+
+    rk4_increment(inc_u_, k1_.du, k2_.du, k3_.du, k4_.du);
+    rk4_increment(inc_v_, k1_.dv, k2_.dv, k3_.dv, k4_.dv);
+    rk4_increment(inc_eta_, k1_.deta, k2_.deta, k3_.deta, k4_.deta);
+
+    if (scheme_ == integration_scheme::compensated) {
+      apply_increment_compensated(prog_.u, inc_u_, comp_.u);
+      apply_increment_compensated(prog_.v, inc_v_, comp_.v);
+      apply_increment_compensated(prog_.eta, inc_eta_, comp_.eta);
+    } else {
+      apply_increment(prog_.u, inc_u_);
+      apply_increment(prog_.v, inc_v_);
+      apply_increment(prog_.eta, inc_eta_);
+    }
+    ++steps_;
+  }
+
+  void run(int steps) {
+    for (int i = 0; i < steps; ++i) step();
+  }
+
+  /// Diagnostics on the unscaled double-precision state.
+  [[nodiscard]] diagnostics diag() const {
+    return compute_diagnostics(unscaled(), params_);
+  }
+
+ private:
+  /// Evaluate the RHS at a (possibly wider-precision) state, casting
+  /// down to the computation type when Tprog != T.
+  void eval_stage(const state<Tprog>& at, tendencies<T>& k) {
+    if constexpr (std::is_same_v<T, Tprog>) {
+      rhs_(at, k);
+    } else {
+      compute_state_ = convert_state<T>(at);
+      rhs_(compute_state_, k);
+    }
+  }
+
+  /// stage_ = y + a * k, in Tprog.
+  void combine_stage(const state<Tprog>& y, const tendencies<T>& k, Tprog a) {
+    stage_combine(stage_.u, y.u, k.du, a);
+    stage_combine(stage_.v, y.v, k.dv, a);
+    stage_combine(stage_.eta, y.eta, k.deta, a);
+  }
+
+  swm_params params_;
+  integration_scheme scheme_;
+  rhs_evaluator<T> rhs_;
+  state<Tprog> prog_;
+  state<Tprog> comp_;   ///< Kahan compensation carried across steps
+  state<Tprog> stage_;  ///< RK stage state
+  state<T> compute_state_;  ///< down-cast stage (mixed precision only)
+  field2d<Tprog> inc_u_, inc_v_, inc_eta_;
+  tendencies<T> k1_, k2_, k3_, k4_;
+  int steps_ = 0;
+};
+
+}  // namespace tfx::swm

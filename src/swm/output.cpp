@@ -1,0 +1,46 @@
+#include "swm/output.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+namespace tfx::swm {
+
+bool write_pgm(const field2d<double>& f, const std::string& path,
+               double amplitude) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  double amp = amplitude;
+  if (amp <= 0.0) {
+    for (const double v : f.flat()) amp = std::max(amp, std::abs(v));
+    if (amp == 0.0) amp = 1.0;
+  }
+  out << "P5\n" << f.nx() << ' ' << f.ny() << "\n255\n";
+  std::vector<unsigned char> row(static_cast<std::size_t>(f.nx()));
+  for (int j = f.ny() - 1; j >= 0; --j) {  // north at the top
+    for (int i = 0; i < f.nx(); ++i) {
+      const double norm = std::clamp(f(i, j) / amp, -1.0, 1.0);
+      row[static_cast<std::size_t>(i)] =
+          static_cast<unsigned char>(std::lround((norm + 1.0) * 127.5));
+    }
+    out.write(reinterpret_cast<const char*>(row.data()),
+              static_cast<std::streamsize>(row.size()));
+  }
+  return static_cast<bool>(out);
+}
+
+bool write_csv(const field2d<double>& f, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  for (int j = 0; j < f.ny(); ++j) {
+    for (int i = 0; i < f.nx(); ++i) {
+      if (i) out << ',';
+      out << f(i, j);
+    }
+    out << '\n';
+  }
+  return static_cast<bool>(out);
+}
+
+}  // namespace tfx::swm

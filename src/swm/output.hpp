@@ -1,0 +1,22 @@
+#pragma once
+
+/// \file output.hpp
+/// Field output: PGM images (the Fig. 4 vorticity snapshot) and CSV.
+
+#include <string>
+
+#include "swm/field.hpp"
+
+namespace tfx::swm {
+
+/// Write a field as an 8-bit PGM image, linearly mapping
+/// [-amplitude, +amplitude] to [0, 255] (amplitude = max|value| when 0).
+/// Returns false if the file could not be opened.
+bool write_pgm(const field2d<double>& f, const std::string& path,
+               double amplitude = 0.0);
+
+/// Write a field as CSV (one row per j, columns i). Returns false if
+/// the file could not be opened.
+bool write_csv(const field2d<double>& f, const std::string& path);
+
+}  // namespace tfx::swm

@@ -1,0 +1,136 @@
+#pragma once
+
+/// \file params.hpp
+/// Physical and numerical parameters of the shallow-water model, plus
+/// the precomputed per-step coefficients.
+///
+/// Two precision-engineering devices from the paper are visible here:
+///
+///  * every coefficient is pre-multiplied by the time step, so the RHS
+///    produces per-step *increments*; this keeps magnitudes like
+///    dt*f0 ~ 2e-3 inside Float16's normal range where the raw Coriolis
+///    parameter f0 ~ 1e-4 would graze the subnormal boundary;
+///  * the prognostic fields are stored multiplied by a power-of-two
+///    scale s = 2^k (chosen via a Sherlog analysis run); linear terms
+///    are scale-transparent, and the handful of quadratic terms divide
+///    by s exactly once. Powers of two are exact, so the scaling
+///    changes no mantissa bits.
+
+#include <cmath>
+#include <cstdint>
+
+#include "core/contracts.hpp"
+
+namespace tfx::swm {
+
+/// Domain boundary conditions.
+enum class boundary {
+  periodic,  ///< doubly periodic (default; beta-plane turbulence box)
+  channel,   ///< periodic in x, free-slip solid walls at y = 0 and Ly
+             ///< (the zonal-channel configuration; v vanishes on the
+             ///< walls, zeta vanishes on the walls under free slip)
+};
+
+/// User-level physical configuration (all SI units, double precision -
+/// this is setup code, not the hot loop; ShallowWaters.jl does the
+/// same: transcendental/constant work in high precision, § III-B).
+struct swm_params {
+  int nx = 128;
+  int ny = 64;
+  double Lx = 4000e3;  ///< zonal extent (m)
+  double Ly = 2000e3;  ///< meridional extent (m)
+
+  double gravity = 10.0;   ///< m/s^2
+  double depth = 500.0;    ///< mean layer thickness h0 (m)
+  double coriolis_f0 = 1e-4;   ///< f-plane part (1/s)
+  double coriolis_beta = 2e-11;  ///< beta-plane gradient (1/(m s))
+
+  double wind_stress = 0.1;  ///< peak wind stress tau0 (Pa)
+  double rho = 1000.0;       ///< water density (kg/m^3)
+  double drag = 1e-6;        ///< linear bottom drag (1/s)
+
+  /// Biharmonic strength as dt*nu4/dx^4. The largest grid-scale
+  /// eigenvalue of the discrete biharmonic is 64, so explicit RK4
+  /// stability needs this fraction well below ~1/64 * 2.8; 0.005 damps
+  /// grid noise on a ~200-step timescale.
+  double visc_fraction = 0.005;
+
+  double cfl = 0.7;  ///< advective CFL target for dt
+
+  boundary bc = boundary::periodic;
+
+  /// log2 of the prognostic-variable scale s (0 = unscaled). For
+  /// Float16 runs this is chosen with fp::choose_scaling from a
+  /// Sherlog32 development run, as in § III-B.
+  int log2_scale = 0;
+
+  [[nodiscard]] double dx() const { return Lx / nx; }
+  [[nodiscard]] double dy() const { return Ly / ny; }
+
+  /// Gravity-wave-limited time step.
+  [[nodiscard]] double dt() const {
+    const double c = std::sqrt(gravity * depth);
+    const double dmin = dx() < dy() ? dx() : dy();
+    return cfl * dmin / c;
+  }
+
+  /// Biharmonic viscosity coefficient (m^4/s), scaled to damp grid
+  /// noise in about 1/visc_fraction time steps.
+  [[nodiscard]] double visc_biharmonic() const {
+    const double d4 = dx() * dx() * dx() * dx();
+    return visc_fraction * d4 / dt();
+  }
+};
+
+/// Per-step coefficients in the model's element type T. All are formed
+/// from doubles and rounded once into T.
+template <typename T>
+struct coefficients {
+  T half{};         ///< 0.5
+  T quarter{};      ///< 0.25
+  T g_dtdx{};       ///< dt*g/dx    (pressure gradient, x)
+  T g_dtdy{};       ///< dt*g/dy
+  T dt_f0{};        ///< dt*f0
+  T dt_beta_dy{};   ///< dt*beta*dy (Coriolis change per j row)
+  /// dt/dx and dt/dy for the quadratic terms. The nonlinear products
+  /// are formed as (scaled factor) * (inv_s * scaled factor) so no
+  /// intermediate ever carries scale s^2 - at s = 2^13 a bare U*V would
+  /// overflow Float16 even though both factors are in range. inv_s is
+  /// a power of two, so the refactoring is exact.
+  T dtdx{};
+  T dtdy{};
+  T h0_dtdx{};      ///< dt*h0/dx   (linear continuity)
+  T h0_dtdy{};      ///< dt*h0/dy
+  T dt_drag{};      ///< dt*r       (linear bottom drag)
+  T dt_visc{};      ///< dt*nu4/dx^4 (biharmonic, grid units)
+  T wind_u{};       ///< dt*s*tau0/(rho*h0) peak wind acceleration
+  T inv_s{};        ///< 1/s
+  double scale = 1.0;      ///< s, kept in double for I/O
+  int jmid = 0;            ///< reference row for beta plane
+
+  static coefficients make(const swm_params& p) {
+    coefficients c;
+    const double dt = p.dt();
+    const double s = std::ldexp(1.0, p.log2_scale);
+    c.half = T(0.5);
+    c.quarter = T(0.25);
+    c.g_dtdx = T(dt * p.gravity / p.dx());
+    c.g_dtdy = T(dt * p.gravity / p.dy());
+    c.dt_f0 = T(dt * p.coriolis_f0);
+    c.dt_beta_dy = T(dt * p.coriolis_beta * p.dy());
+    c.dtdx = T(dt / p.dx());
+    c.dtdy = T(dt / p.dy());
+    c.h0_dtdx = T(dt * p.depth / p.dx());
+    c.h0_dtdy = T(dt * p.depth / p.dy());
+    c.dt_drag = T(dt * p.drag);
+    c.dt_visc = T(dt * p.visc_biharmonic() /
+                  (p.dx() * p.dx() * p.dx() * p.dx()));
+    c.wind_u = T(dt * s * p.wind_stress / (p.rho * p.depth));
+    c.inv_s = T(1.0 / s);
+    c.scale = s;
+    c.jmid = p.ny / 2;
+    return c;
+  }
+};
+
+}  // namespace tfx::swm

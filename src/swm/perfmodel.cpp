@@ -1,0 +1,103 @@
+#include "swm/perfmodel.hpp"
+
+#include <algorithm>
+
+#include "arch/roofline.hpp"
+
+namespace tfx::swm {
+
+precision_config config_float64() { return {8, 8, false, "Float64"}; }
+precision_config config_float32() { return {4, 4, false, "Float32"}; }
+precision_config config_float16() { return {2, 2, true, "Float16"}; }
+precision_config config_float16_32() { return {2, 4, false, "Float16/32"}; }
+
+namespace {
+
+// Array sweeps per cell per RK4 step, matching the implementation in
+// rhs.hpp / model.hpp pass for pass:
+//   4 RHS evaluations x (19 reads + 7 writes) of T
+//   3 stage combinations x 3 fields x (2 Tprog reads/writes + 1 T read)
+//   increment reduction: 3 fields x (4 T reads + 1 Tprog write)
+//   prognostic update: 3 fields x (3 Tprog), +2 Tprog each when the
+//   Kahan compensation arrays are carried
+//   mixed precision: 4 down-casts x 3 fields x (Tprog read + T write)
+constexpr double rhs_sweeps_T = 4.0 * (19.0 + 7.0);
+constexpr double stage_sweeps_Tprog = 3.0 * 3.0 * 2.0;
+constexpr double stage_sweeps_T = 3.0 * 3.0 * 1.0;
+constexpr double inc_sweeps_T = 3.0 * 4.0;
+constexpr double inc_sweeps_Tprog = 3.0 * 1.0;
+constexpr double update_sweeps_plain = 3.0 * 3.0;
+constexpr double update_sweeps_comp = 3.0 * 5.0;
+constexpr double cast_sweeps = 4.0 * 3.0;  // each: 1 Tprog + 1 T
+
+/// Arithmetic per cell per step (4 RHS evaluations of the 5-pass
+/// stencil plus the RK4 combination), counted from the source.
+constexpr double flops_per_cell = 440.0;
+
+/// Fraction of peak SIMD FMA throughput a real stencil loop sustains.
+constexpr double stencil_efficiency = 0.8;
+
+/// Fixed per-step cost independent of the grid (loop launches, scalar
+/// sections, halo bookkeeping) - this is what collapses the speedups
+/// toward 1x at small grids in Fig. 5.
+constexpr double fixed_step_overhead_s = 40e-6;
+
+/// Live arrays during a step (3 prognostic + compensation + stage +
+/// increments + 4 tendency sets + RHS scratch), for the working-set
+/// estimate that selects the bandwidth regime.
+constexpr double live_arrays_T = 4.0 * 3.0 + 4.0;      // tendencies + scratch
+constexpr double live_arrays_Tprog = 3.0 + 3.0 + 3.0;  // prog + stage + inc
+
+}  // namespace
+
+step_cost predict_step(const arch::a64fx_params& machine, int nx, int ny,
+                       const precision_config& config) {
+  step_cost out;
+  const double cells = static_cast<double>(nx) * static_cast<double>(ny);
+  const auto e = static_cast<double>(config.elem_bytes);
+  const auto p = static_cast<double>(config.prog_elem_bytes);
+
+  double bytes_per_cell =
+      (rhs_sweeps_T + stage_sweeps_T + inc_sweeps_T) * e +
+      (stage_sweeps_Tprog + inc_sweeps_Tprog) * p +
+      (config.compensated ? update_sweeps_comp : update_sweeps_plain) * p;
+  if (config.mixed()) bytes_per_cell += cast_sweeps * (e + p);
+
+  double ws_per_cell = live_arrays_T * e + live_arrays_Tprog * p;
+  if (config.compensated) ws_per_cell += 3.0 * p;
+
+  out.bytes_moved = static_cast<std::uint64_t>(bytes_per_cell * cells);
+  out.working_set_bytes = static_cast<std::uint64_t>(ws_per_cell * cells);
+
+  // ShallowWaters runs occupy a whole CMG, so one process sees only its
+  // 1/12 share of the 8-MiB L2 (the Fig. 1 kernel benchmarks, by
+  // contrast, are single-core and get the full L2). Without this the
+  // model grows an L2-residency bump in the Float16 curve that the
+  // paper's Fig. 5 does not show.
+  arch::a64fx_params shared = machine;
+  shared.l2.size_bytes = machine.l2.size_bytes / 12;
+  const double bw_gbs =
+      arch::effective_bandwidth_gbs(shared, out.working_set_bytes);
+  out.memory_seconds = static_cast<double>(out.bytes_moved) / (bw_gbs * 1e9);
+
+  // Compute: vectorized at the element width (the paper's § III-B runs
+  // enable hardware Float16, so all three widths get full SVE lanes).
+  double flops = flops_per_cell * cells;
+  if (config.compensated) flops *= 1.05;  // Kahan arithmetic
+  const double gflops = machine.peak_gflops(config.elem_bytes) *
+                        stencil_efficiency;
+  out.compute_seconds = flops / (gflops * 1e9);
+
+  out.overhead_seconds = fixed_step_overhead_s;
+  out.seconds = std::max(out.memory_seconds, out.compute_seconds) +
+                out.overhead_seconds;
+  return out;
+}
+
+double speedup_vs_float64(const arch::a64fx_params& machine, int nx, int ny,
+                          const precision_config& config) {
+  const double base = predict_step(machine, nx, ny, config_float64()).seconds;
+  return base / predict_step(machine, nx, ny, config).seconds;
+}
+
+}  // namespace tfx::swm

@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file perfmodel.hpp
+/// Modeled A64FX runtime of one shallow-water time step at each
+/// precision configuration - the instrument behind Figs. 4 and 5.
+///
+/// The model is memory-traffic driven because ShallowWaters is a
+/// memory-bound application ("it benefits from Float16 on A64FX even
+/// without vectorization and approaches 4x speedups over Float64 for
+/// large problems", § III-B): per step we account every array sweep of
+/// the RK4 loop (4 RHS evaluations, stage combinations, the increment
+/// reduction, the prognostic update and, when enabled, the Kahan
+/// compensation arrays and the mixed-precision down-casts), convert
+/// sweeps to bytes using the *actual element sizes involved*, and
+/// divide by the bandwidth of the hierarchy level the working set
+/// streams from. A vectorized-compute term and a fixed per-step
+/// overhead bound the small-grid end, where speedups collapse toward
+/// 1x exactly as in Fig. 5.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "arch/a64fx.hpp"
+
+namespace tfx::swm {
+
+/// Precision configuration of a run (mirrors model<T, Tprog>).
+struct precision_config {
+  std::size_t elem_bytes = 8;       ///< sizeof(T): RHS computation type
+  std::size_t prog_elem_bytes = 8;  ///< sizeof(Tprog): integration type
+  bool compensated = false;         ///< Kahan arrays carried per field
+  const char* name = "Float64";
+
+  [[nodiscard]] bool mixed() const { return elem_bytes != prog_elem_bytes; }
+};
+
+/// The four configurations of Fig. 5.
+precision_config config_float64();
+precision_config config_float32();
+precision_config config_float16();       ///< compensated, as in the paper
+precision_config config_float16_32();    ///< mixed: F16 RHS, F32 integration
+
+/// Cost breakdown of one model step on the modeled machine.
+struct step_cost {
+  double seconds = 0;
+  double memory_seconds = 0;
+  double compute_seconds = 0;
+  double overhead_seconds = 0;
+  std::uint64_t bytes_moved = 0;
+  std::uint64_t working_set_bytes = 0;
+};
+
+/// Predict one RK4 step of an nx x ny model under `config`.
+step_cost predict_step(const arch::a64fx_params& machine, int nx, int ny,
+                       const precision_config& config);
+
+/// Convenience: modeled speedup of `config` over Float64 at a size.
+double speedup_vs_float64(const arch::a64fx_params& machine, int nx, int ny,
+                          const precision_config& config);
+
+}  // namespace tfx::swm

@@ -1,0 +1,252 @@
+#pragma once
+
+/// \file rhs.hpp
+/// Right-hand side of the shallow-water equations on the C-grid.
+///
+/// Vector-invariant form (the ShallowWaters.jl discretization family):
+///
+///   u_t = +(f + zeta) vbar - d/dx (g eta + KE) + Fx - r u + nu4 lap^2 u
+///   v_t = -(f + zeta) ubar - d/dy (g eta + KE)      - r v + nu4 lap^2 v
+///   eta_t = -d/dx (u h) - d/dy (v h),   h = h0 + eta
+///
+/// discretized with centered differences, 4-point stagger averages, a
+/// corner-point relative vorticity, and biharmonic diffusion. The
+/// evaluator produces per-step *increments* (dt folded into every
+/// coefficient) of the *scaled* prognostic variables U = s u, V = s v,
+/// H = s eta; see params.hpp for why both devices matter at Float16.
+///
+/// Requires square cells (dx == dy), which the default configurations
+/// guarantee; the constructor checks it.
+///
+/// Boundary conditions: doubly periodic by default; the channel option
+/// (params.hpp) places free-slip solid walls at y = 0 and y = Ly. On
+/// this C-grid layout the north-wall v-points coincide with the wrapped
+/// v(i, 0) row, so keeping that row at zero enforces no-flux through
+/// BOTH walls with the periodic index arithmetic intact; the remaining
+/// wall handling is (a) mirroring u across the walls (free slip:
+/// du/dy = 0, which also zeroes the wall vorticity), (b) an
+/// antisymmetric v ghost making lap_v vanish on the wall row, and (c)
+/// forcing dv = 0 on the wall row.
+
+#include <cmath>
+#include <vector>
+
+#include "core/contracts.hpp"
+#include "core/threadpool.hpp"
+#include "fp/fpenv.hpp"
+#include "swm/field.hpp"
+#include "swm/params.hpp"
+
+namespace tfx::swm {
+
+/// Per-step increments of the three prognostic fields.
+template <typename T>
+struct tendencies {
+  field2d<T> du, dv, deta;
+
+  tendencies() = default;
+  tendencies(int nx, int ny) : du(nx, ny), dv(nx, ny), deta(nx, ny) {}
+};
+
+template <typename T>
+class rhs_evaluator {
+ public:
+  explicit rhs_evaluator(const swm_params& p)
+      : coeffs_(coefficients<T>::make(p)),
+        channel_(p.bc == boundary::channel),
+        zeta_(p.nx, p.ny),
+        ke_(p.nx, p.ny),
+        lap_u_(p.nx, p.ny),
+        lap_v_(p.nx, p.ny) {
+    TFX_EXPECTS(std::abs(p.dx() - p.dy()) < 1e-9 * p.dx());
+    const double dt = p.dt();
+    const double dy = p.dy();
+    dt_cor_u_.resize(static_cast<std::size_t>(p.ny));
+    dt_cor_v_.resize(static_cast<std::size_t>(p.ny));
+    wind_u_.resize(static_cast<std::size_t>(p.ny));
+    const double s = coeffs_.scale;
+    for (int j = 0; j < p.ny; ++j) {
+      const double y_center = (j + 0.5) * dy - 0.5 * p.Ly;
+      const double y_face = j * dy - 0.5 * p.Ly;
+      dt_cor_u_[static_cast<std::size_t>(j)] =
+          T(dt * (p.coriolis_f0 + p.coriolis_beta * y_center));
+      dt_cor_v_[static_cast<std::size_t>(j)] =
+          T(dt * (p.coriolis_f0 + p.coriolis_beta * y_face));
+      // Double-gyre wind profile, periodic-compatible.
+      wind_u_[static_cast<std::size_t>(j)] =
+          T(-dt * s * p.wind_stress / (p.rho * p.depth) *
+            std::cos(2.0 * M_PI * (j + 0.5) / p.ny));
+    }
+  }
+
+  [[nodiscard]] const coefficients<T>& coeffs() const { return coeffs_; }
+
+  /// Attach a thread pool: every pass then partitions its rows over
+  /// the workers. Row partitioning writes disjoint rows and reads only
+  /// immutable inputs, so the result is bit-identical to the serial
+  /// evaluation (tests/swm_parallel_test pins this).
+  void attach_pool(thread_pool* pool) { pool_ = pool; }
+
+  /// Evaluate the increments for state `st` into `out`.
+  void operator()(const state<T>& st, tendencies<T>& out) {
+    const int nx = st.nx();
+    const int ny = st.ny();
+    const auto& U = st.u;
+    const auto& V = st.v;
+    const auto& H = st.eta;
+    const coefficients<T>& c = coeffs_;
+
+    // Pass 1: relative vorticity (grid units, scale s) at corner points
+    // and kinetic energy at centres. The KE is kept at scale s (not
+    // s^2): one factor of each square is pre-multiplied by the exact
+    // inv_s so no intermediate overflows Float16 at large s.
+    for_rows(ny, [&](int j) {
+      const int jm = channel_ && j == 0 ? 0 : H.jm(j);  // u mirrored at wall
+      const int jp = H.jp(j);
+      for (int i = 0; i < nx; ++i) {
+        const int im = H.im(i);
+        const int ip = H.ip(i);
+        zeta_(i, j) = (V(i, j) - V(im, j)) - (U(i, j) - U(i, jm));
+        const T ubar = c.half * (U(i, j) + U(ip, j));
+        const T vbar = c.half * (V(i, j) + V(i, jp));
+        ke_(i, j) = c.half * (ubar * (c.inv_s * ubar) +
+                              vbar * (c.inv_s * vbar));
+      }
+    });
+
+    // Pass 2: Laplacians (grid units) of both velocity components. In
+    // the channel, u mirrors across the walls (free slip) and the
+    // antisymmetric v ghost plus v = 0 on the wall row make lap_v
+    // vanish there.
+    for_rows(ny, [&](int j) {
+      const int jm = U.jm(j);
+      const int jp = U.jp(j);
+      const int jm_u = channel_ && j == 0 ? 0 : jm;
+      const int jp_u = channel_ && j == ny - 1 ? j : jp;
+      const bool wall_v = channel_ && j == 0;
+      for (int i = 0; i < nx; ++i) {
+        const int im = U.im(i);
+        const int ip = U.ip(i);
+        const T four = T(4);
+        lap_u_(i, j) = U(ip, j) + U(im, j) + U(i, jp_u) + U(i, jm_u) -
+                       four * U(i, j);
+        lap_v_(i, j) = wall_v ? T{}
+                              : V(ip, j) + V(im, j) + V(i, jp) + V(i, jm) -
+                                    four * V(i, j);
+      }
+    });
+
+    // Pass 3: u-momentum increment.
+    for_rows(ny, [&](int j) {
+      const int jp = U.jp(j);
+      const int jm = channel_ && j == 0 ? 0 : U.jm(j);
+      const int jp_u = channel_ && j == ny - 1 ? j : jp;
+      const T dtf = dt_cor_u_[static_cast<std::size_t>(j)];
+      const T wind = wind_u_[static_cast<std::size_t>(j)];
+      for (int i = 0; i < nx; ++i) {
+        const int im = U.im(i);
+        const int ip = U.ip(i);
+        // v averaged to the u-point; vorticity averaged to the u-point.
+        const T vbar = c.quarter *
+                       (V(im, j) + V(i, j) + V(im, jp) + V(i, jp));
+        // De-scale the vorticity factor (exact) before the product so
+        // zbar*vbar carries scale s, not s^2.
+        const T zbar = c.inv_s * (c.half * (zeta_(i, j) + zeta_(i, jp)));
+        const T biharm = lap_u_(ip, j) + lap_u_(im, j) + lap_u_(i, jp_u) +
+                         lap_u_(i, jm) - T(4) * lap_u_(i, j);
+        out.du(i, j) = dtf * vbar                        // linear Coriolis
+                       + c.dtdx * (zbar * vbar)          // vorticity advection
+                       - c.g_dtdx * (H(i, j) - H(im, j)) // pressure gradient
+                       - c.dtdx * (ke_(i, j) - ke_(im, j))  // KE gradient
+                       + wind                             // wind stress
+                       - c.dt_drag * U(i, j)              // bottom drag
+                       - c.dt_visc * biharm;              // biharmonic
+      }
+    });
+
+    // Pass 4: v-momentum increment. In the channel the j = 0 row IS
+    // the wall (and, via the wrap, the north wall too): no flow ever.
+    for_rows(ny, [&](int j) {
+      if (channel_ && j == 0) {
+        for (int i = 0; i < nx; ++i) out.dv(i, j) = T{};
+        return;
+      }
+      const int jm = V.jm(j);
+      const int jp = V.jp(j);
+      const T dtf = dt_cor_v_[static_cast<std::size_t>(j)];
+      for (int i = 0; i < nx; ++i) {
+        const int im = V.im(i);
+        const int ip = V.ip(i);
+        const T ubar = c.quarter *
+                       (U(i, jm) + U(i, j) + U(ip, jm) + U(ip, j));
+        const T zbar = c.inv_s * (c.half * (zeta_(i, j) + zeta_(ip, j)));
+        const T biharm = lap_v_(ip, j) + lap_v_(im, j) + lap_v_(i, jp) +
+                         lap_v_(i, jm) - T(4) * lap_v_(i, j);
+        out.dv(i, j) = -dtf * ubar
+                       - c.dtdx * (zbar * ubar)
+                       - c.g_dtdy * (H(i, j) - H(i, jm))
+                       - c.dtdy * (ke_(i, j) - ke_(i, jm))
+                       - c.dt_drag * V(i, j)
+                       - c.dt_visc * biharm;
+      }
+    });
+
+    // Pass 5: continuity. Linear part with h0, nonlinear flux with the
+    // scaled surface displacement (one exact /s via the coefficient).
+    for_rows(ny, [&](int j) {
+      const int jm = H.jm(j);
+      const int jp = H.jp(j);
+      for (int i = 0; i < nx; ++i) {
+        const int im = H.im(i);
+        const int ip = H.ip(i);
+        const T div =
+            c.h0_dtdx * (U(ip, j) - U(i, j)) +
+            c.h0_dtdy * (V(i, jp) - V(i, j));
+        // Fluxes u*eta at faces: de-scale the interpolated eta (exact)
+        // so U * etabar carries scale s, not s^2.
+        const T fx_e = U(ip, j) * (c.inv_s * (c.half * (H(i, j) + H(ip, j))));
+        const T fx_w = U(i, j) * (c.inv_s * (c.half * (H(im, j) + H(i, j))));
+        const T fy_n = V(i, jp) * (c.inv_s * (c.half * (H(i, j) + H(i, jp))));
+        const T fy_s = V(i, j) * (c.inv_s * (c.half * (H(i, jm) + H(i, j))));
+        out.deta(i, j) = -div - c.dtdx * (fx_e - fx_w) -
+                         c.dtdy * (fy_n - fy_s);
+      }
+    });
+  }
+
+  /// Array sweeps per evaluation (reads + writes of full fields), used
+  /// by the performance model's traffic accounting. Derived from the
+  /// five passes above: see perfmodel.hpp.
+  static constexpr double array_reads = 19.0;
+  static constexpr double array_writes = 7.0;
+
+ private:
+  /// Run `body(j)` for every row, serial or pool-partitioned. Each row
+  /// writes only its own outputs, so the partitioning cannot change
+  /// results.
+  template <typename Fn>
+  void for_rows(int ny, Fn&& body) {
+    if (pool_ != nullptr && ny >= 2 * pool_->size()) {
+      // The FTZ mode is thread-local: workers must inherit the
+      // caller's mode or Float16 results would depend on the pool.
+      const fp::ftz_mode mode = fp::current_ftz_mode();
+      pool_->parallel_for(static_cast<std::size_t>(ny),
+                          [&, mode](std::size_t lo, std::size_t hi) {
+                            const fp::ftz_guard guard(mode);
+                            for (std::size_t j = lo; j < hi; ++j) {
+                              body(static_cast<int>(j));
+                            }
+                          });
+    } else {
+      for (int j = 0; j < ny; ++j) body(j);
+    }
+  }
+
+  thread_pool* pool_ = nullptr;
+  coefficients<T> coeffs_;
+  bool channel_ = false;
+  std::vector<T> dt_cor_u_, dt_cor_v_, wind_u_;
+  field2d<T> zeta_, ke_, lap_u_, lap_v_;
+};
+
+}  // namespace tfx::swm

@@ -1,0 +1,98 @@
+#pragma once
+
+/// \file timestep.hpp
+/// Time-integration building blocks: element-wise field updates in a
+/// chosen accumulation precision, with or without compensation.
+///
+/// The paper's three configurations of Fig. 5 map onto these:
+///  * Float64 / Float32:        standard accumulation, Tprog == T
+///  * Float16 (default):        compensated (Kahan) accumulation in T;
+///                              "a compensated summation that
+///                              compensates for the rounding error of
+///                              the previous time step" (~5 % runtime)
+///  * Float16/32 mixed:         RHS in Float16, accumulation in Float32
+///                              (Tprog = float), no compensation
+
+#include <type_traits>
+
+#include "core/contracts.hpp"
+#include "swm/field.hpp"
+#include "swm/rhs.hpp"
+
+namespace tfx::swm {
+
+/// How the prognostic update y_{n+1} = y_n + dt*F is accumulated.
+enum class integration_scheme {
+  standard,     ///< plain += in Tprog
+  compensated,  ///< Kahan-compensated += in Tprog
+};
+
+/// Lossless-where-possible precision cast (via double, exact for all
+/// library formats).
+template <typename To, typename From>
+constexpr To fpcast(const From& v) {
+  if constexpr (std::is_same_v<To, From>) {
+    return v;
+  } else {
+    return To(static_cast<double>(v));
+  }
+}
+
+/// out = y + a * k, element-wise, computed in Tprog (k cast up/down as
+/// needed). Used to form the RK stage states.
+template <typename Tprog, typename T>
+void stage_combine(field2d<Tprog>& out, const field2d<Tprog>& y,
+                   const field2d<T>& k, Tprog a) {
+  auto o = out.flat();
+  auto yy = y.flat();
+  auto kk = k.flat();
+  TFX_EXPECTS(o.size() == yy.size() && o.size() == kk.size());
+  for (std::size_t idx = 0; idx < o.size(); ++idx) {
+    o[idx] = yy[idx] + a * fpcast<Tprog>(kk[idx]);
+  }
+}
+
+/// The RK4 combination (k1 + 2 k2 + 2 k3 + k4) / 6, in Tprog.
+template <typename Tprog, typename T>
+void rk4_increment(field2d<Tprog>& inc, const field2d<T>& k1,
+                   const field2d<T>& k2, const field2d<T>& k3,
+                   const field2d<T>& k4) {
+  auto o = inc.flat();
+  auto a = k1.flat();
+  auto b = k2.flat();
+  auto cc = k3.flat();
+  auto d = k4.flat();
+  const Tprog two{2};
+  const Tprog sixth = Tprog(1.0 / 6.0);
+  for (std::size_t idx = 0; idx < o.size(); ++idx) {
+    const Tprog sum = fpcast<Tprog>(a[idx]) + two * fpcast<Tprog>(b[idx]) +
+                      two * fpcast<Tprog>(cc[idx]) + fpcast<Tprog>(d[idx]);
+    o[idx] = sixth * sum;
+  }
+}
+
+/// y += inc, plain.
+template <typename Tprog>
+void apply_increment(field2d<Tprog>& y, const field2d<Tprog>& inc) {
+  auto yy = y.flat();
+  auto ii = inc.flat();
+  for (std::size_t idx = 0; idx < yy.size(); ++idx) yy[idx] += ii[idx];
+}
+
+/// y += inc with Kahan compensation carried in `comp` across steps -
+/// the compensated time integration of § III-B / Fig. 4's caption.
+template <typename Tprog>
+void apply_increment_compensated(field2d<Tprog>& y, const field2d<Tprog>& inc,
+                                 field2d<Tprog>& comp) {
+  auto yy = y.flat();
+  auto ii = inc.flat();
+  auto cc = comp.flat();
+  for (std::size_t idx = 0; idx < yy.size(); ++idx) {
+    const Tprog adjusted = ii[idx] - cc[idx];
+    const Tprog t = yy[idx] + adjusted;
+    cc[idx] = (t - yy[idx]) - adjusted;
+    yy[idx] = t;
+  }
+}
+
+}  // namespace tfx::swm

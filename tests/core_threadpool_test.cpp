@@ -1,0 +1,155 @@
+// The thread pool and the parallel kernel variants.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <vector>
+
+#include "arch/a64fx.hpp"
+#include "core/threadpool.hpp"
+#include "fp/float16.hpp"
+#include "kernels/parallel.hpp"
+
+using namespace tfx;
+using tfx::fp::float16;
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  thread_pool pool(4);
+  const std::size_t n = 10007;  // prime: uneven blocks
+  std::vector<std::atomic<int>> hits(n);
+  pool.parallel_for(n, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST(ThreadPool, StaticBlocksAreContiguousAndComplete) {
+  const std::size_t n = 100;
+  std::size_t expect = 0;
+  for (int w = 0; w < 7; ++w) {
+    const auto [lo, hi] = thread_pool::block(n, 7, w);
+    EXPECT_EQ(lo, expect);
+    expect = hi;
+  }
+  EXPECT_EQ(expect, n);
+}
+
+TEST(ThreadPool, SingleThreadDegenerates) {
+  thread_pool pool(1);
+  int calls = 0;
+  pool.parallel_for(50, [&](std::size_t lo, std::size_t hi) {
+    ++calls;
+    EXPECT_EQ(lo, 0u);
+    EXPECT_EQ(hi, 50u);
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, EmptyRangeIsNoop) {
+  thread_pool pool(3);
+  bool called = false;
+  pool.parallel_for(0, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, ReusableAcrossManyJobs) {
+  thread_pool pool(3);
+  std::atomic<long> total{0};
+  for (int round = 0; round < 100; ++round) {
+    pool.parallel_for(64, [&](std::size_t lo, std::size_t hi) {
+      total.fetch_add(static_cast<long>(hi - lo));
+    });
+  }
+  EXPECT_EQ(total.load(), 6400);
+}
+
+TEST(ParallelKernels, AxpyBitIdenticalToSerial) {
+  thread_pool pool(4);
+  const std::size_t n = 5000;
+  std::vector<double> x(n), y1(n), y2(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = std::sin(0.1 * static_cast<double>(i));
+    y1[i] = y2[i] = std::cos(0.1 * static_cast<double>(i));
+  }
+  kernels::axpy(1.7, std::span<const double>(x), std::span<double>(y1));
+  kernels::axpy_parallel(pool, 1.7, std::span<const double>(x),
+                         std::span<double>(y2));
+  for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(y1[i], y2[i]);
+}
+
+TEST(ParallelKernels, DotDeterministicAndAccurate) {
+  thread_pool pool(4);
+  const std::size_t n = 4001;
+  std::vector<double> x(n, 0.5), y(n, 2.0);
+  const double d1 = kernels::dot_parallel(pool, std::span<const double>(x),
+                                          std::span<const double>(y));
+  const double d2 = kernels::dot_parallel(pool, std::span<const double>(x),
+                                          std::span<const double>(y));
+  EXPECT_EQ(d1, d2);  // reproducible for fixed pool size
+  EXPECT_NEAR(d1, static_cast<double>(n), 1e-9);
+}
+
+TEST(ParallelKernels, Float16VariantsWork) {
+  thread_pool pool(3);
+  const std::size_t n = 333;
+  std::vector<float16> x(n, float16(1.0)), y(n, float16(2.0));
+  kernels::axpy_parallel(pool, float16(3.0), std::span<const float16>(x),
+                         std::span<float16>(y));
+  EXPECT_EQ(static_cast<double>(y[111]), 5.0);
+  kernels::scal_parallel(pool, float16(0.5), std::span<float16>(y));
+  EXPECT_EQ(static_cast<double>(y[222]), 2.5);
+}
+
+TEST(ParallelKernels, Triad) {
+  thread_pool pool(4);
+  const std::size_t n = 1024;
+  std::vector<double> a(n), b(n, 3.0), c(n, 2.0);
+  kernels::triad_parallel(pool, 0.5, std::span<const double>(b),
+                          std::span<const double>(c), std::span<double>(a));
+  EXPECT_EQ(a[512], 4.0);
+}
+
+TEST(CmgView, ResourceScalingAndSaturation) {
+  using namespace tfx::arch;
+  const auto one = cmg_view(fugaku_node, 1);
+  EXPECT_EQ(one.mem_bandwidth_gbs, fugaku_node.mem_bandwidth_gbs);
+
+  const auto four = cmg_view(fugaku_node, 4);
+  EXPECT_EQ(four.fp_pipes, 8);
+  EXPECT_DOUBLE_EQ(four.peak_gflops(8), 4 * fugaku_node.peak_gflops(8));
+  EXPECT_DOUBLE_EQ(four.mem_bandwidth_gbs, 228.0);  // 4 x 57, below cap
+
+  const auto twelve = cmg_view(fugaku_node, cmg_compute_cores);
+  EXPECT_DOUBLE_EQ(twelve.mem_bandwidth_gbs, cmg_mem_bandwidth_gbs);  // capped
+  EXPECT_DOUBLE_EQ(twelve.l2_bandwidth_gbs, cmg_l2_bandwidth_gbs);
+  // Shared L2: capacity does not grow with cores.
+  EXPECT_EQ(twelve.l2.size_bytes, fugaku_node.l2.size_bytes);
+  EXPECT_EQ(twelve.l1.size_bytes, 12 * fugaku_node.l1.size_bytes);
+}
+
+#include "core/rng.hpp"
+#include "kernels/gemm.hpp"
+
+TEST(ParallelKernels, GemmBitIdenticalToSerialBlocked) {
+  thread_pool pool(4);
+  const std::size_t n = 96;
+  xoshiro256 rng(77);
+  std::vector<double> a(n * n), b(n * n), c1(n * n, 0.5), c2(n * n, 0.5);
+  for (auto& v : a) v = rng.uniform(-1, 1);
+  for (auto& v : b) v = rng.uniform(-1, 1);
+  kernels::gemm_blocked(1.25, kernels::matrix_view<const double>(a.data(), n, n),
+                        kernels::matrix_view<const double>(b.data(), n, n),
+                        0.75, kernels::matrix_view<double>(c1.data(), n, n),
+                        32);
+  kernels::gemm_parallel(pool, 1.25,
+                         kernels::matrix_view<const double>(a.data(), n, n),
+                         kernels::matrix_view<const double>(b.data(), n, n),
+                         0.75, kernels::matrix_view<double>(c2.data(), n, n),
+                         32);
+  for (std::size_t k = 0; k < c1.size(); ++k) {
+    ASSERT_EQ(c1[k], c2[k]) << k;
+  }
+}

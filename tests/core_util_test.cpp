@@ -1,0 +1,158 @@
+// Core utilities: statistics, tables, units, RNG, CLI, timers.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "core/cli.hpp"
+#include "core/rng.hpp"
+#include "core/stats.hpp"
+#include "core/table.hpp"
+#include "core/timer.hpp"
+#include "core/units.hpp"
+
+using namespace tfx;
+
+TEST(Stats, BasicMoments) {
+  const std::vector<double> xs{1, 2, 3, 4, 5};
+  EXPECT_EQ(stats::min(xs), 1);
+  EXPECT_EQ(stats::max(xs), 5);
+  EXPECT_EQ(stats::mean(xs), 3);
+  EXPECT_EQ(stats::median(xs), 3);
+  EXPECT_NEAR(stats::stddev(xs), std::sqrt(2.5), 1e-12);
+}
+
+TEST(Stats, MedianEvenCountInterpolates) {
+  const std::vector<double> xs{1, 2, 3, 10};
+  EXPECT_EQ(stats::median(xs), 2.5);
+}
+
+TEST(Stats, PercentileEndpointsAndMidpoints) {
+  const std::vector<double> xs{10, 20, 30, 40};
+  EXPECT_EQ(stats::percentile(xs, 0), 10);
+  EXPECT_EQ(stats::percentile(xs, 100), 40);
+  EXPECT_NEAR(stats::percentile(xs, 50), 25.0, 1e-12);
+}
+
+TEST(Stats, GeomeanAndSummary) {
+  const std::vector<double> xs{1, 4, 16};
+  EXPECT_NEAR(stats::geomean(xs), 4.0, 1e-12);
+  const auto s = stats::summarize(xs);
+  EXPECT_EQ(s.n, 3u);
+  EXPECT_EQ(s.min, 1);
+  EXPECT_EQ(s.max, 16);
+}
+
+TEST(Stats, SingleElement) {
+  const std::vector<double> xs{7};
+  EXPECT_EQ(stats::median(xs), 7);
+  EXPECT_EQ(stats::stddev(xs), 0);
+}
+
+TEST(Table, AlignsAndEmitsCsv) {
+  table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22,5"});
+  EXPECT_EQ(t.rows(), 2u);
+
+  std::ostringstream text;
+  t.print(text);
+  EXPECT_NE(text.str().find("alpha"), std::string::npos);
+  EXPECT_NE(text.str().find("-----"), std::string::npos);
+
+  std::ostringstream csv;
+  t.print_csv(csv);
+  EXPECT_NE(csv.str().find("\"22,5\""), std::string::npos);
+  EXPECT_EQ(csv.str().substr(0, 10), "name,value");
+}
+
+TEST(Units, ByteFormatting) {
+  EXPECT_EQ(format_bytes(64), "64 B");
+  EXPECT_EQ(format_bytes(4 * KiB), "4 KiB");
+  EXPECT_EQ(format_bytes(MiB), "1 MiB");
+  EXPECT_EQ(format_bytes(3 * GiB / 2), "1.50 GiB");
+}
+
+TEST(Units, TimeFormatting) {
+  EXPECT_EQ(format_seconds(5e-9), "5.0 ns");
+  EXPECT_EQ(format_seconds(2.5e-6), "2.50 us");
+  EXPECT_EQ(format_seconds(3e-3), "3.00 ms");
+  EXPECT_EQ(format_seconds(1.5), "1.50 s");
+}
+
+TEST(Units, Rates) {
+  EXPECT_DOUBLE_EQ(gflops(2e9, 1.0), 2.0);
+  EXPECT_DOUBLE_EQ(gb_per_s(1e9, 1.0), 1.0);
+}
+
+TEST(Rng, DeterministicAndUniform) {
+  xoshiro256 a(1), b(1), c(2);
+  EXPECT_EQ(a(), b());
+  EXPECT_NE(a(), c());
+  double sum = 0;
+  xoshiro256 r(42);
+  constexpr int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double u = r.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, BoundedStaysInRange) {
+  xoshiro256 r(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(r.bounded(17), 17u);
+  }
+}
+
+TEST(Cli, ParsesFlagsValuesAndEquals) {
+  const char* argv[] = {"prog", "--csv", "--n", "128", "--name=axpy"};
+  cli c(5, argv, {{"csv", ""}, {"n", ""}, {"name", ""}});
+  EXPECT_FALSE(c.wants_help());
+  EXPECT_TRUE(c.has("csv"));
+  EXPECT_EQ(c.get_int("n", 0), 128);
+  EXPECT_EQ(c.get_string("name", ""), "axpy");
+  EXPECT_EQ(c.get_int("missing", 7), 7);
+}
+
+TEST(Cli, RejectsUnknownOptions) {
+  const char* argv[] = {"prog", "--bogus"};
+  cli c(2, argv, {{"n", ""}});
+  EXPECT_TRUE(c.wants_help());
+}
+
+TEST(Cli, HelpRequested) {
+  const char* argv[] = {"prog", "--help"};
+  cli c(2, argv, {{"n", "count"}});
+  EXPECT_TRUE(c.wants_help());
+  EXPECT_NE(c.help().find("--n"), std::string::npos);
+}
+
+TEST(Timer, MeasuresAndBatches) {
+  volatile double sink = 0;
+  const auto result = tfx::measure(
+      [&] {
+        double acc = 0;
+        for (int i = 0; i < 1000; ++i) acc += i * 0.5;
+        sink = acc;
+      },
+      3, 1e-4);
+  EXPECT_EQ(result.samples.size(), 3u);
+  EXPECT_GT(result.min(), 0.0);
+  EXPECT_LE(result.min(), result.max());
+  EXPECT_GE(result.inner_iters, 1u);
+}
+
+TEST(Stopwatch, AdvancesMonotonically) {
+  stopwatch sw;
+  const double t1 = sw.seconds();
+  const double t2 = sw.seconds();
+  EXPECT_GE(t2, t1);
+  sw.reset();
+  EXPECT_GE(sw.nanoseconds(), 0);
+}

@@ -1,0 +1,77 @@
+// bfloat16: same operational semantics as float16 but with binary32's
+// exponent range and an 8-bit significand.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "core/rng.hpp"
+#include "fp/bfloat16.hpp"
+
+using tfx::fp::bfloat16;
+
+namespace {
+bfloat16 b(double v) { return bfloat16(v); }
+}  // namespace
+
+TEST(BFloat16, BasicValues) {
+  EXPECT_EQ(b(1.0).bits(), 0x3f80u);
+  EXPECT_EQ(b(-1.0).bits(), 0xbf80u);
+  EXPECT_EQ(b(0.0).bits(), 0x0000u);
+  EXPECT_EQ(static_cast<double>(b(2.0)), 2.0);
+  EXPECT_EQ(static_cast<double>(b(1.0) + b(1.0)), 2.0);
+}
+
+TEST(BFloat16, CoarsePrecisionFineRange) {
+  // epsilon = 2^-7: adding 2^-9 to 1 disappears, 2^-7 survives.
+  EXPECT_EQ(static_cast<double>(b(1.0) + b(std::ldexp(1.0, -9))), 1.0);
+  EXPECT_EQ(static_cast<double>(b(1.0) + b(std::ldexp(1.0, -7))),
+            1.0 + std::ldexp(1.0, -7));
+  // Range: 1e30 is finite (float16 would overflow).
+  EXPECT_TRUE(b(1e30).isfinite());
+  EXPECT_TRUE(b(1e39).isinf());
+}
+
+TEST(BFloat16, ArithmeticMatchesDoubleReference) {
+  tfx::xoshiro256 rng(5);
+  for (int trial = 0; trial < 50000; ++trial) {
+    const bfloat16 x = bfloat16(rng.uniform(-1e4, 1e4));
+    const bfloat16 y = bfloat16(rng.uniform(-1e4, 1e4));
+    const double dx = static_cast<double>(x);
+    const double dy = static_cast<double>(y);
+    // Exact in double; single rounding via the f64 path must agree with
+    // the operator's f32 path (2p+2: 24 >= 2*8+2).
+    EXPECT_EQ((x + y).bits(), bfloat16(dx + dy).bits());
+    EXPECT_EQ((x - y).bits(), bfloat16(dx - dy).bits());
+    EXPECT_EQ((x * y).bits(), bfloat16(dx * dy).bits());
+  }
+}
+
+TEST(BFloat16, ComparisonsAndClassification) {
+  const bfloat16 nan = std::numeric_limits<bfloat16>::quiet_NaN();
+  EXPECT_TRUE(nan.isnan());
+  EXPECT_FALSE(nan == nan);
+  EXPECT_TRUE(b(0.0) == b(-0.0));
+  EXPECT_TRUE(b(1.0) < b(2.0));
+  EXPECT_TRUE((-b(1.0)).signbit());
+  EXPECT_EQ(tfx::fp::abs(b(-3.0)).bits(), b(3.0).bits());
+}
+
+TEST(BFloat16, NumericLimits) {
+  using lim = std::numeric_limits<bfloat16>;
+  EXPECT_EQ(static_cast<double>(lim::epsilon()), std::ldexp(1.0, -7));
+  EXPECT_EQ(static_cast<double>(lim::min()), std::ldexp(1.0, -126));
+  EXPECT_NEAR(static_cast<double>(lim::max()), 3.3895e38, 1e34);
+  EXPECT_TRUE(lim::infinity().isinf());
+  EXPECT_EQ(lim::digits, 8);
+}
+
+TEST(BFloat16, FmaSingleRounding) {
+  // 1+2^-7 squared = 1 + 2^-6 + 2^-14; rounds to 1+2^-6. With addend
+  // -(1+2^-6): muladd -> 0, fma -> 2^-14.
+  const bfloat16 a = bfloat16::from_bits(0x3f81);
+  const bfloat16 c = -(b(1.0) + bfloat16(std::ldexp(1.0, -6)));
+  EXPECT_EQ(static_cast<double>(muladd(a, a, c)), 0.0);
+  EXPECT_EQ(static_cast<double>(fma(a, a, c)), std::ldexp(1.0, -14));
+}

@@ -1,0 +1,125 @@
+// Compensated summation: the error-bound properties the shallow-water
+// model's compensated time integration relies on (paper § III-B).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "fp/compensated.hpp"
+#include "fp/float16.hpp"
+
+namespace fp = tfx::fp;
+using tfx::fp::float16;
+
+TEST(Kahan, RecoversSmallTermsFloat) {
+  // 1 + 1e-8 * 10^6: naive float loses everything, Kahan keeps it.
+  std::vector<float> xs(1000001, 1e-8f);
+  xs[0] = 1.0f;
+  const float naive = fp::naive_sum<float>(xs);
+  const float kahan = fp::compensated_sum<float>(xs);
+  EXPECT_EQ(naive, 1.0f);  // every 1e-8 is absorbed
+  EXPECT_NEAR(kahan, 1.01f, 1e-6f);
+}
+
+TEST(Kahan, Float16TimeIntegrationAnalogue) {
+  // The model's situation: a state ~1 receiving tiny per-step
+  // increments. 2048 increments of 2^-13 should advance a float16
+  // accumulator by 0.25; plain addition strands at 1 + epsilon region.
+  const float16 inc = float16(std::ldexp(1.0, -13));
+  float16 plain(1.0);
+  fp::kahan_accumulator<float16> comp(float16(1.0));
+  for (int i = 0; i < 2048; ++i) {
+    plain += inc;
+    comp.add(inc);
+  }
+  const double exact = 1.0 + 2048 * std::ldexp(1.0, -13);  // 1.25
+  EXPECT_GT(std::abs(static_cast<double>(plain) - exact), 0.2);
+  EXPECT_NEAR(static_cast<double>(comp.value()), exact, 2e-3);
+}
+
+TEST(Neumaier, HandlesSwampedRunningSum) {
+  // [1, 1e30, 1, -1e30] : Kahan returns 0, Neumaier returns 2.
+  const std::vector<double> xs{1.0, 1e30, 1.0, -1e30};
+  EXPECT_EQ(fp::compensated_sum<double>(xs), 0.0);
+  EXPECT_EQ(fp::neumaier_sum<double>(xs), 2.0);
+}
+
+TEST(Compensated, MatchesDoubleReferenceOnRandomData) {
+  // Kahan's bound: |err| <= 2 eps sum|x_i| + O(n eps^2); the naive
+  // left-to-right bound grows with n. Check the hard bound per trial
+  // and the aggregate advantage over many trials.
+  tfx::xoshiro256 rng(99);
+  double kahan_total = 0, naive_total = 0;
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<float> xs(20000);
+    double exact = 0, sum_abs = 0;
+    for (auto& x : xs) {
+      x = static_cast<float>(rng.uniform(-1.0, 1.0));
+      exact += x;
+      sum_abs += std::abs(static_cast<double>(x));
+    }
+    constexpr double eps = 1.2e-7;  // float machine epsilon / 2, rounded up
+    const double bound = 2.0 * eps * sum_abs;
+    const double naive_err = std::abs(fp::naive_sum<float>(xs) - exact);
+    const double kahan_err =
+        std::abs(fp::compensated_sum<float>(xs) - exact);
+    const double neum_err = std::abs(fp::neumaier_sum<float>(xs) - exact);
+    EXPECT_LE(kahan_err, bound);
+    EXPECT_LE(neum_err, bound);
+    kahan_total += kahan_err;
+    naive_total += naive_err;
+  }
+  EXPECT_LT(kahan_total, naive_total);
+}
+
+TEST(Compensated, DotAgainstDoubleReference) {
+  tfx::xoshiro256 rng(3);
+  std::vector<float> xs(5000), ys(5000);
+  double exact = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    xs[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+    ys[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+    exact += static_cast<double>(xs[i]) * static_cast<double>(ys[i]);
+  }
+  EXPECT_NEAR(fp::compensated_dot<float>(xs, ys), exact,
+              1e-4 * std::abs(exact) + 1e-5);
+}
+
+TEST(Compensated, AccumulatorResetAndCompensationReadout) {
+  fp::kahan_accumulator<double> acc(5.0);
+  acc.add(1.0);
+  EXPECT_EQ(acc.value(), 6.0);
+  acc.reset();
+  EXPECT_EQ(acc.value(), 0.0);
+  EXPECT_EQ(acc.compensation(), 0.0);
+  fp::neumaier_accumulator<double> n;
+  n.add(2.0);
+  EXPECT_EQ(n.value(), 2.0);
+  n.reset(1.0);
+  EXPECT_EQ(n.value(), 1.0);
+}
+
+// Property sweep: for series sizes across orders of magnitude, the
+// Kahan float32 sum of uniform(0,1) terms stays within a tiny relative
+// error of the double reference while the naive error grows.
+class CompensatedGrowth : public ::testing::TestWithParam<int> {};
+
+TEST_P(CompensatedGrowth, KahanErrorIndependentOfLength) {
+  const int n = GetParam();
+  tfx::xoshiro256 rng(static_cast<std::uint64_t>(n));
+  std::vector<float> xs(static_cast<std::size_t>(n));
+  double exact = 0;
+  for (auto& x : xs) {
+    x = static_cast<float>(rng.uniform());
+    exact += x;
+  }
+  const double kahan_rel =
+      std::abs(fp::compensated_sum<float>(xs) - exact) / exact;
+  EXPECT_LT(kahan_rel, 5e-7) << "n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, CompensatedGrowth,
+                         ::testing::Values(10, 100, 1000, 10000, 100000,
+                                           1000000));

@@ -1,0 +1,82 @@
+// Deep cross-validation of float16 division and sqrt: the binary32
+// compute path (what the operators use) against the binary64 +
+// round-to-odd path, over a dense grid of operand pairs. Both are
+// correctly rounded by the 2p+2 theorem, so they must agree bit for
+// bit; any divergence would expose a rounding bug in one pipeline.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fp/float16.hpp"
+
+using tfx::fp::float16;
+
+namespace {
+
+bool special(float16 x) { return x.isnan() || x.isinf() || x.iszero(); }
+
+}  // namespace
+
+TEST(Float16Division, DenseGridCrossCheck) {
+  // Stride through the positive normal patterns for both operands:
+  // ~1900 x 1900 = 3.6M division pairs.
+  for (std::uint32_t na = 0x0400; na <= 0x7bff; na += 16) {
+    const auto a = float16::from_bits(static_cast<std::uint16_t>(na));
+    for (std::uint32_t nb = 0x0400; nb <= 0x7bff; nb += 16) {
+      const auto b = float16::from_bits(static_cast<std::uint16_t>(nb));
+      const float16 via_f32 = a / b;
+      // Independent reference: binary64 division (correctly rounded to
+      // 53 bits) narrowed once via the round-to-odd path. 53 >= 2*11+2
+      // makes the composition exactly the correctly rounded quotient.
+      const float16 via_f64 =
+          float16(static_cast<double>(a) / static_cast<double>(b));
+      ASSERT_EQ(via_f32.bits(), via_f64.bits())
+          << std::hex << na << " / " << nb;
+    }
+  }
+}
+
+TEST(Float16Division, SubnormalOperandsAndResults) {
+  // Division with subnormal operands or subnormal quotients.
+  for (std::uint32_t na = 1; na <= 0x03ff; na += 7) {    // subnormal a
+    const auto a = float16::from_bits(static_cast<std::uint16_t>(na));
+    for (std::uint32_t nb : {0x3c00u, 0x4400u, 0x7bffu, 0x0010u}) {
+      const auto b = float16::from_bits(static_cast<std::uint16_t>(nb));
+      const float16 q1 = a / b;
+      const float16 q2 =
+          float16(static_cast<double>(a) / static_cast<double>(b));
+      ASSERT_EQ(q1.bits(), q2.bits()) << std::hex << na << " / " << nb;
+    }
+  }
+}
+
+TEST(Float16Division, SpecialValues) {
+  const float16 one(1.0), zero(0.0), inf = std::numeric_limits<float16>::infinity();
+  EXPECT_TRUE((one / zero).isinf());
+  EXPECT_TRUE((-one / zero).isinf());
+  EXPECT_TRUE((-one / zero).signbit());
+  EXPECT_TRUE((zero / zero).isnan());
+  EXPECT_TRUE((inf / inf).isnan());
+  EXPECT_TRUE((one / inf).iszero());
+}
+
+TEST(Float16Sqrt, ExhaustiveCrossCheck) {
+  // sqrt over every positive finite pattern: binary32 sqrt (correctly
+  // rounded) + truncation vs binary64 sqrt + round-to-odd narrowing.
+  for (std::uint32_t n = 1; n <= 0x7bff; ++n) {
+    const auto x = float16::from_bits(static_cast<std::uint16_t>(n));
+    if (special(x)) continue;
+    const float16 via_f32 = tfx::fp::sqrt(x);
+    const float16 via_f64 = float16(std::sqrt(static_cast<double>(x)));
+    ASSERT_EQ(via_f32.bits(), via_f64.bits()) << std::hex << n;
+  }
+}
+
+TEST(Float16Sqrt, ExactSquares) {
+  for (int v = 1; v <= 255; ++v) {
+    const float16 sq(static_cast<double>(v) * v);
+    if (!sq.isfinite()) break;
+    EXPECT_EQ(static_cast<double>(tfx::fp::sqrt(sq)), v) << v;
+  }
+}

@@ -1,0 +1,148 @@
+// The generic minifloat template: exhaustive cross-validation against
+// the dedicated float16 pipeline, plus the 8-bit formats.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.hpp"
+#include "fp/float16.hpp"
+#include "fp/minifloat.hpp"
+
+using namespace tfx::fp;
+
+TEST(Minifloat16, ExhaustiveWideningMatchesFloat16) {
+  // minifloat<5,10> and float16 are the same format with independent
+  // implementations; their widenings must agree on every bit pattern.
+  for (std::uint32_t bits = 0; bits <= 0xffffu; ++bits) {
+    const auto m = minifloat16::from_bits(static_cast<std::uint16_t>(bits));
+    const auto h = float16::from_bits(static_cast<std::uint16_t>(bits));
+    if (h.isnan()) {
+      EXPECT_TRUE(m.isnan()) << std::hex << bits;
+      continue;
+    }
+    EXPECT_EQ(static_cast<double>(m), static_cast<double>(h))
+        << std::hex << bits;
+  }
+}
+
+TEST(Minifloat16, RandomizedNarrowingMatchesFloat16) {
+  // Two completely different rounding implementations (bit-twiddling +
+  // round-to-odd vs ldexp/nearbyint) must produce identical RN-even
+  // results for random doubles.
+  tfx::xoshiro256 rng(2718);
+  for (int trial = 0; trial < 300000; ++trial) {
+    const double mag = std::ldexp(1.0, static_cast<int>(rng.bounded(50)) - 28);
+    const double x = rng.uniform(-1.0, 1.0) * mag;
+    const auto m = minifloat16(x);
+    const auto h = float16(x);
+    ASSERT_EQ(m.bits(), h.bits()) << "x=" << x;
+  }
+}
+
+TEST(Minifloat16, CriticalBoundariesMatchFloat16) {
+  for (const double x :
+       {65504.0, 65519.999, 65520.0, 65536.0, std::ldexp(1.0, -24),
+        std::ldexp(1.0, -25), std::ldexp(1.0, -14), 0.0, -0.0,
+        1.0 + std::ldexp(1.0, -11), 1.0 + std::ldexp(1.0, -11) +
+        std::ldexp(1.0, -30)}) {
+    EXPECT_EQ(minifloat16(x).bits(), float16(x).bits()) << x;
+    EXPECT_EQ(minifloat16(-x).bits(), float16(-x).bits()) << -x;
+  }
+}
+
+TEST(Float8E5M2, FormatProperties) {
+  // e5m2: bias 15, max = 1.75 * 2^15 = 57344, min normal 2^-14,
+  // denorm min 2^-16.
+  EXPECT_EQ(static_cast<double>(float8_e5m2::from_bits(0x7B)),  // 0 11110 11
+            57344.0);
+  EXPECT_EQ(static_cast<double>(float8_e5m2::from_bits(0x04)),  // 0 00001 00
+            std::ldexp(1.0, -14));
+  EXPECT_EQ(static_cast<double>(float8_e5m2::from_bits(0x01)),
+            std::ldexp(1.0, -16));
+  EXPECT_TRUE(float8_e5m2::from_bits(0x7C).isinf());
+  EXPECT_TRUE(float8_e5m2::from_bits(0x7E).isnan());
+}
+
+TEST(Float8E4M3, FormatProperties) {
+  // e4m3 (IEEE-style with infinities, unlike the OCP variant): bias 7,
+  // max finite = 1.875 * 2^7 = 240, min normal 2^-6, denorm min 2^-9.
+  EXPECT_EQ(static_cast<double>(float8_e4m3::from_bits(0x77)),  // 0 1110 111
+            240.0);
+  EXPECT_EQ(static_cast<double>(float8_e4m3::from_bits(0x08)),
+            std::ldexp(1.0, -6));
+  EXPECT_EQ(static_cast<double>(float8_e4m3::from_bits(0x01)),
+            std::ldexp(1.0, -9));
+  EXPECT_TRUE(float8_e4m3(300.0).isinf());  // overflow
+}
+
+TEST(Float8, ExhaustiveRoundTrip) {
+  auto roundtrip = [](auto tag) {
+    using F = decltype(tag);
+    for (std::uint32_t bits = 0; bits < (1u << F::total_bits); ++bits) {
+      const auto f = F::from_bits(static_cast<std::uint16_t>(bits));
+      if (f.isnan()) continue;
+      const auto back = F(static_cast<double>(f));
+      EXPECT_EQ(back.bits(), f.bits()) << std::hex << bits;
+    }
+  };
+  roundtrip(float8_e5m2{});
+  roundtrip(float8_e4m3{});
+}
+
+TEST(Float8, ArithmeticAndOrdering) {
+  const float8_e4m3 a(2.0), b(3.0);
+  EXPECT_EQ(static_cast<double>(a + b), 5.0);
+  EXPECT_EQ(static_cast<double>(a * b), 6.0);
+  EXPECT_TRUE(a < b);
+  EXPECT_EQ(static_cast<double>(-a), -2.0);
+  EXPECT_EQ(static_cast<double>(abs(-a)), 2.0);
+  // Coarse mantissa: 2.0 + 0.0625 stays 2.0 at e4m3 (ulp at 2 is 0.25).
+  EXPECT_EQ(static_cast<double>(float8_e4m3(2.0) + float8_e4m3(0.0625)), 2.0);
+}
+
+TEST(Float8, TiesToEven) {
+  // e4m3 around 1.0: ulp 2^-3. 1 + 2^-4 is a tie -> 1.0 (even);
+  // 1 + 3*2^-4 is a tie -> 1.25 (even mantissa 010).
+  EXPECT_EQ(static_cast<double>(float8_e4m3(1.0 + 0.0625)), 1.0);
+  EXPECT_EQ(static_cast<double>(float8_e4m3(1.0 + 3 * 0.0625)), 1.25);
+}
+
+TEST(Minifloat, GenericKernelInstantiation) {
+  // The type-flexibility claim extended to 8 bits: the same arithmetic
+  // interface drives a tiny dot product.
+  float8_e4m3 acc(0.0);
+  for (int i = 1; i <= 4; ++i) {
+    acc += float8_e4m3(i) * float8_e4m3(0.5);
+  }
+  EXPECT_EQ(static_cast<double>(acc), 5.0);  // 0.5+1+1.5+2
+}
+
+TEST(Float8, ExhaustiveArithmeticAgainstDoubleReference) {
+  // Every finite e4m3 pair, all four operations: the operator (which
+  // computes in double and rounds once through from_double) must equal
+  // the independently-computed correctly rounded result. This is an
+  // end-to-end audit of the generic conversion pipeline: 2 * ~57k
+  // pairs * 4 ops.
+  std::vector<float8_e4m3> finite;
+  for (std::uint32_t bits = 0; bits < (1u << 8); ++bits) {
+    const auto f = float8_e4m3::from_bits(static_cast<std::uint16_t>(bits));
+    if (f.isfinite()) finite.push_back(f);
+  }
+  for (const auto a : finite) {
+    const double da = static_cast<double>(a);
+    for (const auto b : finite) {
+      const double db = static_cast<double>(b);
+      // Sums/differences/products of e4m3 values are exact in double,
+      // so float8(exact) is the correctly rounded result by
+      // construction; quotients are correctly rounded in double and
+      // 53 >= 2*4+2 makes the second rounding innocuous.
+      ASSERT_EQ((a + b).bits(), float8_e4m3(da + db).bits());
+      ASSERT_EQ((a - b).bits(), float8_e4m3(da - db).bits());
+      ASSERT_EQ((a * b).bits(), float8_e4m3(da * db).bits());
+      if (db != 0.0) {
+        ASSERT_EQ((a / b).bits(), float8_e4m3(da / db).bits());
+      }
+    }
+  }
+}

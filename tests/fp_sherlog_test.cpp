@@ -1,0 +1,126 @@
+// Sherlog analysis type and the scaling-constant search (§ III-B).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fp/scaling.hpp"
+#include "fp/sherlog.hpp"
+
+namespace fp = tfx::fp;
+using fp::sherlog32;
+
+TEST(ExponentHistogram, RecordsAndCounts) {
+  fp::exponent_histogram h;
+  h.record(1.0);    // exponent 0
+  h.record(1.5);    // exponent 0
+  h.record(2.0);    // exponent 1
+  h.record(0.25);   // exponent -2
+  h.record(0.0);    // zero bucket
+  h.record(std::numeric_limits<double>::infinity());
+  h.record(std::nan(""));
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.zeros(), 1u);
+  EXPECT_EQ(h.nonfinite(), 2u);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(-2), 1u);
+  EXPECT_EQ(h.min_observed(), -2);
+  EXPECT_EQ(h.max_observed(), 1);
+}
+
+TEST(ExponentHistogram, FractionsAndQuantiles) {
+  fp::exponent_histogram h;
+  for (int i = 0; i < 90; ++i) h.record(1.0);               // exp 0
+  for (int i = 0; i < 10; ++i) h.record(std::ldexp(1.0, -20));  // exp -20
+  EXPECT_DOUBLE_EQ(h.fraction_below(-14), 0.10);
+  EXPECT_DOUBLE_EQ(h.fraction_below(1), 1.0);
+  EXPECT_DOUBLE_EQ(h.fraction_at_or_above(0), 0.90);
+  EXPECT_EQ(h.quantile(0.05), -20);
+  EXPECT_EQ(h.quantile(0.5), 0);
+}
+
+TEST(ExponentHistogram, MergeAccumulates) {
+  fp::exponent_histogram a, b;
+  a.record(1.0);
+  b.record(4.0);
+  b.record(0.0);
+  a.merge(b);
+  EXPECT_EQ(a.total(), 2u);
+  EXPECT_EQ(a.zeros(), 1u);
+  EXPECT_EQ(a.count(2), 1u);
+}
+
+TEST(Sherlog, LogsComputedResultsOnly) {
+  fp::sherlog_sink().reset();
+  const sherlog32 a(2.0f);  // construction does not log
+  const sherlog32 b(3.0f);
+  EXPECT_EQ(fp::sherlog_sink().total(), 0u);
+  const sherlog32 c = a * b;  // 6.0: exponent 2
+  EXPECT_EQ(static_cast<float>(c.value()), 6.0f);
+  EXPECT_EQ(fp::sherlog_sink().total(), 1u);
+  EXPECT_EQ(fp::sherlog_sink().count(2), 1u);
+  const sherlog32 d = c + a;  // 8.0: exponent 3
+  (void)d;
+  EXPECT_EQ(fp::sherlog_sink().count(3), 1u);
+}
+
+TEST(Sherlog, BehavesLikeUnderlyingType) {
+  fp::sherlog_sink().reset();
+  sherlog32 x(10.0f);
+  x += sherlog32(5.0f);
+  x /= sherlog32(3.0f);
+  const float ref = (10.0f + 5.0f) / 3.0f;
+  EXPECT_EQ(x.value(), ref);
+  EXPECT_TRUE(sherlog32(1.0f) < sherlog32(2.0f));
+  EXPECT_TRUE(sherlog32(2.0f) == sherlog32(2.0f));
+  EXPECT_TRUE(fp::isfinite(x));
+  EXPECT_EQ(std::numeric_limits<sherlog32>::epsilon().value(),
+            std::numeric_limits<float>::epsilon());
+}
+
+TEST(ChooseScaling, CentersObservedRange) {
+  // Values clustered around 2^-20: the float16 window is [-14, 15], so
+  // the scale should lift the cluster near its centre (~2^0).
+  fp::exponent_histogram h;
+  for (int i = 0; i < 1000; ++i) h.record(std::ldexp(1.0, -20));
+  const auto choice = fp::choose_scaling(h, fp::float16_range);
+  EXPECT_TRUE(choice.fits);
+  EXPECT_NEAR(choice.log2_scale, 20, 2);
+  EXPECT_EQ(choice.scale, std::ldexp(1.0, choice.log2_scale));
+  EXPECT_EQ(choice.subnormal_fraction_before, 1.0);
+  EXPECT_EQ(choice.subnormal_fraction_after, 0.0);
+}
+
+TEST(ChooseScaling, ReportsWhenRangeCannotFit) {
+  // 40 orders of binary magnitude cannot fit float16's 29.
+  fp::exponent_histogram h;
+  for (int e = -20; e <= 20; ++e) h.record(std::ldexp(1.0, e));
+  const auto choice = fp::choose_scaling(h, fp::float16_range, 0.0);
+  EXPECT_FALSE(choice.fits);
+}
+
+TEST(ChooseScaling, IdentityWhenAlreadyCentered) {
+  fp::exponent_histogram h;
+  for (int i = 0; i < 100; ++i) h.record(1.0);  // exponent 0, centre ~0
+  const auto choice = fp::choose_scaling(h, fp::float16_range);
+  EXPECT_TRUE(choice.fits);
+  EXPECT_LE(std::abs(choice.log2_scale), 1);
+}
+
+TEST(ChooseScaling, EmptyHistogramIsIdentity) {
+  fp::exponent_histogram h;
+  const auto choice = fp::choose_scaling(h, fp::float16_range);
+  EXPECT_TRUE(choice.fits);
+  EXPECT_EQ(choice.scale, 1.0);
+}
+
+TEST(ChooseScaling, ClipIgnoresOutliers) {
+  // 1e5 well-behaved samples at 2^-18 plus 3 stray values at 2^-60:
+  // with clipping the choice must track the bulk, not the strays.
+  fp::exponent_histogram h;
+  for (int i = 0; i < 100000; ++i) h.record(std::ldexp(1.0, -18));
+  for (int i = 0; i < 3; ++i) h.record(std::ldexp(1.0, -60));
+  const auto choice = fp::choose_scaling(h, fp::float16_range, 1e-3);
+  EXPECT_NEAR(choice.log2_scale, 18, 2);
+}

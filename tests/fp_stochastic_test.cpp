@@ -1,0 +1,108 @@
+// Stochastic rounding: exactness on representable values, unbiasedness
+// in the mean, the drift cure on the stuck-accumulator problem.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fp/stochastic.hpp"
+
+using namespace tfx::fp;
+
+TEST(StochasticRounding, RepresentableValuesPassThrough) {
+  stochastic_rounder sr(1);
+  for (std::uint32_t bits = 0x0400; bits <= 0x7bff; bits += 37) {
+    const auto h = float16::from_bits(static_cast<std::uint16_t>(bits));
+    const float f = static_cast<float>(h);
+    // A value that IS a binary16 value has a zero discarded field: the
+    // dither can flip it up only if all 13 bits... adding dither < 8192
+    // to a zero tail never carries. Must be exact every time.
+    for (int k = 0; k < 4; ++k) {
+      EXPECT_EQ(sr.round_f16(f).bits(), h.bits()) << std::hex << bits;
+    }
+  }
+}
+
+TEST(StochasticRounding, RoundsToOneOfTheNeighbours) {
+  stochastic_rounder sr(2);
+  const float lo = 1.0f;
+  const float hi = 1.0f + std::ldexp(1.0f, -10);
+  const float x = 1.0f + std::ldexp(1.0f, -12);  // 1/4 of the gap up
+  for (int k = 0; k < 100; ++k) {
+    const float got = static_cast<float>(sr.round_f16(x));
+    EXPECT_TRUE(got == lo || got == hi) << got;
+  }
+}
+
+TEST(StochasticRounding, ProbabilityProportionalToPosition) {
+  // x sits 1/4 of the way up the gap: ~25% of roundings must go up.
+  stochastic_rounder sr(3);
+  const float x = 1.0f + std::ldexp(1.0f, -12);
+  int ups = 0;
+  constexpr int trials = 40000;
+  for (int k = 0; k < trials; ++k) {
+    if (static_cast<float>(sr.round_f16(x)) > 1.0f) ++ups;
+  }
+  const double frac = static_cast<double>(ups) / trials;
+  EXPECT_NEAR(frac, 0.25, 0.02);
+}
+
+TEST(StochasticRounding, UnbiasedInTheMean) {
+  stochastic_rounder sr(4);
+  const float x = 2.7182818f;
+  double acc = 0;
+  constexpr int trials = 100000;
+  for (int k = 0; k < trials; ++k) {
+    acc += static_cast<double>(sr.round_f16(x));
+  }
+  const double mean = acc / trials;
+  // RN-even would give a fixed value off by up to half an ulp (~6.6e-4
+  // at this magnitude); the SR mean must sit much closer than that.
+  EXPECT_NEAR(mean, static_cast<double>(x), 2e-4);
+}
+
+TEST(StochasticRounding, CuresTheStuckAccumulator) {
+  // 1.0 + 4096 * 2^-13 = 1.5. Plain float16 accumulation is stuck at
+  // 1.0 (increment below the ulp); the SR accumulator drifts to the
+  // right answer in expectation.
+  const float16 inc(std::ldexp(1.0, -13));
+  float16 plain(1.0);
+  sr_accumulator sr(float16(1.0), /*seed=*/5);
+  for (int i = 0; i < 4096; ++i) {
+    plain += inc;
+    sr.add(inc);
+  }
+  EXPECT_EQ(static_cast<double>(plain), 1.0);
+  EXPECT_NEAR(static_cast<double>(sr.value()), 1.5, 0.05);
+}
+
+TEST(StochasticRounding, DeterministicForFixedSeed) {
+  stochastic_rounder a(42), b(42), c(43);
+  const float x = 1.0f + std::ldexp(1.0f, -12);
+  bool diverged = false;
+  for (int k = 0; k < 64; ++k) {
+    const auto ra = a.round_f16(x).bits();
+    EXPECT_EQ(ra, b.round_f16(x).bits());
+    diverged = diverged || (ra != c.round_f16(x).bits());
+  }
+  EXPECT_TRUE(diverged);  // different seed, different stream
+}
+
+TEST(StochasticRounding, BFloat16PathWorks) {
+  stochastic_rounder sr(6);
+  const float x = 1.0f + std::ldexp(1.0f, -9);  // 1/4 gap at bf16
+  int ups = 0;
+  constexpr int trials = 40000;
+  for (int k = 0; k < trials; ++k) {
+    if (static_cast<float>(sr.round_bf16(x)) > 1.0f) ++ups;
+  }
+  EXPECT_NEAR(static_cast<double>(ups) / trials, 0.25, 0.02);
+  EXPECT_EQ(sr.round_bf16(2.0f).bits(), bfloat16(2.0f).bits());
+}
+
+TEST(StochasticRounding, InfAndNanUnchanged) {
+  stochastic_rounder sr(7);
+  EXPECT_TRUE(sr.round_f16(std::numeric_limits<float>::infinity()).isinf());
+  EXPECT_TRUE(sr.round_f16(std::nanf("")).isnan());
+  EXPECT_TRUE(sr.round_f16(1e9f).isinf());  // overflow region: RN fallback
+}

@@ -1,0 +1,120 @@
+// The strided (full BLAS calling convention) Level-1 kernels.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "fp/float16.hpp"
+#include "kernels/generic.hpp"
+#include "kernels/strided.hpp"
+
+using namespace tfx::kernels;
+using tfx::fp::float16;
+
+namespace {
+
+template <typename T>
+strided_view<const T> cview(const std::vector<T>& v, std::size_t n,
+                            std::ptrdiff_t inc) {
+  return {v.data(), n, inc};
+}
+template <typename T>
+strided_view<T> view(std::vector<T>& v, std::size_t n, std::ptrdiff_t inc) {
+  return {v.data(), n, inc};
+}
+
+}  // namespace
+
+TEST(Strided, UnitStrideMatchesContiguous) {
+  std::vector<double> x{1, 2, 3, 4}, y{10, 20, 30, 40}, y2 = y;
+  axpy_strided(2.0, cview(x, 4, 1), view(y, 4, 1));
+  axpy(2.0, std::span<const double>(x), std::span<double>(y2));
+  EXPECT_EQ(y, y2);
+  EXPECT_DOUBLE_EQ(dot_strided(cview(x, 4, 1), cview(y, 4, 1)),
+                   dot<double>(x, y));
+}
+
+TEST(Strided, PositiveStrideSkipsElements) {
+  std::vector<double> x{1, -9, 2, -9, 3};    // logical {1,2,3} at inc 2
+  std::vector<double> y{10, 77, 20, 77, 30};  // logical {10,20,30}
+  axpy_strided(1.0, cview(x, 3, 2), view(y, 3, 2));
+  EXPECT_EQ(y, (std::vector<double>{11, 77, 22, 77, 33}));
+}
+
+TEST(Strided, NegativeStrideWalksBackwards) {
+  // BLAS semantics: with inc = -1 the logical element 0 is the
+  // physical last. axpy(a, x inc=1, y inc=-1) adds x reversed.
+  std::vector<double> x{1, 2, 3};
+  std::vector<double> y{0, 0, 0};
+  axpy_strided(1.0, cview(x, 3, 1), view(y, 3, -1));
+  EXPECT_EQ(y, (std::vector<double>{3, 2, 1}));
+}
+
+TEST(Strided, DotWithMixedStrides) {
+  std::vector<double> x{1, 0, 2, 0, 3};  // {1,2,3} at inc 2
+  std::vector<double> y{4, 5, 6};        // {6,5,4} at inc -1
+  EXPECT_DOUBLE_EQ(dot_strided(cview(x, 3, 2), cview(y, 3, -1)),
+                   1 * 6 + 2 * 5 + 3 * 4);
+}
+
+TEST(Strided, ScalCopySwap) {
+  std::vector<double> x{1, 2, 3, 4};
+  scal_strided(3.0, view(x, 2, 2));  // scales elements 0 and 2
+  EXPECT_EQ(x, (std::vector<double>{3, 2, 9, 4}));
+
+  std::vector<double> y(4, 0.0);
+  copy_strided(cview(x, 4, 1), view(y, 4, 1));
+  EXPECT_EQ(y, x);
+
+  std::vector<double> a{1, 2}, b{3, 4};
+  swap_strided(view(a, 2, 1), view(b, 2, 1));
+  EXPECT_EQ(a, (std::vector<double>{3, 4}));
+  EXPECT_EQ(b, (std::vector<double>{1, 2}));
+}
+
+TEST(Strided, GivensRotationRotates) {
+  const double theta = 0.3;
+  const double c = std::cos(theta), s = std::sin(theta);
+  std::vector<double> x{1, 0}, y{0, 1};
+  rot_strided(view(x, 2, 1), view(y, 2, 1), c, s);
+  EXPECT_NEAR(x[0], c, 1e-15);
+  EXPECT_NEAR(y[0], -s, 1e-15);
+  EXPECT_NEAR(x[1], s, 1e-15);
+  EXPECT_NEAR(y[1], c, 1e-15);
+  // Rotations preserve the 2-norm of each (x_i, y_i) pair.
+  EXPECT_NEAR(x[0] * x[0] + y[0] * y[0], 1.0, 1e-14);
+}
+
+TEST(Strided, RotgAnnihilatesSecondComponent) {
+  double a = 3.0, b = 4.0, c = 0.0, s = 0.0;
+  rotg(a, b, c, s);
+  EXPECT_NEAR(a, 5.0, 1e-14);            // r = hypot(3,4), sign of larger
+  EXPECT_NEAR(c * c + s * s, 1.0, 1e-14);
+  // Applying (c, s) to the original pair must zero the second entry.
+  EXPECT_NEAR(-s * 3.0 + c * 4.0, 0.0, 1e-14);
+  EXPECT_NEAR(c * 3.0 + s * 4.0, 5.0, 1e-14);
+}
+
+TEST(Strided, RotgEdgeCases) {
+  double a = 0.0, b = 0.0, c = -1.0, s = -1.0;
+  rotg(a, b, c, s);
+  EXPECT_EQ(c, 1.0);  // b == 0: identity rotation
+  EXPECT_EQ(s, 0.0);
+
+  a = 0.0;
+  b = 2.0;
+  rotg(a, b, c, s);
+  EXPECT_EQ(c, 0.0);  // a == 0: quarter turn
+  EXPECT_EQ(s, 1.0);
+  EXPECT_EQ(a, 2.0);
+}
+
+TEST(Strided, Float16Instantiation) {
+  std::vector<float16> x{float16(1.0), float16(2.0)};
+  std::vector<float16> y{float16(0.5), float16(0.5)};
+  axpy_strided(float16(2.0), strided_view<const float16>(x.data(), 2, 1),
+               strided_view<float16>(y.data(), 2, 1));
+  EXPECT_EQ(static_cast<double>(y[0]), 2.5);
+  EXPECT_EQ(static_cast<double>(y[1]), 4.5);
+}

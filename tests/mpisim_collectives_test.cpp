@@ -1,0 +1,232 @@
+// Collective correctness across rank counts, sizes, element types,
+// reduction ops, and algorithm variants.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <tuple>
+#include <vector>
+
+#include "mpisim/collectives.hpp"
+#include "mpisim/runtime.hpp"
+
+using namespace tfx::mpisim;
+
+namespace {
+
+std::vector<double> rank_vector(int rank, std::size_t n) {
+  std::vector<double> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<double>(rank + 1) * 0.5 +
+           static_cast<double>(i) * 0.01;
+  }
+  return v;
+}
+
+}  // namespace
+
+class CollectiveRanks : public ::testing::TestWithParam<int> {};
+
+TEST_P(CollectiveRanks, BarrierCompletes) {
+  world w(GetParam());
+  w.run([](communicator& comm) { barrier(comm); });
+  SUCCEED();
+}
+
+TEST_P(CollectiveRanks, BcastFromEveryRoot) {
+  const int p = GetParam();
+  world w(p);
+  for (int root = 0; root < p; ++root) {
+    w.run([root](communicator& comm) {
+      std::vector<double> data(17);
+      if (comm.rank() == root) data = rank_vector(root, 17);
+      bcast(comm, std::span<double>(data), root);
+      EXPECT_EQ(data, rank_vector(root, 17)) << "rank " << comm.rank();
+    });
+  }
+}
+
+TEST_P(CollectiveRanks, ReduceSumMatchesSerial) {
+  const int p = GetParam();
+  world w(p);
+  std::vector<double> expected(13, 0.0);
+  for (int r = 0; r < p; ++r) {
+    const auto v = rank_vector(r, 13);
+    for (std::size_t i = 0; i < v.size(); ++i) expected[i] += v[i];
+  }
+  w.run([&](communicator& comm) {
+    const auto in = rank_vector(comm.rank(), 13);
+    std::vector<double> out(13);
+    reduce(comm, std::span<const double>(in), std::span<double>(out),
+           ops::sum{}, 0);
+    if (comm.rank() == 0) {
+      for (std::size_t i = 0; i < out.size(); ++i) {
+        EXPECT_NEAR(out[i], expected[i], 1e-12);
+      }
+    }
+  });
+}
+
+TEST_P(CollectiveRanks, AllreduceBothAlgorithms) {
+  const int p = GetParam();
+  world w(p);
+  for (const auto algo : {coll_algorithm::recursive_doubling,
+                          coll_algorithm::ring,
+                          coll_algorithm::rabenseifner}) {
+    w.run([&, algo](communicator& comm) {
+      const auto in = rank_vector(comm.rank(), 29);
+      std::vector<double> out(29);
+      allreduce(comm, std::span<const double>(in), std::span<double>(out),
+                ops::sum{}, algo);
+      for (std::size_t i = 0; i < out.size(); ++i) {
+        double expected = 0;
+        for (int r = 0; r < p; ++r) expected += rank_vector(r, 29)[i];
+        EXPECT_NEAR(out[i], expected, 1e-11) << "algo=" << static_cast<int>(algo);
+      }
+    });
+  }
+}
+
+TEST_P(CollectiveRanks, AllreduceMinMax) {
+  const int p = GetParam();
+  world w(p);
+  w.run([&](communicator& comm) {
+    const std::vector<double> in{static_cast<double>(comm.rank()),
+                                 static_cast<double>(-comm.rank())};
+    std::vector<double> lo(2), hi(2);
+    allreduce(comm, std::span<const double>(in), std::span<double>(lo),
+              ops::min{}, coll_algorithm::recursive_doubling);
+    allreduce(comm, std::span<const double>(in), std::span<double>(hi),
+              ops::max{}, coll_algorithm::recursive_doubling);
+    EXPECT_EQ(lo[0], 0.0);
+    EXPECT_EQ(lo[1], static_cast<double>(-(p - 1)));
+    EXPECT_EQ(hi[0], static_cast<double>(p - 1));
+    EXPECT_EQ(hi[1], 0.0);
+  });
+}
+
+TEST_P(CollectiveRanks, GathervVariableCounts) {
+  const int p = GetParam();
+  world w(p);
+  w.run([&](communicator& comm) {
+    const int r = comm.rank();
+    // Rank r contributes r+1 elements, value 100*r + i.
+    std::vector<std::size_t> counts(static_cast<std::size_t>(p));
+    std::size_t total = 0;
+    for (int k = 0; k < p; ++k) {
+      counts[static_cast<std::size_t>(k)] = static_cast<std::size_t>(k) + 1;
+      total += static_cast<std::size_t>(k) + 1;
+    }
+    std::vector<double> mine(static_cast<std::size_t>(r) + 1);
+    for (std::size_t i = 0; i < mine.size(); ++i) {
+      mine[i] = 100.0 * r + static_cast<double>(i);
+    }
+    std::vector<double> out(total);
+    gatherv(comm, std::span<const double>(mine),
+            std::span<const std::size_t>(counts), std::span<double>(out), 0);
+    if (r == 0) {
+      std::size_t off = 0;
+      for (int k = 0; k < p; ++k) {
+        for (std::size_t i = 0; i <= static_cast<std::size_t>(k); ++i) {
+          EXPECT_EQ(out[off++], 100.0 * k + static_cast<double>(i));
+        }
+      }
+    }
+  });
+}
+
+TEST_P(CollectiveRanks, ScatterDistributesBlocks) {
+  const int p = GetParam();
+  world w(p);
+  w.run([&](communicator& comm) {
+    const std::size_t count = 3;
+    std::vector<double> in;
+    if (comm.rank() == 0) {
+      in.resize(count * static_cast<std::size_t>(p));
+      std::iota(in.begin(), in.end(), 0.0);
+    }
+    std::vector<double> out(count);
+    scatter(comm, std::span<const double>(in), std::span<double>(out), 0);
+    for (std::size_t i = 0; i < count; ++i) {
+      EXPECT_EQ(out[i],
+                static_cast<double>(comm.rank()) * count +
+                    static_cast<double>(i));
+    }
+  });
+}
+
+TEST_P(CollectiveRanks, AllgatherRing) {
+  const int p = GetParam();
+  world w(p);
+  w.run([&](communicator& comm) {
+    const std::vector<double> in{static_cast<double>(comm.rank() * 10),
+                                 static_cast<double>(comm.rank() * 10 + 1)};
+    std::vector<double> out(2 * static_cast<std::size_t>(p));
+    allgather(comm, std::span<const double>(in), std::span<double>(out));
+    for (int k = 0; k < p; ++k) {
+      EXPECT_EQ(out[2 * static_cast<std::size_t>(k)], k * 10.0);
+      EXPECT_EQ(out[2 * static_cast<std::size_t>(k) + 1], k * 10.0 + 1);
+    }
+  });
+}
+
+TEST_P(CollectiveRanks, AlltoallTransposes) {
+  const int p = GetParam();
+  world w(p);
+  w.run([&](communicator& comm) {
+    const int r = comm.rank();
+    std::vector<double> in(static_cast<std::size_t>(p));
+    for (int k = 0; k < p; ++k) {
+      in[static_cast<std::size_t>(k)] = 100.0 * r + k;  // my block for k
+    }
+    std::vector<double> out(static_cast<std::size_t>(p));
+    alltoall(comm, std::span<const double>(in), std::span<double>(out));
+    for (int k = 0; k < p; ++k) {
+      EXPECT_EQ(out[static_cast<std::size_t>(k)], 100.0 * k + r);
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, CollectiveRanks,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 12, 16));
+
+TEST(Collectives, AutomaticAlgorithmSwitch) {
+  // Small message -> recursive doubling, large -> ring; both correct.
+  world w(4);
+  w.run([](communicator& comm) {
+    const std::size_t big_n = (allreduce_ring_threshold / sizeof(double)) + 7;
+    std::vector<double> in(big_n, 1.0), out(big_n);
+    allreduce(comm, std::span<const double>(in), std::span<double>(out),
+              ops::sum{});
+    EXPECT_EQ(out[0], 4.0);
+    EXPECT_EQ(out[big_n - 1], 4.0);
+
+    std::vector<double> in_s(4, 2.0), out_s(4);
+    allreduce(comm, std::span<const double>(in_s), std::span<double>(out_s),
+              ops::sum{});
+    EXPECT_EQ(out_s[0], 8.0);
+  });
+}
+
+TEST(Collectives, AllreduceIntWithProd) {
+  world w(3);
+  w.run([](communicator& comm) {
+    const std::vector<long long> in{comm.rank() + 1};
+    std::vector<long long> out(1);
+    allreduce(comm, std::span<const long long>(in),
+              std::span<long long>(out), ops::prod{},
+              coll_algorithm::recursive_doubling);
+    EXPECT_EQ(out[0], 6);  // 1*2*3
+  });
+}
+
+TEST(Collectives, BarrierSynchronizesVirtualClocks) {
+  // After a barrier, no rank's clock may be earlier than the latest
+  // pre-barrier clock (information must have reached everyone).
+  world w(4);
+  w.run([](communicator& comm) {
+    if (comm.rank() == 2) comm.advance(500e-6);
+    barrier(comm);
+    EXPECT_GE(comm.now(), 500e-6);
+  });
+}

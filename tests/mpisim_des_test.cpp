@@ -1,0 +1,204 @@
+// The discrete-event engine must reproduce the threaded runtime's
+// virtual clocks exactly: same algorithms, same clock rules. This is
+// the test that licenses running Fig. 3 at 1536 ranks without threads.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mpisim/collectives.hpp"
+#include "mpisim/des.hpp"
+#include "mpisim/patterns.hpp"
+#include "mpisim/runtime.hpp"
+
+using namespace tfx::mpisim;
+
+namespace {
+
+/// Run a collective on the threaded runtime and return final clocks.
+template <typename Fn>
+std::vector<double> threaded_clocks(int p, Fn&& fn) {
+  world w(p);
+  w.run(fn);
+  return w.final_clocks();
+}
+
+void expect_clocks_equal(const std::vector<double>& a,
+                         const std::vector<double>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(a[i], b[i], 1e-15 + 1e-9 * a[i]) << "rank " << i;
+  }
+}
+
+}  // namespace
+
+class DesAgreement : public ::testing::TestWithParam<int> {};
+
+TEST_P(DesAgreement, Barrier) {
+  const int p = GetParam();
+  const auto real = threaded_clocks(p, [](communicator& c) { barrier(c); });
+  const tofud_params net;
+  const auto place = torus_placement::line(p);
+  const auto des = simulate(make_barrier_program(p), net, place);
+  expect_clocks_equal(real, des.clocks);
+}
+
+TEST_P(DesAgreement, Bcast) {
+  const int p = GetParam();
+  const std::size_t count = 300;
+  const auto real = threaded_clocks(p, [&](communicator& c) {
+    std::vector<double> data(count, c.rank() == 0 ? 1.0 : 0.0);
+    bcast(c, std::span<double>(data), 0);
+  });
+  const tofud_params net;
+  const auto des = simulate(make_bcast_program(p, count, sizeof(double), 0),
+                            net, torus_placement::line(p));
+  expect_clocks_equal(real, des.clocks);
+}
+
+TEST_P(DesAgreement, Reduce) {
+  const int p = GetParam();
+  const std::size_t count = 123;
+  const auto real = threaded_clocks(p, [&](communicator& c) {
+    std::vector<double> in(count, 1.0), out(count);
+    reduce(c, std::span<const double>(in), std::span<double>(out),
+           ops::sum{}, 0);
+  });
+  const tofud_params net;
+  const auto des =
+      simulate(make_reduce_program(net, p, count, sizeof(double), 0), net,
+               torus_placement::line(p));
+  expect_clocks_equal(real, des.clocks);
+}
+
+TEST_P(DesAgreement, AllreduceRecursiveDoubling) {
+  const int p = GetParam();
+  const std::size_t count = 64;
+  const auto real = threaded_clocks(p, [&](communicator& c) {
+    std::vector<double> in(count, 1.0), out(count);
+    allreduce(c, std::span<const double>(in), std::span<double>(out),
+              ops::sum{}, coll_algorithm::recursive_doubling);
+  });
+  const tofud_params net;
+  const auto des = simulate(
+      make_allreduce_program(net, p, count, sizeof(double),
+                             coll_algorithm::recursive_doubling),
+      net, torus_placement::line(p));
+  expect_clocks_equal(real, des.clocks);
+}
+
+TEST_P(DesAgreement, AllreduceRing) {
+  const int p = GetParam();
+  if (p == 1) GTEST_SKIP();
+  const std::size_t count = 1000;
+  const auto real = threaded_clocks(p, [&](communicator& c) {
+    std::vector<double> in(count, 1.0), out(count);
+    allreduce(c, std::span<const double>(in), std::span<double>(out),
+              ops::sum{}, coll_algorithm::ring);
+  });
+  const tofud_params net;
+  const auto des =
+      simulate(make_allreduce_program(net, p, count, sizeof(double),
+                                      coll_algorithm::ring),
+               net, torus_placement::line(p));
+  expect_clocks_equal(real, des.clocks);
+}
+
+TEST_P(DesAgreement, AllreduceRabenseifner) {
+  const int p = GetParam();
+  if (p == 1) GTEST_SKIP();
+  const std::size_t count = 640;
+  const auto real = threaded_clocks(p, [&](communicator& c) {
+    std::vector<double> in(count, 1.0), out(count);
+    allreduce(c, std::span<const double>(in), std::span<double>(out),
+              ops::sum{}, coll_algorithm::rabenseifner);
+  });
+  const tofud_params net;
+  const auto des =
+      simulate(make_allreduce_program(net, p, count, sizeof(double),
+                                      coll_algorithm::rabenseifner),
+               net, torus_placement::line(p));
+  expect_clocks_equal(real, des.clocks);
+}
+
+TEST_P(DesAgreement, Gatherv) {
+  const int p = GetParam();
+  const std::size_t count = 50;
+  const auto real = threaded_clocks(p, [&](communicator& c) {
+    std::vector<std::size_t> counts(static_cast<std::size_t>(p), count);
+    std::vector<double> in(count, 1.0);
+    std::vector<double> out(count * static_cast<std::size_t>(p));
+    gatherv(c, std::span<const double>(in),
+            std::span<const std::size_t>(counts), std::span<double>(out), 0);
+  });
+  const tofud_params net;
+  const auto des =
+      simulate(make_gatherv_program(p, count, sizeof(double), 0), net,
+               torus_placement::line(p));
+  expect_clocks_equal(real, des.clocks);
+}
+
+TEST_P(DesAgreement, Allgather) {
+  const int p = GetParam();
+  const std::size_t count = 80;
+  const auto real = threaded_clocks(p, [&](communicator& c) {
+    std::vector<double> in(count, 1.0);
+    std::vector<double> out(count * static_cast<std::size_t>(p));
+    allgather(c, std::span<const double>(in), std::span<double>(out));
+  });
+  const tofud_params net;
+  const auto des = simulate(make_allgather_program(p, count, sizeof(double)),
+                            net, torus_placement::line(p));
+  expect_clocks_equal(real, des.clocks);
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, DesAgreement,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 8, 9, 16));
+
+TEST(Des, StartClocksSeedTheSimulation) {
+  const tofud_params net;
+  const int p = 4;
+  const auto place = torus_placement::line(p);
+  const auto prog = make_barrier_program(p);
+  const auto cold = simulate(prog, net, place);
+  std::vector<double> seed(static_cast<std::size_t>(p), 1.0);
+  const auto warm = simulate(prog, net, place, seed);
+  for (int r = 0; r < p; ++r) {
+    EXPECT_NEAR(warm.clocks[static_cast<std::size_t>(r)],
+                cold.clocks[static_cast<std::size_t>(r)] + 1.0, 1e-12);
+  }
+}
+
+TEST(Des, ScalesToFig3RankCount) {
+  // 1536 ranks on the 4x6x16 torus: must run in milliseconds of host
+  // time and produce sane, size-monotone latencies.
+  const tofud_params net;
+  const torus_placement place({4, 6, 16}, 4);
+  const int p = place.rank_count();
+  ASSERT_EQ(p, 1536);
+
+  double prev = 0;
+  for (const std::size_t count : {1u, 256u, 65536u}) {
+    const auto prog = make_allreduce_program(
+        net, p, count, 4, coll_algorithm::recursive_doubling);
+    const auto res = simulate(prog, net, place);
+    EXPECT_GT(res.max_clock(), prev);
+    prev = res.max_clock();
+  }
+  // Small allreduce at 1536 ranks: ~11 rounds x ~(1 us): order 10 us.
+  const auto small = simulate(
+      make_allreduce_program(net, p, 1, 4,
+                             coll_algorithm::recursive_doubling),
+      net, place);
+  EXPECT_GT(small.max_clock(), 5e-6);
+  EXPECT_LT(small.max_clock(), 100e-6);
+}
+
+TEST(Des, ResultStatistics) {
+  const tofud_params net;
+  const auto place = torus_placement::line(2);
+  const auto res = simulate(make_barrier_program(2), net, place);
+  EXPECT_LE(res.min_clock(), res.avg_clock());
+  EXPECT_LE(res.avg_clock(), res.max_clock());
+}

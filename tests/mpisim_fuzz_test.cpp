@@ -1,0 +1,113 @@
+// Cross-engine fuzzing: random (seeded) communication programs are
+// executed on BOTH the threaded runtime and the discrete-event engine;
+// virtual clocks must agree exactly. This covers arbitrary interleaved
+// patterns the structured collective tests never produce.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/rng.hpp"
+#include "mpisim/des.hpp"
+#include "mpisim/patterns.hpp"
+#include "mpisim/runtime.hpp"
+
+using namespace tfx;
+using namespace tfx::mpisim;
+
+namespace {
+
+/// Generate a random deadlock-free program: a sequence of global
+/// rounds; in each round a random perfect/partial pairing of ranks
+/// exchanges messages of random sizes, and random ranks do local
+/// compute. Within a rank the ops are ordered (sends before recvs per
+/// round), which the threaded engine can always execute.
+sim_program random_program(int p, std::uint64_t seed, int rounds) {
+  xoshiro256 rng(seed);
+  sim_program prog(p);
+  for (int round = 0; round < rounds; ++round) {
+    // Random permutation pairing: shuffle ranks, pair adjacent ones.
+    std::vector<int> order(static_cast<std::size_t>(p));
+    for (int r = 0; r < p; ++r) order[static_cast<std::size_t>(r)] = r;
+    for (int i = p - 1; i > 0; --i) {
+      const auto j = static_cast<int>(rng.bounded(static_cast<std::uint64_t>(i + 1)));
+      std::swap(order[static_cast<std::size_t>(i)],
+                order[static_cast<std::size_t>(j)]);
+    }
+    for (int k = 0; k + 1 < p; k += 2) {
+      const int a = order[static_cast<std::size_t>(k)];
+      const int b = order[static_cast<std::size_t>(k + 1)];
+      if (rng.bounded(4) == 0) continue;  // some pairs idle this round
+      const std::size_t bytes = 1 + rng.bounded(200000);
+      // Both send first, then both receive: never blocks.
+      prog.rank(a).push_back(sim_op::send_to(b, bytes));
+      prog.rank(b).push_back(sim_op::send_to(a, bytes));
+      prog.rank(a).push_back(sim_op::recv_from(b, bytes));
+      prog.rank(b).push_back(sim_op::recv_from(a, bytes));
+    }
+    for (int r = 0; r < p; ++r) {
+      if (rng.bounded(3) == 0) {
+        prog.rank(r).push_back(
+            sim_op::compute_for(rng.uniform(0.0, 5e-6)));
+      }
+    }
+  }
+  return prog;
+}
+
+/// Execute a sim_program on the threaded runtime, returning the final
+/// virtual clocks.
+std::vector<double> run_threaded(const sim_program& prog,
+                                 const torus_placement& place,
+                                 const tofud_params& net) {
+  world w(place, net);
+  w.run([&](communicator& comm) {
+    const auto& ops = prog.ranks[static_cast<std::size_t>(comm.rank())];
+    std::vector<std::byte> buf(1 << 18);
+    for (const auto& op : ops) {
+      switch (op.what) {
+        case sim_op::kind::send:
+          comm.send_bytes(std::span<const std::byte>(buf.data(), op.bytes),
+                          op.peer, 7);
+          break;
+        case sim_op::kind::recv:
+          comm.recv_bytes(std::span<std::byte>(buf.data(), op.bytes),
+                          op.peer, 7);
+          break;
+        case sim_op::kind::compute:
+          comm.advance(op.seconds);
+          break;
+      }
+    }
+  });
+  return w.final_clocks();
+}
+
+}  // namespace
+
+class FuzzEngines : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzEngines, ThreadedAndDesClocksAgree) {
+  const std::uint64_t seed = GetParam();
+  xoshiro256 meta(seed);
+  const int p = 2 + static_cast<int>(meta.bounded(9));       // 2..10 ranks
+  const int rounds = 3 + static_cast<int>(meta.bounded(10)); // 3..12 rounds
+  const int per_node = 1 + static_cast<int>(meta.bounded(3));
+  const int nodes = (p + per_node - 1) / per_node;
+  const torus_placement place({nodes, 1, 1}, per_node);
+  // Pad the program to the placement's full rank count.
+  const int total = place.rank_count();
+  auto prog = random_program(total, seed * 7919 + 13, rounds);
+
+  const tofud_params net;
+  const auto threaded = run_threaded(prog, place, net);
+  const auto des = simulate(prog, net, place).clocks;
+  ASSERT_EQ(threaded.size(), des.size());
+  for (std::size_t r = 0; r < des.size(); ++r) {
+    ASSERT_NEAR(threaded[r], des[r], 1e-15 + 1e-9 * des[r])
+        << "seed " << seed << " rank " << r;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzEngines,
+                         ::testing::Range<std::uint64_t>(1, 26));

@@ -1,0 +1,217 @@
+// The threaded message-passing runtime: matching, ordering, virtual
+// clocks, placement, and failure propagation.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "mpisim/network.hpp"
+#include "mpisim/runtime.hpp"
+
+using namespace tfx::mpisim;
+
+TEST(TorusPlacement, CoordinatesAndHops) {
+  const torus_placement t({4, 6, 16}, 4);
+  EXPECT_EQ(t.node_count(), 384);
+  EXPECT_EQ(t.rank_count(), 1536);
+  EXPECT_EQ(t.node_of(0), 0);
+  EXPECT_EQ(t.node_of(3), 0);
+  EXPECT_EQ(t.node_of(4), 1);
+
+  EXPECT_EQ(t.hops(0, 0), 0);
+  EXPECT_EQ(t.hops(0, 1), 1);          // +x neighbour
+  EXPECT_EQ(t.hops(0, 3), 1);          // wraparound in x (4 wide)
+  EXPECT_EQ(t.hops(0, 4), 1);          // +y neighbour
+  const int far = 2 + 3 + 8;           // max per-dim distances
+  EXPECT_EQ(t.hops(0, t.node_count() - 1), 1 + 1 + 1);  // all wrap by 1
+  int max_h = 0;
+  for (int n = 0; n < t.node_count(); ++n) max_h = std::max(max_h, t.hops(0, n));
+  EXPECT_EQ(max_h, far);
+}
+
+TEST(Network, TransferTimeComponents) {
+  const tofud_params net;
+  const auto place = torus_placement::line(4);
+  // Small message, 1 hop: alpha + per_hop + bytes/bw.
+  const double t1 = transfer_seconds(net, place, 0, 1, 8);
+  EXPECT_NEAR(t1, net.alpha_s + net.per_hop_s + 8 / net.link_bandwidth_Bps,
+              1e-12);
+  // 2 hops cost one per_hop more.
+  const double t2 = transfer_seconds(net, place, 0, 2, 8);
+  EXPECT_NEAR(t2 - t1, net.per_hop_s, 1e-12);
+  // Rendezvous surcharge above the eager threshold.
+  const double eager = transfer_seconds(net, place, 0, 1, net.eager_threshold);
+  const double rndv =
+      transfer_seconds(net, place, 0, 1, net.eager_threshold + 1);
+  EXPECT_GT(rndv - eager, net.rendezvous_extra_s * 0.9);
+}
+
+TEST(Network, IntraNodeIsCheaper) {
+  const tofud_params net;
+  const torus_placement place({2, 1, 1}, 2);  // 2 nodes x 2 ranks
+  const double intra = transfer_seconds(net, place, 0, 1, 1024);
+  const double inter = transfer_seconds(net, place, 0, 2, 1024);
+  EXPECT_LT(intra, inter);
+}
+
+TEST(Runtime, SendRecvMovesData) {
+  world w(2);
+  w.run([](communicator& comm) {
+    if (comm.rank() == 0) {
+      const std::vector<int> data{1, 2, 3, 4};
+      comm.send(std::span<const int>(data), 1, 7);
+    } else {
+      std::vector<int> got(4);
+      const auto st = comm.recv(std::span<int>(got), 0, 7);
+      EXPECT_EQ(got, (std::vector<int>{1, 2, 3, 4}));
+      EXPECT_EQ(st.source, 0);
+      EXPECT_EQ(st.tag, 7);
+      EXPECT_EQ(st.bytes, 16u);
+    }
+  });
+}
+
+TEST(Runtime, TagMatchingOutOfOrder) {
+  world w(2);
+  w.run([](communicator& comm) {
+    if (comm.rank() == 0) {
+      comm.send_value(111, 1, /*tag=*/1);
+      comm.send_value(222, 1, /*tag=*/2);
+    } else {
+      // Receive tag 2 first although it was sent second.
+      EXPECT_EQ(comm.recv_value<int>(0, 2), 222);
+      EXPECT_EQ(comm.recv_value<int>(0, 1), 111);
+    }
+  });
+}
+
+TEST(Runtime, FifoPerSourceAndTag) {
+  world w(2);
+  w.run([](communicator& comm) {
+    if (comm.rank() == 0) {
+      for (int i = 0; i < 50; ++i) comm.send_value(i, 1, 3);
+    } else {
+      for (int i = 0; i < 50; ++i) {
+        EXPECT_EQ(comm.recv_value<int>(0, 3), i);
+      }
+    }
+  });
+}
+
+TEST(Runtime, AnySourceAndAnyTag) {
+  world w(3);
+  w.run([](communicator& comm) {
+    if (comm.rank() != 0) {
+      comm.send_value(comm.rank() * 100, 0, comm.rank());
+    } else {
+      int sum = 0;
+      for (int k = 0; k < 2; ++k) {
+        int v = 0;
+        const auto st = comm.recv_bytes(
+            std::as_writable_bytes(std::span<int>(&v, 1)), any_source,
+            any_tag);
+        EXPECT_EQ(v, st.source * 100);
+        EXPECT_EQ(st.tag, st.source);
+        sum += v;
+      }
+      EXPECT_EQ(sum, 300);
+    }
+  });
+}
+
+TEST(Runtime, VirtualClockPingPong) {
+  // One round trip: each leg costs o_send + transfer + o_recv on the
+  // receiving side's clock; rank 0's final clock is exactly the sum.
+  const tofud_params net;
+  world w(2, net);
+  w.run([&](communicator& comm) {
+    std::vector<std::byte> buf(64);
+    if (comm.rank() == 0) {
+      comm.send_bytes(buf, 1, 1);
+      comm.recv_bytes(buf, 1, 2);
+    } else {
+      comm.recv_bytes(buf, 0, 1);
+      comm.send_bytes(buf, 0, 2);
+    }
+  });
+  const double leg = net.send_overhead_s +
+                     transfer_seconds(net, w.placement(), 0, 1, 64) +
+                     net.recv_overhead_s;
+  EXPECT_NEAR(w.final_clocks()[0], 2 * leg, 1e-12);
+  EXPECT_NEAR(w.final_clocks()[1], leg + net.send_overhead_s, 1e-12);
+}
+
+TEST(Runtime, AdvanceAddsToClock) {
+  world w(1);
+  w.run([](communicator& comm) {
+    comm.advance(1.5e-3);
+    comm.advance(0.5e-3);
+    EXPECT_DOUBLE_EQ(comm.now(), 2.0e-3);
+  });
+  EXPECT_DOUBLE_EQ(w.final_clocks()[0], 2.0e-3);
+}
+
+TEST(Runtime, ReceiverWaitsForVirtualArrival) {
+  // The receiver's clock jumps to the arrival time even if it posted
+  // the receive "early" (clock 0).
+  const tofud_params net;
+  world w(2, net);
+  w.run([&](communicator& comm) {
+    if (comm.rank() == 0) {
+      comm.advance(100e-6);  // sender is busy for 100 us first
+      comm.send_value(42, 1, 0);
+    } else {
+      EXPECT_EQ(comm.recv_value<int>(0, 0), 42);
+      EXPECT_GT(comm.now(), 100e-6);  // inherited the sender's lateness
+    }
+  });
+}
+
+TEST(Runtime, SendrecvDoesNotDeadlock) {
+  world w(2);
+  w.run([](communicator& comm) {
+    const int peer = 1 - comm.rank();
+    int out = comm.rank(), in = -1;
+    comm.sendrecv_bytes(std::as_bytes(std::span<const int>(&out, 1)), peer, 5,
+                        std::as_writable_bytes(std::span<int>(&in, 1)), peer,
+                        5);
+    EXPECT_EQ(in, peer);
+  });
+}
+
+TEST(Runtime, ExceptionPropagatesToRun) {
+  world w(2);
+  EXPECT_THROW(w.run([](communicator& comm) {
+    if (comm.rank() == 1) throw std::runtime_error("rank 1 failed");
+    // rank 0 must not deadlock: it only sends.
+    comm.send_value(1, 1, 0);
+  }),
+               std::runtime_error);
+}
+
+TEST(Runtime, ReusableAcrossRuns) {
+  world w(2);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 3; ++round) {
+    w.run([&](communicator& comm) {
+      if (comm.rank() == 0) {
+        comm.send_value(round, 1, 0);
+      } else {
+        total += comm.recv_value<int>(0, 0);
+      }
+    });
+  }
+  EXPECT_EQ(total.load(), 0 + 1 + 2);
+}
+
+TEST(Runtime, SingleRankWorld) {
+  world w(1);
+  w.run([](communicator& comm) {
+    EXPECT_EQ(comm.size(), 1);
+    // Self-send works (eager).
+    comm.send_value(9, 0, 0);
+    EXPECT_EQ(comm.recv_value<int>(0, 0), 9);
+  });
+}

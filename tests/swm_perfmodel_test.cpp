@@ -1,0 +1,115 @@
+// The Fig. 5 instrument: modeled per-step cost and speedups over
+// Float64 across problem sizes and precision configurations.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "swm/perfmodel.hpp"
+
+using namespace tfx::swm;
+using tfx::arch::fugaku_node;
+
+TEST(PerfModel, ConfigsDescribeThePaperVariants) {
+  EXPECT_EQ(config_float64().elem_bytes, 8u);
+  EXPECT_FALSE(config_float64().mixed());
+  EXPECT_TRUE(config_float16().compensated);
+  EXPECT_TRUE(config_float16_32().mixed());
+  EXPECT_EQ(config_float16_32().prog_elem_bytes, 4u);
+}
+
+TEST(PerfModel, Float16ApproachesFourXAtPaperSize) {
+  // "approaches 4x speedups over Float64 for large problems (3000x1500
+  // grid points)" - Fig. 5 / § III-B; the measured figure was 3.6x
+  // (Fig. 4 caption).
+  const double s = speedup_vs_float64(fugaku_node, 3000, 1500,
+                                      config_float16());
+  EXPECT_GE(s, 3.2);
+  EXPECT_LE(s, 4.0);
+}
+
+TEST(PerfModel, Float32AboutTwoXOverWideRange) {
+  for (const auto& [nx, ny] : {std::pair{500, 250}, std::pair{1000, 500},
+                              std::pair{3000, 1500}}) {
+    const double s = speedup_vs_float64(fugaku_node, nx, ny,
+                                        config_float32());
+    EXPECT_GE(s, 1.6) << nx << "x" << ny;
+    EXPECT_LE(s, 2.3) << nx << "x" << ny;
+  }
+}
+
+TEST(PerfModel, MixedPrecisionSitsBetweenFloat32AndFloat16) {
+  // Fig. 5: the Float16/32 curve lies above Float32 but below pure
+  // Float16 (the compensated variant "clearly outperforms" mixed).
+  const int nx = 3000, ny = 1500;
+  const double s16 = speedup_vs_float64(fugaku_node, nx, ny, config_float16());
+  const double s32 = speedup_vs_float64(fugaku_node, nx, ny, config_float32());
+  const double smx =
+      speedup_vs_float64(fugaku_node, nx, ny, config_float16_32());
+  EXPECT_GT(smx, s32);
+  EXPECT_GT(s16, smx);
+}
+
+TEST(PerfModel, SpeedupCollapsesAtSmallGrids) {
+  // Fixed per-step overheads dominate tiny problems: Fig. 5's curves
+  // start near 1x.
+  const double s = speedup_vs_float64(fugaku_node, 32, 16, config_float16());
+  EXPECT_LT(s, 1.5);
+  EXPECT_GE(s, 0.9);
+}
+
+TEST(PerfModel, Float16SpeedupGrowsWithProblemSize) {
+  double prev = 0.0;
+  for (const auto& [nx, ny] :
+       {std::pair{32, 16}, std::pair{128, 64}, std::pair{512, 256},
+        std::pair{1500, 750}, std::pair{3000, 1500}}) {
+    const double s = speedup_vs_float64(fugaku_node, nx, ny,
+                                        config_float16());
+    EXPECT_GE(s, prev * 0.95) << nx << "x" << ny;
+    prev = s;
+  }
+}
+
+TEST(PerfModel, CompensationCostsAboutFivePercent) {
+  // "Float16 has by default a compensated time integration [...] which
+  // causes an about 5% overhead in runtime" (Fig. 5 caption).
+  precision_config plain = config_float16();
+  plain.compensated = false;
+  const auto with = predict_step(fugaku_node, 3000, 1500, config_float16());
+  const auto without = predict_step(fugaku_node, 3000, 1500, plain);
+  const double overhead = with.seconds / without.seconds - 1.0;
+  EXPECT_GE(overhead, 0.01);
+  EXPECT_LE(overhead, 0.10);
+}
+
+TEST(PerfModel, TrafficScalesWithElementSize) {
+  const auto t64 = predict_step(fugaku_node, 1000, 500, config_float64());
+  const auto t32 = predict_step(fugaku_node, 1000, 500, config_float32());
+  const auto t16 = predict_step(fugaku_node, 1000, 500, config_float16());
+  EXPECT_NEAR(static_cast<double>(t64.bytes_moved) /
+                  static_cast<double>(t32.bytes_moved),
+              2.0, 0.05);
+  // Compensation adds a little traffic on top of the pure 4x.
+  EXPECT_GT(static_cast<double>(t64.bytes_moved) /
+                static_cast<double>(t16.bytes_moved),
+            3.5);
+}
+
+TEST(PerfModel, LargeProblemIsMemoryBound) {
+  // The premise of the whole Fig. 5 story (§ III-B: "As
+  // ShallowWaters.jl is a memory-bound application...").
+  for (const auto& config : {config_float64(), config_float32(),
+                             config_float16(), config_float16_32()}) {
+    const auto t = predict_step(fugaku_node, 3000, 1500, config);
+    EXPECT_GT(t.memory_seconds, t.compute_seconds) << config.name;
+  }
+}
+
+TEST(PerfModel, Fig4RuntimeRatioNearMeasured) {
+  // Fig. 4's caption: "The equivalent Float64 simulation [...] ran
+  // 3.6x slower" at 3000x1500. Our model should land in that decade.
+  const double ratio =
+      predict_step(fugaku_node, 3000, 1500, config_float64()).seconds /
+      predict_step(fugaku_node, 3000, 1500, config_float16()).seconds;
+  EXPECT_NEAR(ratio, 3.6, 0.5);
+}

@@ -1,0 +1,164 @@
+// Passive tracer advection: conservation, monotonicity, translation,
+// and precision behaviour.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fp/float16.hpp"
+#include "fp/fpenv.hpp"
+#include "swm/model.hpp"
+#include "swm/tracer.hpp"
+
+using namespace tfx::swm;
+using tfx::fp::float16;
+
+namespace {
+
+swm_params tracer_params() {
+  swm_params p;
+  p.nx = 40;
+  p.ny = 20;
+  return p;
+}
+
+/// A uniform eastward flow at `speed` m/s, scaled like the model's
+/// prognostic state.
+template <typename T>
+state<T> uniform_flow(const swm_params& p, double speed, double scale = 1.0) {
+  state<T> st(p.nx, p.ny);
+  st.fill(T{});
+  for (auto& u : st.u.flat()) u = T(scale * speed);
+  return st;
+}
+
+}  // namespace
+
+TEST(Tracer, ConservesTotalExactlyInFluxForm) {
+  const swm_params p = tracer_params();
+  // A rotating-ish random flow from the actual model.
+  model<double> m(p);
+  m.seed_random_eddies(3, 0.5);
+  m.run(20);
+  const state<double>& st = m.prognostic();
+  const auto coeffs = coefficients<double>::make(p);
+
+  auto q = gaussian_blob<double>(p, 20, 10, 3.0);
+  field2d<double> q2(p.nx, p.ny);
+  const double before = tracer_total(q);
+  for (int s = 0; s < 50; ++s) {
+    advect_tracer_upwind(st, coeffs, q, q2);
+    std::swap(q, q2);
+  }
+  EXPECT_NEAR(tracer_total(q), before, 1e-10 * std::abs(before));
+}
+
+TEST(Tracer, MonotoneNoNewExtrema) {
+  const swm_params p = tracer_params();
+  model<double> m(p);
+  m.seed_random_eddies(4, 0.5);
+  m.run(10);
+  const auto coeffs = coefficients<double>::make(p);
+
+  auto q = gaussian_blob<double>(p, 20, 10, 3.0);
+  field2d<double> q2(p.nx, p.ny);
+  const auto [lo0, hi0] = tracer_range(q);
+  for (int s = 0; s < 80; ++s) {
+    advect_tracer_upwind(m.prognostic(), coeffs, q, q2);
+    std::swap(q, q2);
+    const auto [lo, hi] = tracer_range(q);
+    ASSERT_GE(lo, lo0 - 1e-14);
+    ASSERT_LE(hi, hi0 + 1e-14);
+  }
+}
+
+TEST(Tracer, TranslatesWithUniformFlow) {
+  // With u = one cell per step (Courant 1), upwind advection is exact
+  // translation: after nx steps the blob returns to its origin.
+  const swm_params p = tracer_params();
+  const double speed = p.dx() / p.dt();  // Courant exactly 1
+  const auto st = uniform_flow<double>(p, speed);
+  const auto coeffs = coefficients<double>::make(p);
+
+  auto q = gaussian_blob<double>(p, 20, 10, 3.0);
+  const auto original = q;
+  field2d<double> q2(p.nx, p.ny);
+  for (int s = 0; s < p.nx; ++s) {
+    advect_tracer_upwind(st, coeffs, q, q2);
+    std::swap(q, q2);
+  }
+  for (int j = 0; j < p.ny; ++j) {
+    for (int i = 0; i < p.nx; ++i) {
+      ASSERT_NEAR(q(i, j), original(i, j), 1e-9) << i << "," << j;
+    }
+  }
+}
+
+TEST(Tracer, ZeroFlowIsIdentity) {
+  const swm_params p = tracer_params();
+  const auto st = uniform_flow<double>(p, 0.0);
+  const auto coeffs = coefficients<double>::make(p);
+  auto q = gaussian_blob<double>(p, 10, 10, 2.0);
+  field2d<double> q2(p.nx, p.ny);
+  advect_tracer_upwind(st, coeffs, q, q2);
+  for (std::size_t k = 0; k < q.size(); ++k) {
+    ASSERT_EQ(q2.flat()[k], q.flat()[k]);
+  }
+}
+
+TEST(Tracer, Float16MonotoneUnderScaledVelocities) {
+  // The monotonicity (no over/undershoot) property must survive
+  // Float16 arithmetic with the model's scaling applied to velocities.
+  swm_params p = tracer_params();
+  // The artificial 40 m/s flow is ~100x faster than model eddies, so a
+  // smaller scale keeps the scaled velocities inside Float16 range.
+  p.log2_scale = 8;
+  tfx::fp::ftz_guard ftz(tfx::fp::ftz_mode::flush);
+
+  const double speed = 0.4 * p.dx() / p.dt();
+  const auto st =
+      uniform_flow<float16>(p, speed, std::ldexp(1.0, p.log2_scale));
+  const auto coeffs = coefficients<float16>::make(p);
+
+  auto q = gaussian_blob<float16>(p, 20, 10, 3.0);
+  field2d<float16> q2(p.nx, p.ny);
+  for (int s = 0; s < 40; ++s) {
+    advect_tracer_upwind(st, coeffs, q, q2);
+    std::swap(q, q2);
+    const auto [lo, hi] = tracer_range(q);
+    ASSERT_GE(lo, -1e-6);
+    ASSERT_LE(hi, 1.0 + 1e-3);
+  }
+}
+
+TEST(Tracer, Float16LosesMassOnlyThroughRounding) {
+  // Conservation is exact in exact arithmetic; in Float16 the flux
+  // cancellation rounds, so drift is bounded by ~n_steps * eps * total.
+  swm_params p = tracer_params();
+  p.log2_scale = 8;  // see Float16MonotoneUnderScaledVelocities
+  tfx::fp::ftz_guard ftz(tfx::fp::ftz_mode::flush);
+
+  const double speed = 0.3 * p.dx() / p.dt();
+  const auto st =
+      uniform_flow<float16>(p, speed, std::ldexp(1.0, p.log2_scale));
+  const auto coeffs = coefficients<float16>::make(p);
+
+  auto q = gaussian_blob<float16>(p, 20, 10, 3.0);
+  field2d<float16> q2(p.nx, p.ny);
+  const double before = tracer_total(q);
+  const int steps = 30;
+  for (int s = 0; s < steps; ++s) {
+    advect_tracer_upwind(st, coeffs, q, q2);
+    std::swap(q, q2);
+  }
+  const double drift = std::abs(tracer_total(q) - before);
+  EXPECT_LT(drift, steps * 1e-3 * before);  // ~eps_f16 per step
+}
+
+TEST(Tracer, GaussianBlobShape) {
+  const swm_params p = tracer_params();
+  const auto q = gaussian_blob<double>(p, 20, 10, 3.0, 2.0);
+  EXPECT_NEAR(q(20, 10), 2.0, 1e-12);          // peak at the centre
+  EXPECT_LT(q(0, 0), 1e-6);                    // far field ~ 0
+  EXPECT_GT(q(22, 10), q(26, 10));             // monotone decay
+}
