@@ -1,0 +1,235 @@
+// Ablation: the fused RK4 update pipeline vs the unfused reference.
+//
+// Two instruments, as everywhere in this repo (DESIGN.md § 2):
+//  * host wall-clock of real fused vs unfused runs on the build
+//    machine (the trajectories are bit-identical - tests/swm_fused_test
+//    - so any delta is pure sweep structure);
+//  * the calibrated A64FX traffic model: element-wise update loops per
+//    step, update bytes and total bytes/step for the four Fig. 5
+//    precision configurations at paper scale.
+//
+// Results also go to a machine-readable JSON file (--json, default
+// BENCH_fusion.json) for the CI trend line.
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/cli.hpp"
+#include "core/table.hpp"
+#include "core/threadpool.hpp"
+#include "core/timer.hpp"
+#include "core/units.hpp"
+#include "fp/float16.hpp"
+#include "fp/fpenv.hpp"
+#include "swm/model.hpp"
+#include "swm/perfmodel.hpp"
+
+using namespace tfx;
+using namespace tfx::swm;
+using tfx::fp::float16;
+
+namespace {
+
+struct host_result {
+  std::string config;
+  int nx = 0, ny = 0, steps = 0;
+  double fused_s = 0;
+  double unfused_s = 0;
+
+  [[nodiscard]] double speedup() const { return unfused_s / fused_s; }
+};
+
+/// Best-of-3 wall-clock of `steps` RK4 steps at each pipeline. The
+/// pool (when given) serves both pipelines - the unfused one still
+/// parallelizes its RHS - so the delta isolates the update sweeps.
+template <typename T, typename Tprog = T>
+host_result measure_host(const char* name, swm_params p,
+                         integration_scheme scheme, int steps,
+                         thread_pool* pool) {
+  auto run_one = [&](update_pipeline pipe) {
+    model<T, Tprog> m(p, scheme);
+    m.set_pipeline(pipe);
+    if (pool != nullptr) m.attach_pool(pool);
+    m.seed_random_eddies(11, 0.4);
+    m.step();  // warm: faults the arrays, spins the pool up
+    stopwatch sw;
+    m.run(steps);
+    return sw.seconds();
+  };
+  host_result r{name, p.nx, p.ny, steps, 1e300, 1e300};
+  for (int rep = 0; rep < 3; ++rep) {
+    r.unfused_s = std::min(r.unfused_s, run_one(update_pipeline::unfused));
+    r.fused_s = std::min(r.fused_s, run_one(update_pipeline::fused));
+  }
+  return r;
+}
+
+struct modeled_result {
+  precision_config config;
+  step_cost fused;
+  step_cost unfused;
+};
+
+modeled_result measure_modeled(precision_config config, int nx, int ny) {
+  modeled_result r;
+  r.config = config;
+  r.fused = predict_step(arch::fugaku_node, nx, ny, config);
+  config.fused = false;
+  r.unfused = predict_step(arch::fugaku_node, nx, ny, config);
+  return r;
+}
+
+void write_json(const std::string& path, int threads,
+                const std::vector<host_result>& host,
+                const std::vector<modeled_result>& modeled, int model_nx,
+                int model_ny) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"ablation_fusion\",\n");
+  std::fprintf(f, "  \"threads\": %d,\n  \"host\": [\n", threads);
+  for (std::size_t i = 0; i < host.size(); ++i) {
+    const auto& h = host[i];
+    std::fprintf(f,
+                 "    {\"config\": \"%s\", \"nx\": %d, \"ny\": %d, "
+                 "\"steps\": %d, \"seconds_fused\": %.6e, "
+                 "\"seconds_unfused\": %.6e, \"speedup\": %.4f}%s\n",
+                 h.config.c_str(), h.nx, h.ny, h.steps, h.fused_s,
+                 h.unfused_s, h.speedup(), i + 1 < host.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"modeled\": [\n");
+  for (std::size_t i = 0; i < modeled.size(); ++i) {
+    const auto& m = modeled[i];
+    const double reduction =
+        1.0 - static_cast<double>(m.fused.update_sweeps) /
+                  static_cast<double>(m.unfused.update_sweeps);
+    std::fprintf(
+        f,
+        "    {\"config\": \"%s\", \"nx\": %d, \"ny\": %d, "
+        "\"update_sweeps_fused\": %llu, \"update_sweeps_unfused\": %llu, "
+        "\"sweep_reduction\": %.4f, "
+        "\"update_bytes_fused\": %llu, \"update_bytes_unfused\": %llu, "
+        "\"bytes_per_step_fused\": %llu, \"bytes_per_step_unfused\": %llu, "
+        "\"seconds_fused\": %.6e, \"seconds_unfused\": %.6e}%s\n",
+        m.config.name, model_nx, model_ny,
+        static_cast<unsigned long long>(m.fused.update_sweeps),
+        static_cast<unsigned long long>(m.unfused.update_sweeps), reduction,
+        static_cast<unsigned long long>(m.fused.update_bytes),
+        static_cast<unsigned long long>(m.unfused.update_bytes),
+        static_cast<unsigned long long>(m.fused.bytes_moved),
+        static_cast<unsigned long long>(m.unfused.bytes_moved),
+        m.fused.seconds, m.unfused.seconds,
+        i + 1 < modeled.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nWrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cli args(argc, argv,
+           {{"nx", "grid width for the host runs (default 2048)"},
+            {"ny", "grid height for the host runs (default 1024)"},
+            {"steps", "RK4 steps per host measurement (default 12)"},
+            {"threads", "thread-pool size (default: hardware concurrency)"},
+            {"json", "output path (default BENCH_fusion.json)"},
+            {"skip-host", "modeled numbers only (fast, deterministic)"}});
+  if (args.wants_help()) {
+    std::fputs(args.help().c_str(), stderr);
+    return 1;
+  }
+  const int nx = static_cast<int>(args.get_int("nx", 2048));
+  const int ny = static_cast<int>(args.get_int("ny", 1024));
+  const int steps = static_cast<int>(args.get_int("steps", 12));
+  const int hw =
+      static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+  const int threads = static_cast<int>(args.get_int("threads", hw));
+  const std::string json = args.get_string("json", "BENCH_fusion.json");
+
+  std::puts("Ablation: fused vs unfused RK4 update pipeline.");
+  std::puts("Trajectories are bit-identical (tests/swm_fused_test); the");
+  std::puts("delta below is pure sweep structure and dispatch cost.");
+
+  std::vector<host_result> host;
+  if (!args.has("skip-host")) {
+    thread_pool pool(threads);
+
+    swm_params p;
+    p.nx = nx;
+    p.ny = ny;
+    host.push_back(measure_host<double>("Float64", p,
+                                        integration_scheme::standard, steps,
+                                        &pool));
+    host.push_back(measure_host<float>("Float32", p,
+                                       integration_scheme::standard, steps,
+                                       &pool));
+
+    // Host float16 is software-emulated, so these run on a reduced grid
+    // - the point is the fused/unfused ratio, not the absolute time.
+    swm_params p16 = p;
+    p16.nx = std::max(32, nx / 8);
+    p16.ny = std::max(16, ny / 8);
+    p16.log2_scale = 12;
+    fp::ftz_guard ftz(fp::ftz_mode::flush);
+    host.push_back(measure_host<float16>("Float16 comp", p16,
+                                         integration_scheme::compensated,
+                                         steps, &pool));
+    host.push_back(measure_host<float16, float>(
+        "Float16/32", p16, integration_scheme::standard, steps, &pool));
+
+    std::printf("\n== Host wall-clock (%d threads, best of 3) ==\n", threads);
+    std::puts("(Float16 rows are software-emulated on the host and thus");
+    std::puts("compute-bound - their fused gain only exists on hardware");
+    std::puts("f16; the modeled table below is the instrument, DESIGN.md 2.)");
+    table th({"config", "grid", "steps", "unfused", "fused", "speedup"});
+    for (const auto& h : host) {
+      th.add_row({h.config,
+                  std::to_string(h.nx) + "x" + std::to_string(h.ny),
+                  std::to_string(h.steps), format_seconds(h.unfused_s),
+                  format_seconds(h.fused_s), format_fixed(h.speedup(), 2)});
+    }
+    th.print(std::cout);
+  }
+
+  const int model_nx = 3000, model_ny = 1500;  // Fig. 5's largest grid
+  std::vector<modeled_result> modeled;
+  for (const auto& c : {config_float64(), config_float32(), config_float16(),
+                        config_float16_32()}) {
+    modeled.push_back(measure_modeled(c, model_nx, model_ny));
+  }
+
+  std::printf("\n== Modeled A64FX per-step traffic at %dx%d ==\n", model_nx,
+              model_ny);
+  table tm({"config", "update loops", "update MB", "total MB", "modeled step",
+            "loop cut"});
+  for (const auto& m : modeled) {
+    const double reduction =
+        100.0 * (1.0 - static_cast<double>(m.fused.update_sweeps) /
+                           static_cast<double>(m.unfused.update_sweeps));
+    tm.add_row(
+        {m.config.name,
+         std::to_string(m.unfused.update_sweeps) + " -> " +
+             std::to_string(m.fused.update_sweeps),
+         format_fixed(static_cast<double>(m.unfused.update_bytes) / 1e6, 1) +
+             " -> " +
+             format_fixed(static_cast<double>(m.fused.update_bytes) / 1e6, 1),
+         format_fixed(static_cast<double>(m.unfused.bytes_moved) / 1e6, 1) +
+             " -> " +
+             format_fixed(static_cast<double>(m.fused.bytes_moved) / 1e6, 1),
+         format_seconds(m.unfused.seconds) + " -> " +
+             format_seconds(m.fused.seconds),
+         format_fixed(reduction, 0) + "%"});
+  }
+  tm.print(std::cout);
+
+  write_json(json, threads, host, modeled, model_nx, model_ny);
+  return 0;
+}

@@ -1,13 +1,15 @@
 #pragma once
 
 /// \file threadpool.hpp
-/// A work-sharing thread pool with a parallel_for, in the spirit of an
-/// OpenMP `parallel for schedule(static)`.
+/// A work-sharing thread pool with a parallel_for and a multi-loop
+/// parallel *region*, in the spirit of an OpenMP `parallel` block
+/// containing several `for schedule(static)` loops.
 ///
 /// The paper's kernel benchmarks are single-threaded (Fig. 1 caption),
 /// but the application side of an A64FX node runs 12 cores per CMG;
-/// the parallel kernel variants (kernels/parallel.hpp) and the
-/// multi-core machine-model queries use this pool. Design points:
+/// the parallel kernel variants (kernels/parallel.hpp), the fused RK4
+/// update pipeline (swm/model.hpp) and the multi-core machine-model
+/// queries use this pool. Design points:
 ///
 ///  * fixed worker count, created once (thread creation is never on
 ///    the measurement path);
@@ -16,25 +18,97 @@
 ///    run-to-run (no atomic work stealing that would reorder
 ///    reductions);
 ///  * the calling thread participates as worker 0, so a pool of size 1
-///    degenerates to a plain loop with no synchronization cost.
+///    degenerates to a plain loop with no synchronization cost;
+///  * spin-then-sleep waits: dispatch and join first spin on atomics
+///    (a worker wake costs ~1 us through a condition variable but well
+///    under that when the consumer is already spinning), then fall
+///    back to a condition variable so an idle pool burns no CPU;
+///  * parallel_region runs a *sequence* of loops under ONE worker
+///    wake, with a spinning barrier between consecutive loops - the
+///    whole point for the RK4 pipeline, where per-wake overhead bounds
+///    small-grid scaling (one wake now covers stage combine +
+///    down-cast + all five RHS passes).
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <mutex>
+#include <span>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 #include "core/contracts.hpp"
 
 namespace tfx {
 
+/// Polite busy-wait hint to the core's SMT/LSU arbiter.
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__) || defined(__arm__)
+  asm volatile("yield" ::: "memory");
+#else
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
 class thread_pool {
  public:
+  /// One loop of a parallel region: `fn(ctx, worker, lo, hi)` is
+  /// invoked with this worker's static block of [0, n). Non-owning -
+  /// the context must outlive the parallel_region call (which blocks,
+  /// so stack lifetime suffices).
+  struct task {
+    std::size_t n = 0;
+    void (*fn)(const void* ctx, int worker, std::size_t lo,
+               std::size_t hi) = nullptr;
+    const void* ctx = nullptr;
+
+    /// Wrap a `body(lo, hi)` callable (must outlive the region call).
+    template <typename Fn>
+    static task over(std::size_t n, const Fn& body) {
+      return {n,
+              [](const void* c, int, std::size_t lo, std::size_t hi) {
+                (*static_cast<const Fn*>(c))(lo, hi);
+              },
+              &body};
+    }
+
+    /// Wrap a `body(worker, lo, hi)` callable.
+    template <typename Fn>
+    static task over_indexed(std::size_t n, const Fn& body) {
+      return {n,
+              [](const void* c, int w, std::size_t lo, std::size_t hi) {
+                (*static_cast<const Fn*>(c))(w, lo, hi);
+              },
+              &body};
+    }
+  };
+
+  /// Per-worker-thread environment hook for a region: enter(w) runs on
+  /// each *helper* thread (w >= 1) before its first block, exit(w)
+  /// after its last. The calling thread keeps its own environment.
+  /// Used to propagate thread-local state (the FTZ mode) into workers.
+  struct worker_scope {
+    virtual void enter(int worker) = 0;
+    virtual void exit(int worker) = 0;
+
+   protected:
+    ~worker_scope() = default;
+  };
+
   /// A pool with `threads` workers total (including the caller).
-  explicit thread_pool(int threads)
-      : total_(threads) {
+  /// `spin_iterations` bounds every busy-wait (dispatch, join,
+  /// inter-loop barrier) before yielding / sleeping.
+  explicit thread_pool(int threads, int spin_iterations = 1 << 12)
+      : total_(threads),
+        spin_(spin_iterations),
+        serial_grain_(2 * static_cast<std::size_t>(threads)) {
     TFX_EXPECTS(threads >= 1);
+    TFX_EXPECTS(spin_iterations >= 0);
     workers_.reserve(static_cast<std::size_t>(threads - 1));
     for (int w = 1; w < threads; ++w) {
       workers_.emplace_back([this, w] { worker_loop(w); });
@@ -44,7 +118,7 @@ class thread_pool {
   ~thread_pool() {
     {
       const std::scoped_lock lock(mutex_);
-      stop_ = true;
+      stop_.store(true, std::memory_order_release);
     }
     wake_.notify_all();
     for (auto& t : workers_) t.join();
@@ -55,29 +129,76 @@ class thread_pool {
 
   [[nodiscard]] int size() const { return total_; }
 
+  /// Trip counts below this run inline on the caller with no wake.
+  /// Default 2 * size(): with fewer than two iterations per worker the
+  /// wake + join latency (~1 us even when spinning) exceeds any
+  /// plausible per-iteration cost, and the rhs row guard uses the same
+  /// bound. Callers whose iterations are very heavy can lower it.
+  [[nodiscard]] std::size_t serial_grain() const { return serial_grain_; }
+  void set_serial_grain(std::size_t grain) { serial_grain_ = grain; }
+
   /// Run body(begin, end) over [0, n) split into `size()` contiguous
   /// blocks, one per worker, caller included. Blocks until all done.
-  /// Nested parallel_for calls are not supported.
+  /// Nested calls (from inside a region) are not supported.
   void parallel_for(std::size_t n,
                     const std::function<void(std::size_t, std::size_t)>& body) {
     if (n == 0) return;
-    if (total_ == 1 || n == 1) {
+    if (total_ == 1 || n < serial_grain_) {
       body(0, n);
       return;
     }
+    const task t = task::over(n, body);
+    parallel_region({&t, 1});
+  }
+
+  /// parallel_for with the worker index passed to the body - the
+  /// deterministic way for reductions to place per-block partials
+  /// (kernels/parallel.hpp) without re-deriving block boundaries. The
+  /// serial fall-through (small n or size() == 1) reports worker 0
+  /// with the whole range.
+  void parallel_for_indexed(
+      std::size_t n,
+      const std::function<void(int, std::size_t, std::size_t)>& body) {
+    if (n == 0) return;
+    if (total_ == 1 || n < serial_grain_) {
+      body(0, 0, n);
+      return;
+    }
+    const task t = task::over_indexed(n, body);
+    parallel_region({&t, 1});
+  }
+
+  /// Run several loops under ONE worker wake. Every worker executes
+  /// its static block of loop 0, hits a barrier, executes its block of
+  /// loop 1, ... so loop k+1 may read anything loop k wrote (the
+  /// RK4-stage dependency chain). Partitioning is the same static
+  /// `block()` as parallel_for, so results are bit-identical to
+  /// running the loops serially whenever each loop's writes are
+  /// disjoint across blocks. Loops with n == 0 are skipped (the
+  /// barrier still synchronizes). `scope`, when given, wraps each
+  /// helper thread's participation (see worker_scope).
+  void parallel_region(std::span<const task> tasks,
+                       worker_scope* scope = nullptr) {
+    if (tasks.empty()) return;
+    if (total_ == 1) {
+      for (const task& t : tasks) {
+        if (t.n > 0) t.fn(t.ctx, 0, 0, t.n);
+      }
+      return;
+    }
+    TFX_EXPECTS(tasks_.empty() && "nested parallel_region");
+    pending_.store(total_ - 1, std::memory_order_relaxed);
     {
       const std::scoped_lock lock(mutex_);
-      TFX_EXPECTS(job_ == nullptr && "nested parallel_for");
-      job_ = &body;
-      job_n_ = n;
-      ++generation_;
-      pending_ = total_ - 1;
+      tasks_ = tasks;
+      scope_ = scope;
+      generation_.fetch_add(1, std::memory_order_release);
     }
     wake_.notify_all();
-    run_block(0, body, n);  // caller is worker 0
-    std::unique_lock lock(mutex_);
-    done_.wait(lock, [this] { return pending_ == 0; });
-    job_ = nullptr;
+    run_tasks(0, tasks);
+    wait_done();
+    tasks_ = {};
+    scope_ = nullptr;
   }
 
   /// Static block boundaries for worker w of `workers` over n items.
@@ -88,46 +209,118 @@ class thread_pool {
     return {n * k / uw, n * (k + 1) / uw};
   }
 
+  /// Pool-owned scratch, reused across calls so reductions are
+  /// allocation-free after warm-up (first call may grow it). One
+  /// buffer: valid until the next scratch() call; do not call from
+  /// inside a region body.
+  template <typename T>
+  [[nodiscard]] std::span<T> scratch(std::size_t count) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    static_assert(alignof(T) <= alignof(std::max_align_t));
+    const std::size_t units =
+        (count * sizeof(T) + sizeof(std::max_align_t) - 1) /
+        sizeof(std::max_align_t);
+    if (scratch_.size() < units) scratch_.resize(units);
+    return {reinterpret_cast<T*>(scratch_.data()), count};
+  }
+
  private:
-  void run_block(int w,
-                 const std::function<void(std::size_t, std::size_t)>& body,
-                 std::size_t n) const {
-    const auto [lo, hi] = block(n, total_, w);
-    if (lo < hi) body(lo, hi);
+  void run_tasks(int w, std::span<const task> tasks) {
+    for (std::size_t t = 0; t < tasks.size(); ++t) {
+      if (tasks[t].n > 0) {
+        const auto [lo, hi] = block(tasks[t].n, total_, w);
+        if (lo < hi) tasks[t].fn(tasks[t].ctx, w, lo, hi);
+      }
+      if (t + 1 < tasks.size()) region_barrier();
+    }
+  }
+
+  /// Central sense-counting barrier over all `total_` participants,
+  /// spin-then-yield (never sleeps: between loops of a region every
+  /// participant arrives within the other loops' runtime).
+  void region_barrier() {
+    const std::uint64_t epoch = barrier_epoch_.load(std::memory_order_relaxed);
+    if (barrier_arrived_.fetch_add(1, std::memory_order_acq_rel) ==
+        total_ - 1) {
+      barrier_arrived_.store(0, std::memory_order_relaxed);
+      barrier_epoch_.store(epoch + 1, std::memory_order_release);
+    } else {
+      int spins = 0;
+      while (barrier_epoch_.load(std::memory_order_acquire) == epoch) {
+        cpu_relax();
+        if (++spins > spin_) {
+          std::this_thread::yield();
+          spins = 0;
+        }
+      }
+    }
+  }
+
+  /// Caller-side join: spin on the outstanding-worker count, then
+  /// sleep on the done condition variable.
+  void wait_done() {
+    for (int spins = 0; spins < spin_; ++spins) {
+      if (pending_.load(std::memory_order_acquire) == 0) return;
+      cpu_relax();
+    }
+    std::unique_lock lock(mutex_);
+    done_.wait(lock,
+               [this] { return pending_.load(std::memory_order_acquire) == 0; });
+  }
+
+  /// Worker-side dispatch wait: spin on the generation counter, then
+  /// sleep on the wake condition variable. Returns false on shutdown.
+  bool wait_for_work(std::uint64_t& seen) {
+    for (int spins = 0; spins < spin_; ++spins) {
+      if (stop_.load(std::memory_order_acquire)) return false;
+      const std::uint64_t g = generation_.load(std::memory_order_acquire);
+      if (g != seen) {
+        seen = g;
+        return true;
+      }
+      cpu_relax();
+    }
+    std::unique_lock lock(mutex_);
+    wake_.wait(lock, [&] {
+      return stop_.load(std::memory_order_acquire) ||
+             generation_.load(std::memory_order_acquire) != seen;
+    });
+    if (stop_.load(std::memory_order_acquire)) return false;
+    seen = generation_.load(std::memory_order_acquire);
+    return true;
   }
 
   void worker_loop(int w) {
     std::uint64_t seen = 0;
     for (;;) {
-      const std::function<void(std::size_t, std::size_t)>* job = nullptr;
-      std::size_t n = 0;
-      {
-        std::unique_lock lock(mutex_);
-        wake_.wait(lock, [&] { return stop_ || generation_ != seen; });
-        if (stop_) return;
-        seen = generation_;
-        job = job_;
-        n = job_n_;
+      if (!wait_for_work(seen)) return;
+      const std::span<const task> tasks = tasks_;
+      worker_scope* scope = scope_;
+      if (scope != nullptr) scope->enter(w);
+      run_tasks(w, tasks);
+      if (scope != nullptr) scope->exit(w);
+      if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        { const std::scoped_lock lock(mutex_); }
+        done_.notify_one();
       }
-      run_block(w, *job, n);
-      {
-        const std::scoped_lock lock(mutex_);
-        --pending_;
-      }
-      done_.notify_one();
     }
   }
 
   int total_;
+  int spin_;
+  std::size_t serial_grain_;
   std::vector<std::thread> workers_;
   std::mutex mutex_;
   std::condition_variable wake_;
   std::condition_variable done_;
-  const std::function<void(std::size_t, std::size_t)>* job_ = nullptr;
-  std::size_t job_n_ = 0;
-  std::uint64_t generation_ = 0;
-  int pending_ = 0;
-  bool stop_ = false;
+  std::span<const task> tasks_;
+  worker_scope* scope_ = nullptr;
+  std::atomic<std::uint64_t> generation_{0};
+  std::atomic<int> pending_{0};
+  std::atomic<bool> stop_{false};
+  std::atomic<int> barrier_arrived_{0};
+  std::atomic<std::uint64_t> barrier_epoch_{0};
+  std::vector<std::max_align_t> scratch_;
 };
 
 }  // namespace tfx

@@ -12,7 +12,6 @@
 /// run-to-run).
 
 #include <span>
-#include <vector>
 
 #include "core/threadpool.hpp"
 #include "kernels/gemm.hpp"
@@ -30,29 +29,53 @@ void axpy_parallel(thread_pool& pool, T a, std::span<const T> x,
   });
 }
 
-/// Parallel dot: per-block partials (serial kernel each), combined in
-/// block order on the calling thread.
-template <typename T>
-[[nodiscard]] T dot_parallel(thread_pool& pool, std::span<const T> x,
-                             std::span<const T> y) {
-  TFX_EXPECTS(x.size() == y.size());
-  std::vector<T> partial(static_cast<std::size_t>(pool.size()), T{});
-  pool.parallel_for(x.size(), [&](std::size_t lo, std::size_t hi) {
-    // Identify which block this is from its boundaries (static
-    // partitioning makes this well-defined).
-    for (int w = 0; w < pool.size(); ++w) {
-      const auto [blo, bhi] = thread_pool::block(x.size(), pool.size(), w);
-      if (blo == lo && bhi == hi) {
-        partial[static_cast<std::size_t>(w)] =
-            dot(x.subspan(lo, hi - lo), y.subspan(lo, hi - lo));
-        return;
-      }
-    }
-    TFX_ASSERT(false && "block not found");
+namespace detail {
+
+/// Shared skeleton of the parallel reductions: per-block partials
+/// (serial kernel each, placed by worker index), combined in block
+/// order on the calling thread - reproducible for a given pool size.
+/// `partials` may be caller-provided; by default the pool's reusable
+/// scratch is used, so the reduction allocates nothing after the
+/// pool's first use (the measurement-path requirement).
+template <typename T, typename BlockFn>
+[[nodiscard]] T reduce_blocks(thread_pool& pool, std::size_t n,
+                              std::span<T> partials, const BlockFn& block) {
+  std::span<T> part =
+      partials.empty() ? pool.scratch<T>(static_cast<std::size_t>(pool.size()))
+                       : partials;
+  TFX_EXPECTS(part.size() >= static_cast<std::size_t>(pool.size()));
+  for (int w = 0; w < pool.size(); ++w) part[static_cast<std::size_t>(w)] = T{};
+  pool.parallel_for_indexed(n, [&](int w, std::size_t lo, std::size_t hi) {
+    part[static_cast<std::size_t>(w)] = block(lo, hi);
   });
   T acc{};
-  for (const T& p : partial) acc += p;
+  for (int w = 0; w < pool.size(); ++w) acc += part[static_cast<std::size_t>(w)];
   return acc;
+}
+
+}  // namespace detail
+
+/// Parallel dot. The optional `partials` span (>= pool.size()) lets a
+/// caller own the scratch; otherwise pool-owned scratch is reused.
+template <typename T>
+[[nodiscard]] T dot_parallel(thread_pool& pool, std::span<const T> x,
+                             std::span<const T> y,
+                             std::span<T> partials = {}) {
+  TFX_EXPECTS(x.size() == y.size());
+  return detail::reduce_blocks<T>(
+      pool, x.size(), partials, [&](std::size_t lo, std::size_t hi) {
+        return dot(x.subspan(lo, hi - lo), y.subspan(lo, hi - lo));
+      });
+}
+
+/// Parallel asum (sum of |x_i|), same partial-combination contract as
+/// dot_parallel.
+template <typename T>
+[[nodiscard]] T asum_parallel(thread_pool& pool, std::span<const T> x,
+                              std::span<T> partials = {}) {
+  return detail::reduce_blocks<T>(
+      pool, x.size(), partials,
+      [&](std::size_t lo, std::size_t hi) { return asum(x.subspan(lo, hi - lo)); });
 }
 
 /// Parallel scal (disjoint writes: bit-identical to serial).

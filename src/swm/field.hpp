@@ -60,16 +60,24 @@ class field2d {
   std::vector<T> data_;
 };
 
-/// Element-wise precision conversion between field types (via double,
-/// which is exact for every format in the library).
+/// Element-wise precision conversion into a preallocated field (via
+/// double, which is exact for every format in the library). The
+/// allocation-free building block the measurement path uses.
 template <typename To, typename From>
-field2d<To> convert_field(const field2d<From>& src) {
-  field2d<To> dst(src.nx(), src.ny());
+void convert_field_into(field2d<To>& dst, const field2d<From>& src) {
+  TFX_EXPECTS(dst.size() == src.size());
   auto in = src.flat();
   auto out = dst.flat();
   for (std::size_t k = 0; k < in.size(); ++k) {
     out[k] = To(static_cast<double>(in[k]));
   }
+}
+
+/// Element-wise precision conversion between field types.
+template <typename To, typename From>
+field2d<To> convert_field(const field2d<From>& src) {
+  field2d<To> dst(src.nx(), src.ny());
+  convert_field_into(dst, src);
   return dst;
 }
 
@@ -92,6 +100,13 @@ struct state {
     eta.fill(value);
   }
 };
+
+template <typename To, typename From>
+void convert_state_into(state<To>& dst, const state<From>& src) {
+  convert_field_into(dst.u, src.u);
+  convert_field_into(dst.v, src.v);
+  convert_field_into(dst.eta, src.eta);
+}
 
 template <typename To, typename From>
 state<To> convert_state(const state<From>& src) {

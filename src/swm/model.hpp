@@ -38,21 +38,35 @@ class model {
         prog_(params.nx, params.ny),
         comp_(params.nx, params.ny),
         stage_(params.nx, params.ny),
-        inc_u_(params.nx, params.ny),
-        inc_v_(params.nx, params.ny),
-        inc_eta_(params.nx, params.ny),
         k1_(params.nx, params.ny),
         k2_(params.nx, params.ny),
         k3_(params.nx, params.ny),
         k4_(params.nx, params.ny) {
     prog_.fill(Tprog{});
     comp_.fill(Tprog{});
+    ctx_.self = this;
+    if constexpr (!std::is_same_v<T, Tprog>) {
+      compute_state_ = state<T>(params.nx, params.ny);
+    }
   }
 
   [[nodiscard]] const swm_params& params() const { return params_; }
   [[nodiscard]] integration_scheme scheme() const { return scheme_; }
   [[nodiscard]] int steps_taken() const { return steps_; }
   [[nodiscard]] double time() const { return steps_ * params_.dt(); }
+
+  /// Select the update pipeline (default fused; see update_pipeline).
+  /// Switching mid-run is safe: both pipelines advance the state - and
+  /// the Kahan compensation - through identical per-element arithmetic.
+  void set_pipeline(update_pipeline p) {
+    pipeline_ = p;
+    if (p == update_pipeline::unfused && inc_u_.size() == 0) {
+      inc_u_ = field2d<Tprog>(params_.nx, params_.ny);
+      inc_v_ = field2d<Tprog>(params_.nx, params_.ny);
+      inc_eta_ = field2d<Tprog>(params_.nx, params_.ny);
+    }
+  }
+  [[nodiscard]] update_pipeline pipeline() const { return pipeline_; }
 
   /// The prognostic (scaled) state in integration precision.
   [[nodiscard]] const state<Tprog>& prognostic() const { return prog_; }
@@ -143,18 +157,53 @@ class model {
 
   /// Advance one RK4 step.
   void step() {
+    if (pipeline_ == update_pipeline::fused) {
+      step_fused();
+    } else {
+      step_unfused();
+    }
+    ++steps_;
+  }
+
+  void run(int steps) {
+    for (int i = 0; i < steps; ++i) step();
+  }
+
+  /// Diagnostics on the unscaled double-precision state.
+  [[nodiscard]] diagnostics diag() const {
+    return compute_diagnostics(unscaled(), params_);
+  }
+
+ private:
+  /// The fused pipeline: per stage, ONE parallel region (one worker
+  /// wake) runs the fused three-field stage combine, the mixed-
+  /// precision down-cast when Tprog != T, and all five RHS passes -
+  /// barriers between region tasks order the writes. The step then
+  /// finishes with ONE fused increment+apply sweep per field (no
+  /// increment arrays). Bit-identical to step_unfused at every
+  /// precision and pool size.
+  void step_fused() {
+    const Tprog half = Tprog(0.5);
+    const Tprog one = Tprog(1);
+    fused_stage(nullptr, Tprog{}, k1_);  // k1 = F(y)
+    fused_stage(&k1_, half, k2_);        // k2 = F(y + k1/2)
+    fused_stage(&k2_, half, k3_);        // k3 = F(y + k2/2)
+    fused_stage(&k3_, one, k4_);         // k4 = F(y + k3)
+    fused_apply();
+  }
+
+  /// The reference pipeline: separate serial element-wise sweeps
+  /// (stage_combine x3 per stage, rk4_increment, apply_increment) with
+  /// only the RHS row-parallel. Kept as the fusion ablation baseline.
+  void step_unfused() {
     const Tprog half = Tprog(0.5);
     const Tprog one = Tprog(1);
 
-    // k1 = F(y)
     eval_stage(prog_, k1_);
-    // k2 = F(y + k1/2)
     combine_stage(prog_, k1_, half);
     eval_stage(stage_, k2_);
-    // k3 = F(y + k2/2)
     combine_stage(prog_, k2_, half);
     eval_stage(stage_, k3_);
-    // k4 = F(y + k3)
     combine_stage(prog_, k3_, one);
     eval_stage(stage_, k4_);
 
@@ -171,31 +220,126 @@ class model {
       apply_increment(prog_.v, inc_v_);
       apply_increment(prog_.eta, inc_eta_);
     }
-    ++steps_;
   }
 
-  void run(int steps) {
-    for (int i = 0; i < steps; ++i) step();
+  /// Region-task context: the trampolines receive it as const void*,
+  /// with non-const access to the model through `self`.
+  struct stage_ctx {
+    model* self = nullptr;
+    const tendencies<T>* k = nullptr;
+    Tprog a{};
+    const state<Tprog>* cast_src = nullptr;
+  };
+
+  static void run_combine(const void* c, int, std::size_t lo, std::size_t hi) {
+    const auto& ctx = *static_cast<const stage_ctx*>(c);
+    fused_stage_combine_range(ctx.self->stage_, ctx.self->prog_, *ctx.k,
+                              ctx.a, lo, hi);
   }
 
-  /// Diagnostics on the unscaled double-precision state.
-  [[nodiscard]] diagnostics diag() const {
-    return compute_diagnostics(unscaled(), params_);
+  static void run_cast(const void* c, int, std::size_t lo, std::size_t hi) {
+    const auto& ctx = *static_cast<const stage_ctx*>(c);
+    const state<Tprog>& src = *ctx.cast_src;
+    state<T>& dst = ctx.self->compute_state_;
+    auto cast = [lo, hi](std::span<T> d, std::span<const Tprog> s) {
+      for (std::size_t idx = lo; idx < hi; ++idx) {
+        d[idx] = T(static_cast<double>(s[idx]));
+      }
+    };
+    cast(dst.u.flat(), src.u.flat());
+    cast(dst.v.flat(), src.v.flat());
+    cast(dst.eta.flat(), src.eta.flat());
   }
 
- private:
+  static void run_apply(const void* c, int, std::size_t lo, std::size_t hi) {
+    static_cast<const stage_ctx*>(c)->self->apply_range(lo, hi);
+  }
+
+  /// One RK4 stage: stage_ = prog_ + a*k when k != nullptr (else the
+  /// RHS evaluates at prog_ directly), the down-cast when mixed, then
+  /// the RHS into `out` - all under one worker wake.
+  void fused_stage(const tendencies<T>* k, Tprog a, tendencies<T>& out) {
+    const std::size_t n = prog_.eta.size();
+    const state<Tprog>& at = k != nullptr ? stage_ : prog_;
+    ctx_.k = k;
+    ctx_.a = a;
+    ctx_.cast_src = &at;
+
+    thread_pool::task tasks[2 + rhs_evaluator<T>::pass_count];
+    std::size_t t = 0;
+    if (k != nullptr) tasks[t++] = {n, &run_combine, &ctx_};
+    if constexpr (!std::is_same_v<T, Tprog>) tasks[t++] = {n, &run_cast, &ctx_};
+    t += rhs_.append_region_tasks(&tasks[t], rhs_input(at), out);
+
+    if (rhs_.parallel_for_rows(params_.ny)) {
+      ftz_worker_scope scope;
+      rhs_.pool()->parallel_region({tasks, t}, &scope);
+    } else {
+      for (std::size_t i = 0; i < t; ++i) {
+        tasks[i].fn(tasks[i].ctx, 0, 0, tasks[i].n);
+      }
+    }
+  }
+
+  /// The fused increment+apply: one element-wise sweep over all three
+  /// fields (standard or Kahan-compensated), parallel when the RHS is.
+  void fused_apply() {
+    const std::size_t n = prog_.eta.size();
+    if (rhs_.parallel_for_rows(params_.ny)) {
+      const thread_pool::task t{n, &run_apply, &ctx_};
+      ftz_worker_scope scope;
+      rhs_.pool()->parallel_region({&t, 1}, &scope);
+    } else {
+      apply_range(0, n);
+    }
+  }
+
+  void apply_range(std::size_t lo, std::size_t hi) {
+    if (scheme_ == integration_scheme::compensated) {
+      fused_rk4_update_compensated_range<Tprog, T>(
+          prog_.u.flat(), comp_.u.flat(), k1_.du.flat(), k2_.du.flat(),
+          k3_.du.flat(), k4_.du.flat(), lo, hi);
+      fused_rk4_update_compensated_range<Tprog, T>(
+          prog_.v.flat(), comp_.v.flat(), k1_.dv.flat(), k2_.dv.flat(),
+          k3_.dv.flat(), k4_.dv.flat(), lo, hi);
+      fused_rk4_update_compensated_range<Tprog, T>(
+          prog_.eta.flat(), comp_.eta.flat(), k1_.deta.flat(),
+          k2_.deta.flat(), k3_.deta.flat(), k4_.deta.flat(), lo, hi);
+    } else {
+      fused_rk4_update_range<Tprog, T>(prog_.u.flat(), k1_.du.flat(),
+                                       k2_.du.flat(), k3_.du.flat(),
+                                       k4_.du.flat(), lo, hi);
+      fused_rk4_update_range<Tprog, T>(prog_.v.flat(), k1_.dv.flat(),
+                                       k2_.dv.flat(), k3_.dv.flat(),
+                                       k4_.dv.flat(), lo, hi);
+      fused_rk4_update_range<Tprog, T>(prog_.eta.flat(), k1_.deta.flat(),
+                                       k2_.deta.flat(), k3_.deta.flat(),
+                                       k4_.deta.flat(), lo, hi);
+    }
+  }
+
+  /// The state the RHS reads: the Tprog-precision state itself, or the
+  /// preallocated down-cast copy when Tprog != T.
+  const state<T>& rhs_input(const state<Tprog>& at) const {
+    if constexpr (std::is_same_v<T, Tprog>) {
+      return at;
+    } else {
+      return compute_state_;
+    }
+  }
+
   /// Evaluate the RHS at a (possibly wider-precision) state, casting
-  /// down to the computation type when Tprog != T.
+  /// down to the computation type when Tprog != T (unfused path).
   void eval_stage(const state<Tprog>& at, tendencies<T>& k) {
     if constexpr (std::is_same_v<T, Tprog>) {
       rhs_(at, k);
     } else {
-      compute_state_ = convert_state<T>(at);
+      convert_state_into(compute_state_, at);
       rhs_(compute_state_, k);
     }
   }
 
-  /// stage_ = y + a * k, in Tprog.
+  /// stage_ = y + a * k, in Tprog (unfused path: three serial sweeps).
   void combine_stage(const state<Tprog>& y, const tendencies<T>& k, Tprog a) {
     stage_combine(stage_.u, y.u, k.du, a);
     stage_combine(stage_.v, y.v, k.dv, a);
@@ -204,13 +348,15 @@ class model {
 
   swm_params params_;
   integration_scheme scheme_;
+  update_pipeline pipeline_ = update_pipeline::fused;
   rhs_evaluator<T> rhs_;
   state<Tprog> prog_;
   state<Tprog> comp_;   ///< Kahan compensation carried across steps
   state<Tprog> stage_;  ///< RK stage state
   state<T> compute_state_;  ///< down-cast stage (mixed precision only)
-  field2d<Tprog> inc_u_, inc_v_, inc_eta_;
+  field2d<Tprog> inc_u_, inc_v_, inc_eta_;  ///< unfused pipeline only
   tendencies<T> k1_, k2_, k3_, k4_;
+  stage_ctx ctx_;
   int steps_ = 0;
 };
 

@@ -36,6 +36,7 @@
 #include "fp/fpenv.hpp"
 #include "swm/field.hpp"
 #include "swm/params.hpp"
+#include "swm/sweep.hpp"
 
 namespace tfx::swm {
 
@@ -81,26 +82,104 @@ class rhs_evaluator {
 
   [[nodiscard]] const coefficients<T>& coeffs() const { return coeffs_; }
 
-  /// Attach a thread pool: every pass then partitions its rows over
-  /// the workers. Row partitioning writes disjoint rows and reads only
-  /// immutable inputs, so the result is bit-identical to the serial
-  /// evaluation (tests/swm_parallel_test pins this).
+  /// Attach a thread pool: the evaluation then partitions each pass's
+  /// rows over the workers, all five passes under one worker wake
+  /// (thread_pool::parallel_region, with a barrier between passes).
+  /// Row partitioning writes disjoint rows, so the result is
+  /// bit-identical to the serial evaluation (tests/swm_parallel_test
+  /// pins this).
   void attach_pool(thread_pool* pool) { pool_ = pool; }
+  [[nodiscard]] thread_pool* pool() const { return pool_; }
+
+  /// True when an attached pool will actually be used for `ny` rows
+  /// (below two rows per worker the wake costs more than it saves -
+  /// the same bound as thread_pool::serial_grain).
+  [[nodiscard]] bool parallel_for_rows(int ny) const {
+    return pool_ != nullptr && ny >= 2 * pool_->size();
+  }
 
   /// Evaluate the increments for state `st` into `out`.
   void operator()(const state<T>& st, tendencies<T>& out) {
-    const int nx = st.nx();
+    if (parallel_for_rows(st.ny())) {
+      thread_pool::task tasks[pass_count];
+      append_region_tasks(tasks, st, out);
+      ftz_worker_scope scope;
+      pool_->parallel_region({tasks, pass_count}, &scope);
+    } else {
+      evaluate_serial(st, out);
+    }
+  }
+
+  /// The five passes, serially, in dependency order.
+  void evaluate_serial(const state<T>& st, tendencies<T>& out) {
     const int ny = st.ny();
+    pass_vorticity_ke(st, 0, ny);
+    pass_laplacians(st, 0, ny);
+    pass_u_momentum(st, out, 0, ny);
+    pass_v_momentum(st, out, 0, ny);
+    pass_continuity(st, out, 0, ny);
+  }
+
+  /// Number of region tasks append_region_tasks emits.
+  static constexpr std::size_t pass_count = 5;
+
+  /// Append the five passes as parallel-region tasks (row-partitioned,
+  /// a barrier between consecutive tasks orders the writes). The task
+  /// contexts live in this evaluator: one evaluation in flight at a
+  /// time, and `st`/`out` must outlive the region call. Returns the
+  /// number of tasks written. This is how the model fuses the stage
+  /// combine + down-cast + RHS into ONE worker wake per RK4 stage.
+  std::size_t append_region_tasks(thread_pool::task* tasks,
+                                  const state<T>& st, tendencies<T>& out) {
+    ctx_ = pass_ctx{this, &st, &out};
+    const auto n = static_cast<std::size_t>(st.ny());
+    tasks[0] = {n, &run_pass<&rhs_evaluator::pass_vorticity_ke>, &ctx_};
+    tasks[1] = {n, &run_pass<&rhs_evaluator::pass_laplacians>, &ctx_};
+    tasks[2] = {n, &run_pass_out<&rhs_evaluator::pass_u_momentum>, &ctx_};
+    tasks[3] = {n, &run_pass_out<&rhs_evaluator::pass_v_momentum>, &ctx_};
+    tasks[4] = {n, &run_pass_out<&rhs_evaluator::pass_continuity>, &ctx_};
+    return pass_count;
+  }
+
+  /// Array sweeps per evaluation (reads + writes of full fields), used
+  /// by the performance model's traffic accounting. Derived from the
+  /// five passes below: see perfmodel.hpp.
+  static constexpr double array_reads = 19.0;
+  static constexpr double array_writes = 7.0;
+
+ private:
+  struct pass_ctx {
+    rhs_evaluator* self = nullptr;
+    const state<T>* st = nullptr;
+    tendencies<T>* out = nullptr;
+  };
+
+  template <void (rhs_evaluator::*Pass)(const state<T>&, int, int)>
+  static void run_pass(const void* c, int, std::size_t lo, std::size_t hi) {
+    const auto& ctx = *static_cast<const pass_ctx*>(c);
+    (ctx.self->*Pass)(*ctx.st, static_cast<int>(lo), static_cast<int>(hi));
+  }
+
+  template <void (rhs_evaluator::*Pass)(const state<T>&, tendencies<T>&, int,
+                                        int)>
+  static void run_pass_out(const void* c, int, std::size_t lo,
+                           std::size_t hi) {
+    const auto& ctx = *static_cast<const pass_ctx*>(c);
+    (ctx.self->*Pass)(*ctx.st, *ctx.out, static_cast<int>(lo),
+                      static_cast<int>(hi));
+  }
+
+  // Pass 1: relative vorticity (grid units, scale s) at corner points
+  // and kinetic energy at centres. The KE is kept at scale s (not
+  // s^2): one factor of each square is pre-multiplied by the exact
+  // inv_s so no intermediate overflows Float16 at large s.
+  void pass_vorticity_ke(const state<T>& st, int j0, int j1) {
+    const int nx = st.nx();
     const auto& U = st.u;
     const auto& V = st.v;
     const auto& H = st.eta;
     const coefficients<T>& c = coeffs_;
-
-    // Pass 1: relative vorticity (grid units, scale s) at corner points
-    // and kinetic energy at centres. The KE is kept at scale s (not
-    // s^2): one factor of each square is pre-multiplied by the exact
-    // inv_s so no intermediate overflows Float16 at large s.
-    for_rows(ny, [&](int j) {
+    for (int j = j0; j < j1; ++j) {
       const int jm = channel_ && j == 0 ? 0 : H.jm(j);  // u mirrored at wall
       const int jp = H.jp(j);
       for (int i = 0; i < nx; ++i) {
@@ -112,13 +191,19 @@ class rhs_evaluator {
         ke_(i, j) = c.half * (ubar * (c.inv_s * ubar) +
                               vbar * (c.inv_s * vbar));
       }
-    });
+    }
+  }
 
-    // Pass 2: Laplacians (grid units) of both velocity components. In
-    // the channel, u mirrors across the walls (free slip) and the
-    // antisymmetric v ghost plus v = 0 on the wall row make lap_v
-    // vanish there.
-    for_rows(ny, [&](int j) {
+  // Pass 2: Laplacians (grid units) of both velocity components. In
+  // the channel, u mirrors across the walls (free slip) and the
+  // antisymmetric v ghost plus v = 0 on the wall row make lap_v
+  // vanish there.
+  void pass_laplacians(const state<T>& st, int j0, int j1) {
+    const int nx = st.nx();
+    const int ny = st.ny();
+    const auto& U = st.u;
+    const auto& V = st.v;
+    for (int j = j0; j < j1; ++j) {
       const int jm = U.jm(j);
       const int jp = U.jp(j);
       const int jm_u = channel_ && j == 0 ? 0 : jm;
@@ -134,10 +219,19 @@ class rhs_evaluator {
                               : V(ip, j) + V(im, j) + V(i, jp) + V(i, jm) -
                                     four * V(i, j);
       }
-    });
+    }
+  }
 
-    // Pass 3: u-momentum increment.
-    for_rows(ny, [&](int j) {
+  // Pass 3: u-momentum increment.
+  void pass_u_momentum(const state<T>& st, tendencies<T>& out, int j0,
+                       int j1) {
+    const int nx = st.nx();
+    const int ny = st.ny();
+    const auto& U = st.u;
+    const auto& V = st.v;
+    const auto& H = st.eta;
+    const coefficients<T>& c = coeffs_;
+    for (int j = j0; j < j1; ++j) {
       const int jp = U.jp(j);
       const int jm = channel_ && j == 0 ? 0 : U.jm(j);
       const int jp_u = channel_ && j == ny - 1 ? j : jp;
@@ -162,14 +256,22 @@ class rhs_evaluator {
                        - c.dt_drag * U(i, j)              // bottom drag
                        - c.dt_visc * biharm;              // biharmonic
       }
-    });
+    }
+  }
 
-    // Pass 4: v-momentum increment. In the channel the j = 0 row IS
-    // the wall (and, via the wrap, the north wall too): no flow ever.
-    for_rows(ny, [&](int j) {
+  // Pass 4: v-momentum increment. In the channel the j = 0 row IS
+  // the wall (and, via the wrap, the north wall too): no flow ever.
+  void pass_v_momentum(const state<T>& st, tendencies<T>& out, int j0,
+                       int j1) {
+    const int nx = st.nx();
+    const auto& U = st.u;
+    const auto& V = st.v;
+    const auto& H = st.eta;
+    const coefficients<T>& c = coeffs_;
+    for (int j = j0; j < j1; ++j) {
       if (channel_ && j == 0) {
         for (int i = 0; i < nx; ++i) out.dv(i, j) = T{};
-        return;
+        continue;
       }
       const int jm = V.jm(j);
       const int jp = V.jp(j);
@@ -189,11 +291,19 @@ class rhs_evaluator {
                        - c.dt_drag * V(i, j)
                        - c.dt_visc * biharm;
       }
-    });
+    }
+  }
 
-    // Pass 5: continuity. Linear part with h0, nonlinear flux with the
-    // scaled surface displacement (one exact /s via the coefficient).
-    for_rows(ny, [&](int j) {
+  // Pass 5: continuity. Linear part with h0, nonlinear flux with the
+  // scaled surface displacement (one exact /s via the coefficient).
+  void pass_continuity(const state<T>& st, tendencies<T>& out, int j0,
+                       int j1) {
+    const int nx = st.nx();
+    const auto& U = st.u;
+    const auto& V = st.v;
+    const auto& H = st.eta;
+    const coefficients<T>& c = coeffs_;
+    for (int j = j0; j < j1; ++j) {
       const int jm = H.jm(j);
       const int jp = H.jp(j);
       for (int i = 0; i < nx; ++i) {
@@ -211,38 +321,11 @@ class rhs_evaluator {
         out.deta(i, j) = -div - c.dtdx * (fx_e - fx_w) -
                          c.dtdy * (fy_n - fy_s);
       }
-    });
-  }
-
-  /// Array sweeps per evaluation (reads + writes of full fields), used
-  /// by the performance model's traffic accounting. Derived from the
-  /// five passes above: see perfmodel.hpp.
-  static constexpr double array_reads = 19.0;
-  static constexpr double array_writes = 7.0;
-
- private:
-  /// Run `body(j)` for every row, serial or pool-partitioned. Each row
-  /// writes only its own outputs, so the partitioning cannot change
-  /// results.
-  template <typename Fn>
-  void for_rows(int ny, Fn&& body) {
-    if (pool_ != nullptr && ny >= 2 * pool_->size()) {
-      // The FTZ mode is thread-local: workers must inherit the
-      // caller's mode or Float16 results would depend on the pool.
-      const fp::ftz_mode mode = fp::current_ftz_mode();
-      pool_->parallel_for(static_cast<std::size_t>(ny),
-                          [&, mode](std::size_t lo, std::size_t hi) {
-                            const fp::ftz_guard guard(mode);
-                            for (std::size_t j = lo; j < hi; ++j) {
-                              body(static_cast<int>(j));
-                            }
-                          });
-    } else {
-      for (int j = 0; j < ny; ++j) body(j);
     }
   }
 
   thread_pool* pool_ = nullptr;
+  pass_ctx ctx_;
   coefficients<T> coeffs_;
   bool channel_ = false;
   std::vector<T> dt_cor_u_, dt_cor_v_, wind_u_;

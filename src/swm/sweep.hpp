@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file sweep.hpp
+/// Shared machinery for the model's thread-parallel sweeps: an FTZ
+/// mode propagator for parallel regions.
+///
+/// The FTZ mode (fp/fpenv.hpp) is thread-local; a Float16 run with
+/// flush-to-zero enabled must see the SAME flushing behaviour on every
+/// pool worker or results would depend on the pool size. This scope
+/// captures the calling thread's mode at construction and installs /
+/// restores it around each helper thread's participation in a region
+/// (the caller keeps its own environment). The event *counters*
+/// remain per-thread diagnostics and may spread across workers.
+
+#include "core/threadpool.hpp"
+#include "fp/fpenv.hpp"
+
+namespace tfx::swm {
+
+class ftz_worker_scope final : public thread_pool::worker_scope {
+ public:
+  ftz_worker_scope() : mode_(fp::current_ftz_mode()) {}
+
+  void enter(int) override { saved() = fp::set_ftz_mode(mode_); }
+  void exit(int) override { fp::set_ftz_mode(saved()); }
+
+ private:
+  /// enter/exit run on the same worker thread, so the saved mode can
+  /// live in thread-local storage - no allocation, any pool size.
+  static fp::ftz_mode& saved() {
+    thread_local fp::ftz_mode s = fp::ftz_mode::preserve;
+    return s;
+  }
+
+  fp::ftz_mode mode_;
+};
+
+}  // namespace tfx::swm

@@ -13,6 +13,7 @@
 ///  * Float16/32 mixed:         RHS in Float16, accumulation in Float32
 ///                              (Tprog = float), no compensation
 
+#include <span>
 #include <type_traits>
 
 #include "core/contracts.hpp"
@@ -25,6 +26,17 @@ namespace tfx::swm {
 enum class integration_scheme {
   standard,     ///< plain += in Tprog
   compensated,  ///< Kahan-compensated += in Tprog
+};
+
+/// Which sweep structure model<T, Tprog>::step runs. Both produce
+/// bit-identical trajectories (tests/swm_fused_test); `unfused` keeps
+/// the reference element-wise kernels alive for the fusion ablation
+/// (bench/ablation_fusion) and as the comparison oracle.
+enum class update_pipeline {
+  fused,    ///< combine/down-cast/RHS as one region per stage; one
+            ///< increment+apply sweep per field, no increment arrays
+  unfused,  ///< separate serial sweeps: stage_combine x3, rk4_increment,
+            ///< apply_increment[_compensated]
 };
 
 /// Lossless-where-possible precision cast (via double, exact for all
@@ -92,6 +104,106 @@ void apply_increment_compensated(field2d<Tprog>& y, const field2d<Tprog>& inc,
     const Tprog t = yy[idx] + adjusted;
     cc[idx] = (t - yy[idx]) - adjusted;
     yy[idx] = t;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fused update pipeline. The rk4_increment + apply_increment pair above
+// costs two sweeps per field and a full increment array of traffic (one
+// write, one read). Because the per-element arithmetic chains are
+// independent, both can run in ONE sweep that never materializes the
+// increment: the element value
+//
+//   inc = (k1 + 2 k2 + 2 k3 + k4) / 6        (evaluated in Tprog,
+//                                              left-to-right, exactly as
+//                                              rk4_increment writes it)
+//
+// feeds straight into y += inc (or the Kahan update), so the fused
+// kernels are bit-identical to the unfused pair at every precision -
+// tests/swm_fused_test pins this against the unfused path.
+// ---------------------------------------------------------------------------
+
+/// One element range of the fused standard update: y += rk4(k1..k4).
+template <typename Tprog, typename T>
+void fused_rk4_update_range(std::span<Tprog> y, std::span<const T> k1,
+                            std::span<const T> k2, std::span<const T> k3,
+                            std::span<const T> k4, std::size_t lo,
+                            std::size_t hi) {
+  const Tprog two{2};
+  const Tprog sixth = Tprog(1.0 / 6.0);
+  for (std::size_t idx = lo; idx < hi; ++idx) {
+    const Tprog sum = fpcast<Tprog>(k1[idx]) + two * fpcast<Tprog>(k2[idx]) +
+                      two * fpcast<Tprog>(k3[idx]) + fpcast<Tprog>(k4[idx]);
+    y[idx] += sixth * sum;
+  }
+}
+
+/// One element range of the fused compensated update: the Kahan
+/// recurrence of apply_increment_compensated with the increment formed
+/// in registers.
+template <typename Tprog, typename T>
+void fused_rk4_update_compensated_range(std::span<Tprog> y,
+                                        std::span<Tprog> comp,
+                                        std::span<const T> k1,
+                                        std::span<const T> k2,
+                                        std::span<const T> k3,
+                                        std::span<const T> k4, std::size_t lo,
+                                        std::size_t hi) {
+  const Tprog two{2};
+  const Tprog sixth = Tprog(1.0 / 6.0);
+  for (std::size_t idx = lo; idx < hi; ++idx) {
+    const Tprog sum = fpcast<Tprog>(k1[idx]) + two * fpcast<Tprog>(k2[idx]) +
+                      two * fpcast<Tprog>(k3[idx]) + fpcast<Tprog>(k4[idx]);
+    const Tprog inc = sixth * sum;
+    const Tprog adjusted = inc - comp[idx];
+    const Tprog t = y[idx] + adjusted;
+    comp[idx] = (t - y[idx]) - adjusted;
+    y[idx] = t;
+  }
+}
+
+/// Whole-field fused update, standard accumulation.
+template <typename Tprog, typename T>
+void fused_rk4_update(field2d<Tprog>& y, const field2d<T>& k1,
+                      const field2d<T>& k2, const field2d<T>& k3,
+                      const field2d<T>& k4) {
+  TFX_EXPECTS(y.size() == k1.size());
+  fused_rk4_update_range<Tprog, T>(y.flat(), k1.flat(), k2.flat(), k3.flat(),
+                                   k4.flat(), 0, y.size());
+}
+
+/// Whole-field fused update, Kahan-compensated accumulation.
+template <typename Tprog, typename T>
+void fused_rk4_update_compensated(field2d<Tprog>& y, field2d<Tprog>& comp,
+                                  const field2d<T>& k1, const field2d<T>& k2,
+                                  const field2d<T>& k3,
+                                  const field2d<T>& k4) {
+  TFX_EXPECTS(y.size() == k1.size() && y.size() == comp.size());
+  fused_rk4_update_compensated_range<Tprog, T>(y.flat(), comp.flat(),
+                                               k1.flat(), k2.flat(), k3.flat(),
+                                               k4.flat(), 0, y.size());
+}
+
+/// One element range of the fused stage combine: out = y + a*k for all
+/// three prognostic fields in a single loop (one element-wise sweep
+/// instead of three; per-field arithmetic identical to stage_combine).
+template <typename Tprog, typename T>
+void fused_stage_combine_range(state<Tprog>& out, const state<Tprog>& y,
+                               const tendencies<T>& k, Tprog a, std::size_t lo,
+                               std::size_t hi) {
+  auto ou = out.u.flat();
+  auto ov = out.v.flat();
+  auto oe = out.eta.flat();
+  auto yu = y.u.flat();
+  auto yv = y.v.flat();
+  auto ye = y.eta.flat();
+  auto ku = k.du.flat();
+  auto kv = k.dv.flat();
+  auto ke = k.deta.flat();
+  for (std::size_t idx = lo; idx < hi; ++idx) {
+    ou[idx] = yu[idx] + a * fpcast<Tprog>(ku[idx]);
+    ov[idx] = yv[idx] + a * fpcast<Tprog>(kv[idx]);
+    oe[idx] = ye[idx] + a * fpcast<Tprog>(ke[idx]);
   }
 }
 

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <vector>
@@ -132,6 +133,162 @@ TEST(CmgView, ResourceScalingAndSaturation) {
 
 #include "core/rng.hpp"
 #include "kernels/gemm.hpp"
+
+TEST(ThreadPool, RegionBarrierOrdersConsecutiveLoops) {
+  // Loop 1 of a region may read ANY element loop 0 wrote, including
+  // those of other workers' blocks - the inter-loop barrier is what
+  // makes the fused RK4 stage (combine -> cast -> RHS passes) legal.
+  thread_pool pool(4);
+  const std::size_t n = 1013;  // prime: uneven blocks
+  std::vector<std::size_t> x(n, 0), y(n, 0);
+  const auto fill = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) x[i] = i + 1;
+  };
+  const auto mirror = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) y[i] = x[n - 1 - i];
+  };
+  const thread_pool::task tasks[] = {thread_pool::task::over(n, fill),
+                                     thread_pool::task::over(n, mirror)};
+  for (int round = 0; round < 50; ++round) {
+    std::fill(x.begin(), x.end(), 0);
+    std::fill(y.begin(), y.end(), 0);
+    pool.parallel_region({tasks, 2});
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(y[i], n - i) << "round " << round << " i " << i;
+    }
+  }
+}
+
+TEST(ThreadPool, RegionSkipsEmptyLoopsButStaysSynchronized) {
+  thread_pool pool(3);
+  const std::size_t n = 256;
+  std::vector<int> x(n, 0);
+  const auto bump = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) ++x[i];
+  };
+  const auto noop = [](std::size_t, std::size_t) { FAIL(); };
+  const thread_pool::task tasks[] = {thread_pool::task::over(n, bump),
+                                     thread_pool::task::over(0, noop),
+                                     thread_pool::task::over(n, bump)};
+  pool.parallel_region({tasks, 3});
+  for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(x[i], 2) << i;
+}
+
+TEST(ThreadPool, RegionRunsInlineOnSingleThreadPool) {
+  thread_pool pool(1);
+  int order = 0;
+  const auto first = [&](std::size_t, std::size_t) { EXPECT_EQ(order++, 0); };
+  const auto second = [&](std::size_t, std::size_t) { EXPECT_EQ(order++, 1); };
+  const thread_pool::task tasks[] = {thread_pool::task::over(8, first),
+                                     thread_pool::task::over(8, second)};
+  pool.parallel_region({tasks, 2});
+  EXPECT_EQ(order, 2);
+}
+
+namespace {
+
+struct counting_scope final : tfx::thread_pool::worker_scope {
+  std::atomic<int> enters{0};
+  std::atomic<int> exits{0};
+  std::atomic<int> bad_worker{0};
+  void enter(int worker) override {
+    enters.fetch_add(1);
+    if (worker < 1) bad_worker.fetch_add(1);  // caller never enters
+  }
+  void exit(int worker) override {
+    exits.fetch_add(1);
+    if (worker < 1) bad_worker.fetch_add(1);
+  }
+};
+
+}  // namespace
+
+TEST(ThreadPool, WorkerScopeWrapsEachHelperOncePerRegion) {
+  thread_pool pool(4);
+  counting_scope scope;
+  const auto body = [](std::size_t, std::size_t) {};
+  const thread_pool::task tasks[] = {thread_pool::task::over(64, body),
+                                     thread_pool::task::over(64, body)};
+  pool.parallel_region({tasks, 2}, &scope);
+  EXPECT_EQ(scope.enters.load(), 3);  // helpers 1..3, once each
+  EXPECT_EQ(scope.exits.load(), 3);
+  EXPECT_EQ(scope.bad_worker.load(), 0);
+}
+
+TEST(ThreadPool, IndexedBlocksMatchStaticPartition) {
+  thread_pool pool(4);
+  const std::size_t n = 777;
+  std::vector<int> owner(n, -1);
+  pool.parallel_for_indexed(n, [&](int w, std::size_t lo, std::size_t hi) {
+    const auto [elo, ehi] = thread_pool::block(n, 4, w);
+    EXPECT_EQ(lo, elo);
+    EXPECT_EQ(hi, ehi);
+    for (std::size_t i = lo; i < hi; ++i) owner[i] = w;
+  });
+  for (std::size_t i = 0; i < n; ++i) ASSERT_NE(owner[i], -1) << i;
+}
+
+TEST(ThreadPool, SerialGrainFallsThroughInline) {
+  thread_pool pool(4);
+  ASSERT_EQ(pool.serial_grain(), 8u);  // documented default: 2 * size()
+  int calls = 0;
+  pool.parallel_for_indexed(7, [&](int w, std::size_t lo, std::size_t hi) {
+    ++calls;
+    EXPECT_EQ(w, 0);  // below the grain: caller runs the whole range
+    EXPECT_EQ(lo, 0u);
+    EXPECT_EQ(hi, 7u);
+  });
+  EXPECT_EQ(calls, 1);
+
+  pool.set_serial_grain(0);  // opt out: even tiny ranges dispatch
+  std::atomic<int> workers{0};
+  pool.parallel_for_indexed(7, [&](int, std::size_t lo, std::size_t hi) {
+    if (lo < hi) workers.fetch_add(1);
+  });
+  EXPECT_GT(workers.load(), 1);
+}
+
+TEST(ParallelKernels, DotAcceptsCallerProvidedPartials) {
+  thread_pool pool(4);
+  const std::size_t n = 2053;
+  std::vector<double> x(n), y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = std::sin(0.01 * static_cast<double>(i));
+    y[i] = std::cos(0.02 * static_cast<double>(i));
+  }
+  std::vector<double> partials(static_cast<std::size_t>(pool.size()), -1.0);
+  const double with_scratch = kernels::dot_parallel(
+      pool, std::span<const double>(x), std::span<const double>(y));
+  const double with_partials =
+      kernels::dot_parallel(pool, std::span<const double>(x),
+                            std::span<const double>(y),
+                            std::span<double>(partials));
+  EXPECT_EQ(with_scratch, with_partials);  // same blocks, same order
+  double recombined = 0;
+  for (const double p : partials) recombined += p;
+  EXPECT_EQ(recombined, with_partials);
+}
+
+TEST(ParallelKernels, AsumMatchesSerial) {
+  thread_pool pool(3);
+  const std::size_t n = 1501;
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = (i % 2 == 0 ? 1.0 : -1.0) * 0.25;
+  }
+  const double s = kernels::asum_parallel(pool, std::span<const double>(x));
+  EXPECT_DOUBLE_EQ(s, 0.25 * static_cast<double>(n));
+}
+
+TEST(ThreadPool, ScratchIsReusedAcrossCalls) {
+  thread_pool pool(2);
+  const auto a = pool.scratch<double>(16);
+  a[0] = 42.0;
+  const auto b = pool.scratch<double>(16);
+  EXPECT_EQ(a.data(), b.data());  // no reallocation at the same size
+  const auto c = pool.scratch<double>(8);
+  EXPECT_EQ(b.data(), c.data());  // smaller requests reuse too
+}
 
 TEST(ParallelKernels, GemmBitIdenticalToSerialBlocked) {
   thread_pool pool(4);

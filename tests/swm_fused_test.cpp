@@ -1,0 +1,230 @@
+// The fused RK4 update pipeline: bit-equality with the unfused
+// reference path for all four Fig. 5 precision configurations, across
+// pool sizes (including serial), plus the kernel-level identities and
+// the perfmodel's fused traffic accounting.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "core/rng.hpp"
+#include "core/threadpool.hpp"
+#include "fp/float16.hpp"
+#include "fp/fpenv.hpp"
+#include "swm/model.hpp"
+#include "swm/perfmodel.hpp"
+
+using namespace tfx;
+using namespace tfx::swm;
+using tfx::fp::float16;
+
+namespace {
+
+swm_params params_for(int nx, int ny, int log2_scale = 0) {
+  swm_params p;
+  p.nx = nx;
+  p.ny = ny;
+  if (log2_scale != 0) p.log2_scale = log2_scale;
+  return p;
+}
+
+/// Run `steps` of a model at each pipeline (unfused serial reference
+/// vs fused, optionally pooled) and require bit-equal prognostic
+/// fields. Comparison goes through double, which is exact for every
+/// library format.
+template <typename T, typename Tprog = T>
+void expect_fused_matches_unfused(const swm_params& p,
+                                  integration_scheme scheme, int steps,
+                                  thread_pool* pool) {
+  model<T, Tprog> reference(p, scheme);
+  reference.set_pipeline(update_pipeline::unfused);
+  reference.seed_random_eddies(31, 0.5);
+  reference.run(steps);
+
+  model<T, Tprog> fused(p, scheme);
+  ASSERT_EQ(fused.pipeline(), update_pipeline::fused);  // the default
+  if (pool != nullptr) fused.attach_pool(pool);
+  fused.seed_random_eddies(31, 0.5);
+  fused.run(steps);
+
+  const auto& a = reference.prognostic();
+  const auto& b = fused.prognostic();
+  for (std::size_t k = 0; k < a.eta.size(); ++k) {
+    ASSERT_EQ(static_cast<double>(a.u.flat()[k]),
+              static_cast<double>(b.u.flat()[k]))
+        << "u @" << k;
+    ASSERT_EQ(static_cast<double>(a.v.flat()[k]),
+              static_cast<double>(b.v.flat()[k]))
+        << "v @" << k;
+    ASSERT_EQ(static_cast<double>(a.eta.flat()[k]),
+              static_cast<double>(b.eta.flat()[k]))
+        << "eta @" << k;
+  }
+}
+
+}  // namespace
+
+// --- trajectories: the four Fig. 5 configurations x pool sizes -------------
+
+class FusedPipeline : public ::testing::TestWithParam<int> {
+ protected:
+  /// Pool size 0 means "no pool attached" (pure serial fused path).
+  thread_pool* pool() {
+    if (GetParam() == 0) return nullptr;
+    pool_ = std::make_unique<thread_pool>(GetParam());
+    return pool_.get();
+  }
+
+ private:
+  std::unique_ptr<thread_pool> pool_;
+};
+
+TEST_P(FusedPipeline, Float64BitIdentical) {
+  expect_fused_matches_unfused<double>(params_for(48, 24),
+                                       integration_scheme::standard, 20,
+                                       pool());
+}
+
+TEST_P(FusedPipeline, Float32BitIdentical) {
+  expect_fused_matches_unfused<float>(params_for(48, 24),
+                                      integration_scheme::standard, 20,
+                                      pool());
+}
+
+TEST_P(FusedPipeline, Float16CompensatedBitIdenticalWithFtz) {
+  // The paper's Float16 configuration: compensated integration, FTZ on
+  // (A64FX FZ16). The fused parallel sweeps must propagate the flush
+  // mode into the workers or this would diverge from serial.
+  fp::ftz_guard ftz(fp::ftz_mode::flush);
+  expect_fused_matches_unfused<float16>(params_for(32, 16, 12),
+                                        integration_scheme::compensated, 12,
+                                        pool());
+}
+
+TEST_P(FusedPipeline, MixedFloat16_32BitIdentical) {
+  fp::ftz_guard ftz(fp::ftz_mode::flush);
+  expect_fused_matches_unfused<float16, float>(
+      params_for(32, 16, 12), integration_scheme::standard, 12, pool());
+}
+
+INSTANTIATE_TEST_SUITE_P(PoolSizes, FusedPipeline,
+                         ::testing::Values(0, 1, 2, 4, 8));
+
+TEST(FusedPipeline, SwitchingPipelinesMidRunIsSeamless) {
+  // Both pipelines advance state and compensation identically, so a
+  // fused run that switches to unfused half way lands on the same bits
+  // as either pipeline run start to finish.
+  const swm_params p = params_for(32, 16);
+  model<double> whole(p, integration_scheme::compensated);
+  whole.seed_random_eddies(7, 0.4);
+  whole.run(16);
+
+  model<double> switched(p, integration_scheme::compensated);
+  switched.seed_random_eddies(7, 0.4);
+  switched.run(8);
+  switched.set_pipeline(update_pipeline::unfused);
+  switched.run(8);
+
+  const auto& a = whole.prognostic();
+  const auto& b = switched.prognostic();
+  for (std::size_t k = 0; k < a.eta.size(); ++k) {
+    ASSERT_EQ(a.eta.flat()[k], b.eta.flat()[k]) << k;
+  }
+}
+
+// --- kernel-level identities ----------------------------------------------
+
+TEST(FusedKernels, UpdateMatchesIncrementPlusApplyDouble) {
+  const int nx = 37, ny = 19;
+  xoshiro256 rng(99);
+  field2d<double> y1(nx, ny), y2(nx, ny), inc(nx, ny);
+  field2d<double> k1(nx, ny), k2(nx, ny), k3(nx, ny), k4(nx, ny);
+  for (auto* f : {&y1, &k1, &k2, &k3, &k4}) {
+    for (auto& v : f->flat()) v = rng.uniform(-1.0, 1.0);
+  }
+  for (std::size_t i = 0; i < y1.size(); ++i) y2.flat()[i] = y1.flat()[i];
+
+  rk4_increment(inc, k1, k2, k3, k4);
+  apply_increment(y1, inc);
+  fused_rk4_update(y2, k1, k2, k3, k4);
+  for (std::size_t i = 0; i < y1.size(); ++i) {
+    ASSERT_EQ(y1.flat()[i], y2.flat()[i]) << i;
+  }
+}
+
+TEST(FusedKernels, CompensatedUpdateMatchesUnfusedFloat16) {
+  fp::ftz_guard ftz(fp::ftz_mode::flush);
+  const int nx = 23, ny = 11;
+  xoshiro256 rng(5);
+  field2d<float16> y1(nx, ny), y2(nx, ny), c1(nx, ny), c2(nx, ny);
+  field2d<float16> inc(nx, ny);
+  field2d<float16> k1(nx, ny), k2(nx, ny), k3(nx, ny), k4(nx, ny);
+  for (auto* f : {&y1, &k1, &k2, &k3, &k4}) {
+    for (auto& v : f->flat()) v = float16(rng.uniform(-2.0, 2.0));
+  }
+  for (std::size_t i = 0; i < y1.size(); ++i) y2.flat()[i] = y1.flat()[i];
+  c1.fill(float16{});
+  c2.fill(float16{});
+
+  // Two consecutive steps so the carried compensation is exercised.
+  for (int s = 0; s < 2; ++s) {
+    rk4_increment(inc, k1, k2, k3, k4);
+    apply_increment_compensated(y1, inc, c1);
+    fused_rk4_update_compensated(y2, c2, k1, k2, k3, k4);
+  }
+  for (std::size_t i = 0; i < y1.size(); ++i) {
+    ASSERT_EQ(y1.flat()[i].bits(), y2.flat()[i].bits()) << i;
+    ASSERT_EQ(c1.flat()[i].bits(), c2.flat()[i].bits()) << i;
+  }
+}
+
+TEST(FusedKernels, StageCombineRangeMatchesPerField) {
+  const int nx = 16, ny = 8;
+  xoshiro256 rng(3);
+  state<float> y(nx, ny), out1(nx, ny), out2(nx, ny);
+  tendencies<float> k(nx, ny);
+  for (auto* f : {&y.u, &y.v, &y.eta, &k.du, &k.dv, &k.deta}) {
+    for (auto& v : f->flat()) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  }
+  stage_combine(out1.u, y.u, k.du, 0.5f);
+  stage_combine(out1.v, y.v, k.dv, 0.5f);
+  stage_combine(out1.eta, y.eta, k.deta, 0.5f);
+  fused_stage_combine_range(out2, y, k, 0.5f, 0, y.eta.size());
+  for (std::size_t i = 0; i < out1.eta.size(); ++i) {
+    ASSERT_EQ(out1.u.flat()[i], out2.u.flat()[i]);
+    ASSERT_EQ(out1.v.flat()[i], out2.v.flat()[i]);
+    ASSERT_EQ(out1.eta.flat()[i], out2.eta.flat()[i]);
+  }
+}
+
+// --- perfmodel accounting --------------------------------------------------
+
+TEST(FusedTraffic, SweepCountDropsAtLeastThirtyPercent) {
+  for (auto config : {config_float64(), config_float32(), config_float16(),
+                      config_float16_32()}) {
+    precision_config unfused = config;
+    unfused.fused = false;
+    const auto f = predict_step(arch::fugaku_node, 1000, 500, config);
+    const auto u = predict_step(arch::fugaku_node, 1000, 500, unfused);
+    EXPECT_LE(static_cast<double>(f.update_sweeps),
+              0.7 * static_cast<double>(u.update_sweeps))
+        << config.name;
+    EXPECT_LT(f.update_bytes, u.update_bytes) << config.name;
+    EXPECT_LT(f.bytes_moved, u.bytes_moved) << config.name;
+    EXPECT_LT(f.seconds, u.seconds) << config.name;
+  }
+}
+
+TEST(FusedTraffic, UpdateBytesAreTheDifference) {
+  // The RHS traffic is pipeline-independent: the full-step byte delta
+  // must equal the update-portion delta.
+  precision_config fused = config_float64();
+  precision_config unfused = fused;
+  unfused.fused = false;
+  const auto f = predict_step(arch::fugaku_node, 2000, 1000, fused);
+  const auto u = predict_step(arch::fugaku_node, 2000, 1000, unfused);
+  EXPECT_EQ(u.bytes_moved - f.bytes_moved, u.update_bytes - f.update_bytes);
+  const std::uint64_t rhs_f = f.bytes_moved - f.update_bytes;
+  const std::uint64_t rhs_u = u.bytes_moved - u.update_bytes;
+  EXPECT_EQ(rhs_f, rhs_u);
+}
