@@ -22,6 +22,23 @@ constexpr std::uint64_t splitmix64(std::uint64_t& state) {
   return z ^ (z >> 31);
 }
 
+/// Derive a decorrelated 64-bit stream key from a seed plus up to
+/// three identifiers (rank, channel, message index, ...). Splitmix64
+/// is applied after folding in each word, so equal inputs produce
+/// equal keys on every engine and platform - this is what lets the
+/// threaded mpisim runtime and the discrete-event engine draw the
+/// *same* per-message fault decisions regardless of thread
+/// interleaving (mpisim/faultplane.hpp).
+constexpr std::uint64_t derive_stream(std::uint64_t seed, std::uint64_t a,
+                                      std::uint64_t b = 0,
+                                      std::uint64_t c = 0) {
+  std::uint64_t s = seed;
+  s ^= splitmix64(s) ^ a;
+  s ^= splitmix64(s) ^ b;
+  s ^= splitmix64(s) ^ c;
+  return splitmix64(s);
+}
+
 /// xoshiro256** PRNG. Satisfies UniformRandomBitGenerator.
 class xoshiro256 {
  public:

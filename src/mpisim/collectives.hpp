@@ -25,6 +25,7 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <string>
 #include <vector>
 
 #include "core/contracts.hpp"
@@ -85,6 +86,19 @@ struct max {
 
 namespace detail {
 
+/// Run a collective body, annotating any comm_error (faultplane.hpp)
+/// with the collective's name - chaos-run triage needs to know *which*
+/// collective hit the dead peer, not just the p2p call.
+template <typename F>
+decltype(auto) with_comm_context(const char* coll, F&& body) {
+  try {
+    return std::forward<F>(body)();
+  } catch (const comm_error& e) {
+    throw comm_error(e.why(), e.peer(),
+                     std::string(coll) + ": " + e.what());
+  }
+}
+
 /// Charge the modeled cost of combining `n` elements at this rank.
 template <typename T, typename Comm>
 void charge_combine(Comm& comm, std::size_t n) {
@@ -112,47 +126,51 @@ inline int largest_pow2_below(int p) {
 /// sub-communicators - subcomm.hpp - reuse the same implementations.)
 template <typename Comm>
 void barrier(Comm& comm) {
-  const int p = comm.size();
-  const int r = comm.rank();
-  if (p == 1) return;
-  int round = 0;
-  for (int k = 1; k < p; k <<= 1, ++round) {
-    const int dst = (r + k) % p;
-    const int src = (r - k % p + p) % p;
-    const int tag = collective_tag_base + round;
-    std::byte token{};
-    comm.send_bytes(std::span<const std::byte>(&token, 1), dst, tag);
-    comm.recv_bytes(std::span<std::byte>(&token, 1), src, tag);
-  }
+  detail::with_comm_context("barrier", [&] {
+    const int p = comm.size();
+    const int r = comm.rank();
+    if (p == 1) return;
+    int round = 0;
+    for (int k = 1; k < p; k <<= 1, ++round) {
+      const int dst = (r + k) % p;
+      const int src = (r - k % p + p) % p;
+      const int tag = collective_tag_base + round;
+      std::byte token{};
+      comm.send_bytes(std::span<const std::byte>(&token, 1), dst, tag);
+      comm.recv_bytes(std::span<std::byte>(&token, 1), src, tag);
+    }
+  });
 }
 
 /// Binomial-tree broadcast of `data` from `root`.
 template <typename T, typename Comm>
 void bcast(Comm& comm, std::span<T> data, int root) {
-  const int p = comm.size();
-  const int r = comm.rank();
-  TFX_EXPECTS(root >= 0 && root < p);
-  if (p == 1) return;
-  const int vrank = (r - root + p) % p;
-  const int tag = collective_tag_base + 16;
+  detail::with_comm_context("bcast", [&] {
+    const int p = comm.size();
+    const int r = comm.rank();
+    TFX_EXPECTS(root >= 0 && root < p);
+    if (p == 1) return;
+    const int vrank = (r - root + p) % p;
+    const int tag = collective_tag_base + 16;
 
-  int mask = 1;
-  while (mask < p) {
-    if (vrank & mask) {
-      const int src = ((vrank - mask) + root) % p;
-      comm.recv(data, src, tag);
-      break;
-    }
-    mask <<= 1;
-  }
-  mask >>= 1;
-  while (mask > 0) {
-    if (vrank + mask < p) {
-      const int dst = ((vrank + mask) + root) % p;
-      comm.send(std::span<const T>(data.data(), data.size()), dst, tag);
+    int mask = 1;
+    while (mask < p) {
+      if (vrank & mask) {
+        const int src = ((vrank - mask) + root) % p;
+        comm.recv(data, src, tag);
+        break;
+      }
+      mask <<= 1;
     }
     mask >>= 1;
-  }
+    while (mask > 0) {
+      if (vrank + mask < p) {
+        const int dst = ((vrank + mask) + root) % p;
+        comm.send(std::span<const T>(data.data(), data.size()), dst, tag);
+      }
+      mask >>= 1;
+    }
+  });
 }
 
 /// Binomial-tree reduction to `root`. Requires a commutative op (all
@@ -402,22 +420,24 @@ void allreduce(Comm& comm, std::span<const T> in, std::span<T> out,
                ? coll_algorithm::recursive_doubling
                : coll_algorithm::rabenseifner;
   }
-  switch (algo) {
-    case coll_algorithm::recursive_doubling:
-      detail::allreduce_rdoubling(comm, out, op);
-      break;
-    case coll_algorithm::ring:
-      detail::allreduce_ring(comm, out, op);
-      break;
-    case coll_algorithm::rabenseifner:
-      detail::allreduce_rabenseifner(comm, out, op);
-      break;
-    default:
-      // Fall back to reduce + bcast for the tree/linear selectors.
-      reduce(comm, in, out, op, 0);
-      bcast(comm, out, 0);
-      break;
-  }
+  detail::with_comm_context("allreduce", [&] {
+    switch (algo) {
+      case coll_algorithm::recursive_doubling:
+        detail::allreduce_rdoubling(comm, out, op);
+        break;
+      case coll_algorithm::ring:
+        detail::allreduce_ring(comm, out, op);
+        break;
+      case coll_algorithm::rabenseifner:
+        detail::allreduce_rabenseifner(comm, out, op);
+        break;
+      default:
+        // Fall back to reduce + bcast for the tree/linear selectors.
+        reduce(comm, in, out, op, 0);
+        bcast(comm, out, 0);
+        break;
+    }
+  });
 }
 
 /// Gather with per-rank counts (MPI_Gatherv): linear to root, matching
@@ -503,12 +523,14 @@ void allgather(Comm& comm, std::span<const T> in, std::span<T> out) {
   std::copy(in.begin(), in.end(), block(r).begin());
   const int right = (r + 1) % p;
   const int left = (r - 1 + p) % p;
-  for (int step = 0; step < p - 1; ++step) {
-    auto outgoing = block(r - step);
-    comm.send(std::span<const T>(outgoing.data(), outgoing.size()), right,
-              tag);
-    comm.recv(block(r - step - 1), left, tag);
-  }
+  detail::with_comm_context("allgather", [&] {
+    for (int step = 0; step < p - 1; ++step) {
+      auto outgoing = block(r - step);
+      comm.send(std::span<const T>(outgoing.data(), outgoing.size()), right,
+                tag);
+      comm.recv(block(r - step - 1), left, tag);
+    }
+  });
 }
 
 /// Reduce-scatter with equal block counts (MPI_Reduce_scatter_block):

@@ -27,9 +27,11 @@ double des_result::avg_clock() const {
 
 des_result simulate(const sim_program& prog, const tofud_params& net,
                     const torus_placement& place,
-                    std::vector<double> start_clocks) {
+                    std::vector<double> start_clocks,
+                    const fault_plane* faults) {
   const int p = prog.size();
   TFX_EXPECTS(p == place.rank_count());
+  const bool faulty = faults != nullptr && faults->active();
 
   des_result result;
   if (start_clocks.empty()) {
@@ -38,15 +40,27 @@ des_result simulate(const sim_program& prog, const tofud_params& net,
     TFX_EXPECTS(static_cast<int>(start_clocks.size()) == p);
     result.clocks = std::move(start_clocks);
   }
+  if (faulty) result.deliveries.resize(static_cast<std::size_t>(p));
 
-  // In-flight messages: depart times per (src,dst) pair, FIFO - exactly
-  // the matching discipline of the threaded runtime's mailboxes for a
-  // deterministic program.
-  std::unordered_map<std::uint64_t, std::deque<double>> wire;
+  // In-flight messages: per (src,dst) pair, FIFO - exactly the
+  // matching discipline of the threaded runtime for a deterministic
+  // program (under faults the threaded mailbox re-sorts by sequence
+  // number, which restores this same order).
+  struct wire_entry {
+    double depart;
+    std::uint64_t seq;
+    bool poison;  ///< the sender exhausted its retries
+  };
+  std::unordered_map<std::uint64_t, std::deque<wire_entry>> wire;
   auto channel = [p](int src, int dst) {
     return static_cast<std::uint64_t>(src) * static_cast<std::uint64_t>(p) +
            static_cast<std::uint64_t>(dst);
   };
+  // Per-channel message counters and per-rank send counters drive the
+  // same fault-plane streams as the threaded runtime.
+  std::unordered_map<std::uint64_t, std::uint64_t> chan_seq;
+  std::vector<std::uint64_t> sends_total(static_cast<std::size_t>(p), 0);
+  std::vector<std::uint8_t> crashed(static_cast<std::size_t>(p), 0);
 
   std::vector<std::size_t> pc(static_cast<std::size_t>(p), 0);
   std::vector<double> send_port_free(static_cast<std::size_t>(p), 0.0);
@@ -55,10 +69,19 @@ des_result simulate(const sim_program& prog, const tofud_params& net,
   for (int r = 0; r < p; ++r) {
     if (prog.ranks[static_cast<std::size_t>(r)].empty()) ++done;
   }
+  auto halt = [&](int r) {
+    // A crashed (or poisoned, or cascade-starved) rank stops executing
+    // its remaining ops - the threaded analogue of comm_error.
+    if (crashed[static_cast<std::size_t>(r)] == 0) {
+      crashed[static_cast<std::size_t>(r)] = 1;
+      ++done;
+    }
+  };
 
   while (done < static_cast<std::size_t>(p)) {
     bool progressed = false;
     for (int r = 0; r < p; ++r) {
+      if (crashed[static_cast<std::size_t>(r)] != 0) continue;
       const auto& ops = prog.ranks[static_cast<std::size_t>(r)];
       auto& i = pc[static_cast<std::size_t>(r)];
       double& clock = result.clocks[static_cast<std::size_t>(r)];
@@ -67,19 +90,53 @@ des_result simulate(const sim_program& prog, const tofud_params& net,
         if (op.what == sim_op::kind::compute) {
           clock += op.seconds;
         } else if (op.what == sim_op::kind::send) {
-          clock += net.send_overhead_s;
           double& port = send_port_free[static_cast<std::size_t>(r)];
-          const double inject_start = std::max(clock, port);
-          port = inject_start +
-                 serialization_seconds(net, place, r, op.peer, op.bytes);
-          wire[channel(r, op.peer)].push_back(inject_start);
+          if (faulty) {
+            const std::uint64_t sidx =
+                sends_total[static_cast<std::size_t>(r)]++;
+            const double stall = faults->stall_seconds(r, sidx);
+            if (stall > 0) {
+              clock += stall;
+              ++result.stats.stalls;
+            }
+            if (faults->crashes_before(r, sidx)) {
+              halt(r);
+              progressed = true;
+              break;
+            }
+            clock += net.send_overhead_s;
+            const std::uint64_t seq = chan_seq[channel(r, op.peer)]++;
+            const transmit_plan tp =
+                faults->plan(net, place, r, op.peer, op.bytes, seq, clock,
+                             port, result.stats);
+            port = tp.port_free;
+            if (tp.failed) {
+              wire[channel(r, op.peer)].push_back(
+                  {tp.attempts.back().depart, seq, true});
+              halt(r);
+              progressed = true;
+              break;
+            }
+            wire[channel(r, op.peer)].push_back({tp.good_depart, seq, false});
+          } else {
+            clock += net.send_overhead_s;
+            const double inject_start = std::max(clock, port);
+            port = inject_start +
+                   serialization_seconds(net, place, r, op.peer, op.bytes);
+            wire[channel(r, op.peer)].push_back({inject_start, 0, false});
+          }
         } else {  // recv
           auto it = wire.find(channel(op.peer, r));
           if (it == wire.end() || it->second.empty()) break;  // blocked
-          const double depart = it->second.front();
+          const wire_entry entry = it->second.front();
           it->second.pop_front();
+          if (entry.poison) {
+            halt(r);
+            progressed = true;
+            break;
+          }
           const double ready =
-              depart +
+              entry.depart +
               transfer_latency_seconds(net, place, op.peer, r, op.bytes);
           double& port = recv_port_free[static_cast<std::size_t>(r)];
           const double arrival =
@@ -87,13 +144,42 @@ des_result simulate(const sim_program& prog, const tofud_params& net,
               serialization_seconds(net, place, op.peer, r, op.bytes);
           port = arrival;
           clock = std::max(clock, arrival) + net.recv_overhead_s;
+          if (faulty) {
+            result.deliveries[static_cast<std::size_t>(r)].push_back(
+                {op.peer, 0, entry.seq});
+          }
         }
         ++i;
         progressed = true;
         if (i == ops.size()) ++done;
       }
     }
+    if (!progressed && faulty) {
+      // Cascade: a rank starved on a channel whose sender crashed will
+      // never be served - it fails too, exactly like the threaded
+      // runtime's crash-notice path.
+      for (int r = 0; r < p; ++r) {
+        const auto ri = static_cast<std::size_t>(r);
+        const auto& ops = prog.ranks[ri];
+        if (crashed[ri] != 0 || pc[ri] >= ops.size()) continue;
+        const sim_op& op = ops[pc[ri]];
+        if (op.what != sim_op::kind::recv) continue;
+        auto it = wire.find(channel(op.peer, r));
+        const bool starved = it == wire.end() || it->second.empty();
+        if (starved && crashed[static_cast<std::size_t>(op.peer)] != 0) {
+          halt(r);
+          progressed = true;
+        }
+      }
+    }
     TFX_ASSERT(progressed && "sim_program deadlocked");
+  }
+  if (faulty) {
+    for (int r = 0; r < p; ++r) {
+      if (crashed[static_cast<std::size_t>(r)] != 0) {
+        result.crashed.push_back(r);
+      }
+    }
   }
   return result;
 }

@@ -8,9 +8,17 @@
 /// per-(src,dst) FIFO message queues instead of real data. This is how
 /// the Fig. 3 benchmarks time collectives at 1536 ranks in
 /// milliseconds of host time.
+///
+/// When a fault plane is supplied (faultplane.hpp), the engine applies
+/// the same deterministic per-message transmission schedules as the
+/// threaded runtime - retry backoff, stall/crash schedules, poisoned
+/// sends - and reports the same counters, delivery orders, and crashed
+/// ranks, so a chaos run is cross-checkable between the two engines at
+/// thread-runnable rank counts and replayable at 1536 ranks.
 
 #include <vector>
 
+#include "mpisim/faultplane.hpp"
 #include "mpisim/network.hpp"
 #include "mpisim/patterns.hpp"
 
@@ -19,6 +27,11 @@ namespace tfx::mpisim {
 /// Result of simulating one program.
 struct des_result {
   std::vector<double> clocks;  ///< per-rank completion times
+
+  // -- populated only for fault-plane runs --
+  fault_stats stats;  ///< injection/retry counters (sender-side plans)
+  std::vector<std::vector<delivery_record>> deliveries;  ///< per rank
+  std::vector<int> crashed;  ///< ranks halted by crash/poison/cascade
 
   /// The collective's latency as IMB reports it: the maximum over
   /// ranks (time until the slowest rank finished).
@@ -29,10 +42,14 @@ struct des_result {
 
 /// Execute `prog` over the modeled network. `start_clocks`, if
 /// non-empty, seeds each rank's clock (e.g. to chain iterations);
-/// otherwise all ranks start at 0. Aborts on deadlock (malformed
-/// program), which cannot happen for the generators in patterns.hpp.
+/// otherwise all ranks start at 0. `faults`, if non-null and active,
+/// injects the same deterministic fault schedule the threaded runtime
+/// would (crashed ranks halt and cascade instead of deadlocking).
+/// Aborts on deadlock (malformed program), which cannot happen for the
+/// generators in patterns.hpp.
 des_result simulate(const sim_program& prog, const tofud_params& net,
                     const torus_placement& place,
-                    std::vector<double> start_clocks = {});
+                    std::vector<double> start_clocks = {},
+                    const fault_plane* faults = nullptr);
 
 }  // namespace tfx::mpisim

@@ -1,0 +1,138 @@
+#include "mpisim/faultplane.hpp"
+
+#include <algorithm>
+
+#include "core/contracts.hpp"
+
+namespace tfx::mpisim {
+
+fault_stats& fault_stats::operator+=(const fault_stats& o) {
+  sends += o.sends;
+  attempts += o.attempts;
+  retries += o.retries;
+  drops += o.drops;
+  corruptions += o.corruptions;
+  duplicates += o.duplicates;
+  reorders += o.reorders;
+  delays += o.delays;
+  stalls += o.stalls;
+  failed_sends += o.failed_sends;
+  return *this;
+}
+
+fault_plane::fault_plane(fault_config cfg) : cfg_(cfg) {
+  const auto& p = cfg_.probs;
+  TFX_EXPECTS(p.drop >= 0 && p.drop <= 1);
+  TFX_EXPECTS(p.duplicate >= 0 && p.duplicate <= 1);
+  TFX_EXPECTS(p.corrupt >= 0 && p.corrupt <= 1);
+  TFX_EXPECTS(p.reorder >= 0 && p.reorder <= 1);
+  TFX_EXPECTS(p.delay >= 0 && p.delay <= 1);
+  TFX_EXPECTS(p.delay_max_s >= 0);
+  TFX_EXPECTS(cfg_.retry.timeout_s > 0);
+  TFX_EXPECTS(cfg_.retry.backoff >= 1);
+  TFX_EXPECTS(cfg_.retry.max_retries >= 0);
+  active_ = p.drop > 0 || p.duplicate > 0 || p.corrupt > 0 ||
+            p.reorder > 0 || p.delay > 0 || !cfg_.stalls.empty() ||
+            !cfg_.crashes.empty();
+}
+
+fault_plane::decision fault_plane::decide(int src, int dst,
+                                          std::uint64_t msg_index,
+                                          int attempt) const {
+  // One decorrelated stream per (channel, message, attempt): the draw
+  // never depends on what other channels or threads did before.
+  const std::uint64_t channel =
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32) |
+      static_cast<std::uint64_t>(static_cast<std::uint32_t>(dst));
+  xoshiro256 rng(derive_stream(cfg_.seed, channel, msg_index,
+                               static_cast<std::uint64_t>(attempt)));
+  // Fixed draw order keeps the stream layout stable across fault-mix
+  // changes of *other* categories.
+  decision d;
+  d.drop = rng.uniform() < cfg_.probs.drop;
+  d.corrupt = rng.uniform() < cfg_.probs.corrupt;
+  d.duplicate = rng.uniform() < cfg_.probs.duplicate;
+  d.reorder = rng.uniform() < cfg_.probs.reorder;
+  const bool delayed = rng.uniform() < cfg_.probs.delay;
+  d.extra_delay_s = delayed ? rng.uniform(0.0, cfg_.probs.delay_max_s) : 0.0;
+  d.flip = rng();
+  return d;
+}
+
+double fault_plane::stall_seconds(int rank, std::uint64_t send_index) const {
+  double total = 0;
+  for (const auto& s : cfg_.stalls) {
+    if (s.rank == rank && s.send_index == send_index) total += s.seconds;
+  }
+  return total;
+}
+
+bool fault_plane::crashes_before(int rank, std::uint64_t send_index) const {
+  return std::any_of(cfg_.crashes.begin(), cfg_.crashes.end(),
+                     [&](const crash_event& c) {
+                       return c.rank == rank && c.send_index == send_index;
+                     });
+}
+
+transmit_plan fault_plane::plan(const tofud_params& net,
+                                const torus_placement& place, int src,
+                                int dst, std::size_t bytes,
+                                std::uint64_t msg_index, double clock,
+                                double port_free,
+                                fault_stats& stats) const {
+  transmit_plan tp;
+  const double ser = serialization_seconds(net, place, src, dst, bytes);
+  double t = std::max(clock, port_free);
+  ++stats.sends;
+  for (int attempt = 0;; ++attempt) {
+    const decision d = decide(src, dst, msg_index, attempt);
+    ++stats.attempts;
+    // Corrupting a zero-byte payload is undetectable (the checksum of
+    // nothing always matches), so it degrades to a drop.
+    const bool corrupt = d.corrupt && !d.drop && bytes > 0;
+    const bool drop = d.drop || (d.corrupt && bytes == 0);
+    tp.attempts.push_back({t, drop, corrupt, d.flip});
+    port_free = t + ser;  // every attempt serializes through the port
+    if (drop) ++stats.drops;
+    if (corrupt) ++stats.corruptions;
+    if (!drop && !corrupt) {
+      tp.good_depart = t + d.extra_delay_s;
+      if (d.extra_delay_s > 0) ++stats.delays;
+      if (d.reorder) {
+        tp.reordered = true;
+        ++stats.reorders;
+      }
+      if (d.duplicate) {
+        tp.duplicated = true;
+        tp.dup_depart = port_free;
+        port_free += ser;  // the replayed copy streams out too
+        ++stats.duplicates;
+      }
+      break;
+    }
+    if (attempt == cfg_.retry.max_retries) {
+      tp.failed = true;
+      ++stats.failed_sends;
+      break;
+    }
+    ++stats.retries;
+    // Retransmit after the backoff timeout (measured from the failed
+    // attempt's injection), never before the port frees.
+    t = std::max(t + backoff_delay_seconds(cfg_.retry.timeout_s,
+                                           cfg_.retry.backoff, attempt),
+                 port_free);
+  }
+  tp.port_free = port_free;
+  return tp;
+}
+
+std::uint64_t fault_plane::checksum(std::span<const std::byte> payload) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const std::byte b : payload) {
+    h ^= static_cast<std::uint64_t>(b);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace tfx::mpisim

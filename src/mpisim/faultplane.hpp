@@ -1,0 +1,218 @@
+#pragma once
+
+/// \file faultplane.hpp
+/// Deterministic, seed-replayable fault injection for the mpisim
+/// runtime and the discrete-event engine.
+///
+/// The paper's MPI measurements (Figs. 2-3) assume a perfect TofuD
+/// fabric; a production message-passing runtime must survive dropped,
+/// duplicated, reordered, delayed, and corrupted messages and stalled
+/// or crashed ranks. The fault plane injects exactly those, the way
+/// LogGP-family validation suites do gap-recovery injection - and it
+/// is *deterministic*: every decision is a pure function of
+/// (seed, src, dst, per-channel message index, attempt) via
+/// core/rng.hpp's derive_stream, never of thread interleaving. The
+/// threaded runtime and the DES therefore produce identical delivery
+/// orders, identical retry counts, and identical virtual clocks under
+/// the same seed - tests/mpisim_fault_test and the faulty half of
+/// tests/mpisim_fuzz_test pin this.
+///
+/// Reliability protocol the runtime layers on top (runtime.cpp):
+///  * every eager send is stamped with a per-(src,dst)-channel
+///    sequence number and an FNV-1a checksum of the payload;
+///  * lost or corrupted transmissions are retransmitted after an
+///    exponential-backoff timeout (timeout_s * backoff^attempt), up to
+///    max_retries; the sender's port is occupied for every attempt, so
+///    retries inflate both latency and port pressure (the Fig. 2
+///    inflation measured by bench/ablation_faults);
+///  * the receive side discards checksum-mismatched copies, dedups
+///    replayed sequence numbers (idempotent delivery), and matches the
+///    lowest outstanding sequence number first so reordered queues
+///    deliver in-order per (source, tag) stream;
+///  * when retries are exhausted, or when a rank crashes by schedule,
+///    both endpoints raise a typed comm_error instead of hanging -
+///    crash notices propagate so every rank blocked on a dead peer
+///    fails loudly too.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "mpisim/network.hpp"
+
+namespace tfx::mpisim {
+
+/// Per-channel fault probabilities, drawn independently per attempt.
+struct fault_probs {
+  double drop = 0;       ///< transmission lost on the wire
+  double duplicate = 0;  ///< delivered copy followed by a replay
+  double corrupt = 0;    ///< payload bit-flip (checksum catches it)
+  double reorder = 0;    ///< delivered copy jumps the mailbox queue
+  double delay = 0;      ///< extra wire latency on the delivered copy
+  double delay_max_s = 2.0e-6;  ///< delay drawn uniform in [0, max)
+};
+
+/// Timeout-retry-backoff policy of the reliability layer.
+struct retry_policy {
+  double timeout_s = 3.0e-6;  ///< first retransmission timeout
+  double backoff = 2.0;       ///< timeout multiplier per retry
+  int max_retries = 25;       ///< retransmissions before comm_error
+};
+
+/// Stall rank `rank` for `seconds` of virtual time immediately before
+/// its `send_index`-th send (0-based, counted over all destinations).
+struct stall_event {
+  int rank = 0;
+  std::uint64_t send_index = 0;
+  double seconds = 0;
+};
+
+/// Crash rank `rank` immediately before its `send_index`-th send: it
+/// broadcasts a crash notice and raises comm_error.
+struct crash_event {
+  int rank = 0;
+  std::uint64_t send_index = 0;
+};
+
+/// A complete, replayable fault schedule.
+struct fault_config {
+  std::uint64_t seed = 1;
+  fault_probs probs;
+  retry_policy retry;
+  std::vector<stall_event> stalls;
+  std::vector<crash_event> crashes;
+};
+
+/// Typed failure of the reliability layer; what collectives and the
+/// distributed shallow-water halo exchange catch and surface.
+class comm_error : public std::runtime_error {
+ public:
+  enum class reason {
+    retries_exhausted,  ///< a send burned max_retries without an ack
+    peer_crashed,       ///< the peer raised, crashed, or was poisoned
+  };
+
+  comm_error(reason why, int peer, const std::string& what)
+      : std::runtime_error(what), why_(why), peer_(peer) {}
+
+  [[nodiscard]] reason why() const { return why_; }
+  [[nodiscard]] int peer() const { return peer_; }
+
+ private:
+  reason why_;
+  int peer_;
+};
+
+/// Injection/retry counters; summed over ranks. Equal between the
+/// threaded runtime and the DES under the same schedule.
+struct fault_stats {
+  std::uint64_t sends = 0;         ///< messages entering the fault plane
+  std::uint64_t attempts = 0;      ///< transmissions incl. retries
+  std::uint64_t retries = 0;       ///< attempts - first tries
+  std::uint64_t drops = 0;
+  std::uint64_t corruptions = 0;
+  std::uint64_t duplicates = 0;
+  std::uint64_t reorders = 0;
+  std::uint64_t delays = 0;
+  std::uint64_t stalls = 0;
+  std::uint64_t failed_sends = 0;  ///< retries exhausted (poisoned)
+
+  bool operator==(const fault_stats&) const = default;
+  fault_stats& operator+=(const fault_stats& o);
+};
+
+/// One accepted delivery, as the receiver saw it; the per-rank
+/// sequence of these is the delivery order the engines must agree on.
+struct delivery_record {
+  int source = 0;
+  int tag = 0;
+  std::uint64_t seq = 0;
+
+  bool operator==(const delivery_record&) const = default;
+};
+
+/// The deterministic transmission schedule of one message: when each
+/// attempt departs, which attempts are lost, when the delivered copy
+/// departs, and when the sender's port frees. Computed by
+/// fault_plane::plan and consumed identically by both engines.
+struct transmit_plan {
+  /// One wire transmission of the message.
+  struct attempt {
+    double depart = 0;        ///< injection start of this attempt
+    bool dropped = false;     ///< lost on the wire, nothing arrives
+    bool corrupt = false;     ///< arrives bit-flipped (checksum fails)
+    std::uint64_t flip = 0;   ///< which byte/bit the corruption flips
+  };
+
+  std::vector<attempt> attempts;  ///< at least one entry
+  double good_depart = 0;  ///< depart of the delivered copy (delay incl.)
+  double port_free = 0;    ///< sender port after all attempts (+dup)
+  bool failed = false;     ///< retries exhausted, nothing delivered
+  bool duplicated = false; ///< a replayed copy follows the delivery
+  double dup_depart = 0;
+  bool reordered = false;  ///< delivered copy jumps the mailbox queue
+
+  [[nodiscard]] int retries() const {
+    return static_cast<int>(attempts.size()) - 1;
+  }
+};
+
+/// The seeded fault injector. Stateless after construction: every
+/// query is a pure function of its arguments, so one instance can be
+/// shared by all rank threads and by the DES.
+class fault_plane {
+ public:
+  explicit fault_plane(fault_config cfg);
+
+  [[nodiscard]] const fault_config& config() const { return cfg_; }
+
+  /// True when any probability or schedule entry can fire. An inactive
+  /// plane leaves the runtime on its vanilla path (bit- and
+  /// allocation-identical; tests/mpisim_fault_test asserts both).
+  [[nodiscard]] bool active() const { return active_; }
+
+  /// Fault draw for one transmission attempt of the msg_index-th
+  /// message on channel (src, dst). Deterministic.
+  struct decision {
+    bool drop = false;
+    bool duplicate = false;
+    bool corrupt = false;
+    bool reorder = false;
+    double extra_delay_s = 0;
+    std::uint64_t flip = 0;
+  };
+  [[nodiscard]] decision decide(int src, int dst, std::uint64_t msg_index,
+                                int attempt) const;
+
+  /// Total scheduled stall before rank's send_index-th send (0 if none).
+  [[nodiscard]] double stall_seconds(int rank,
+                                     std::uint64_t send_index) const;
+
+  /// True when rank is scheduled to crash instead of performing its
+  /// send_index-th send.
+  [[nodiscard]] bool crashes_before(int rank,
+                                    std::uint64_t send_index) const;
+
+  /// The full transmission schedule of one message, advancing `stats`.
+  /// `clock` is the sender's clock after o_send; `port_free` the
+  /// sender's current injection-port horizon.
+  [[nodiscard]] transmit_plan plan(const tofud_params& net,
+                                   const torus_placement& place, int src,
+                                   int dst, std::size_t bytes,
+                                   std::uint64_t msg_index, double clock,
+                                   double port_free,
+                                   fault_stats& stats) const;
+
+  /// FNV-1a 64 over the payload; the wire checksum.
+  static std::uint64_t checksum(std::span<const std::byte> payload);
+
+ private:
+  fault_config cfg_;
+  bool active_ = false;
+};
+
+}  // namespace tfx::mpisim

@@ -71,4 +71,11 @@ double reduce_compute_seconds(const tofud_params& net, std::size_t bytes) {
   return static_cast<double>(bytes) * net.reduce_compute_s_per_byte;
 }
 
+double backoff_delay_seconds(double timeout_s, double factor, int attempt) {
+  TFX_EXPECTS(attempt >= 0);
+  double delay = timeout_s;
+  for (int k = 0; k < attempt; ++k) delay *= factor;
+  return delay;
+}
+
 }  // namespace tfx::mpisim

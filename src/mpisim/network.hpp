@@ -100,4 +100,11 @@ double serialization_seconds(const tofud_params& net,
 /// Time to combine `bytes` of reduction input at one rank.
 double reduce_compute_seconds(const tofud_params& net, std::size_t bytes);
 
+/// Retransmission timeout after `attempt` prior failures of the same
+/// message: timeout_s * factor^attempt (exponential backoff). Part of
+/// the network-timing layer so the threaded runtime and the
+/// discrete-event engine charge bit-identical retry delays
+/// (faultplane.hpp drives both).
+double backoff_delay_seconds(double timeout_s, double factor, int attempt);
+
 }  // namespace tfx::mpisim

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <exception>
+#include <string>
 #include <thread>
 
 #include "core/contracts.hpp"
@@ -20,6 +21,16 @@ void waitall(std::span<request> requests) {
   for (auto& r : requests) r.wait();
 }
 
+communicator::communicator(world* w, int rank) : world_(w), rank_(rank) {
+  // Protocol bookkeeping only exists under an active fault plane; the
+  // vanilla path stays allocation-identical to the pre-fault runtime.
+  if (const fault_plane* f = world_->faults(); f != nullptr && f->active()) {
+    const auto n = static_cast<std::size_t>(world_->size());
+    send_seq_.assign(n, 0);
+    delivered_.resize(n);
+  }
+}
+
 int communicator::size() const { return world_->size(); }
 
 const tofud_params& communicator::net() const { return world_->net(); }
@@ -32,6 +43,10 @@ void communicator::send_bytes(std::span<const std::byte> data, int dst,
                               int tag) {
   TFX_EXPECTS(dst >= 0 && dst < size());
   TFX_EXPECTS(tag >= 0);
+  if (const fault_plane* f = world_->faults(); f != nullptr && f->active()) {
+    fault_send(data, dst, tag, *f);
+    return;
+  }
   clock_ += world_->net().send_overhead_s;
   const double inject_start = std::max(clock_, send_port_free_);
   send_port_free_ =
@@ -43,9 +58,72 @@ void communicator::send_bytes(std::span<const std::byte> data, int dst,
   world_->deposit(dst, std::move(msg));
 }
 
+void communicator::fault_send(std::span<const std::byte> data, int dst,
+                              int tag, const fault_plane& faults) {
+  const std::uint64_t send_index = sends_total_++;
+  const double stall = faults.stall_seconds(rank_, send_index);
+  if (stall > 0) {
+    clock_ += stall;
+    ++stats_.stalls;
+  }
+  if (faults.crashes_before(rank_, send_index)) {
+    crash("rank crashed by fault schedule");
+  }
+  clock_ += world_->net().send_overhead_s;
+
+  const std::uint64_t seq = send_seq_[static_cast<std::size_t>(dst)]++;
+  const transmit_plan tp =
+      faults.plan(world_->net(), world_->placement(), rank_, dst,
+                  data.size(), seq, clock_, send_port_free_, stats_);
+  send_port_free_ = tp.port_free;
+
+  const std::uint64_t sum = fault_plane::checksum(data);
+  // Corrupted copies really enter the mailbox (with the *original*
+  // checksum, so verification fails) - the receive-side discard path
+  // is exercised with live data, while the timing consequence (the
+  // retransmission) was already priced into the plan.
+  for (const auto& a : tp.attempts) {
+    if (!a.corrupt) continue;
+    std::vector<std::byte> bad(data.begin(), data.end());
+    const std::size_t at = a.flip % bad.size();
+    const auto bit = static_cast<int>((a.flip >> 32) % 8);
+    bad[at] ^= static_cast<std::byte>(1 << bit);
+    world_->deposit(dst, world::message{rank_, tag, a.depart, std::move(bad),
+                                        seq, sum});
+  }
+  if (tp.failed) {
+    // Nothing deliverable: poison the matcher so the receiver raises
+    // comm_error instead of blocking forever, then fail here too.
+    world_->deposit(dst,
+                    world::message{rank_, tag, tp.attempts.back().depart, {},
+                                   seq, 0, world::msg_kind::send_failed});
+    crashed_ = true;
+    world_->broadcast_crash(rank_, clock_);
+    throw comm_error(comm_error::reason::retries_exhausted, dst,
+                     "send to rank " + std::to_string(dst) + " exhausted " +
+                         std::to_string(tp.retries()) + " retries");
+  }
+  world_->deposit(dst,
+                  world::message{rank_, tag, tp.good_depart,
+                                 std::vector<std::byte>(data.begin(),
+                                                        data.end()),
+                                 seq, sum},
+                  /*front=*/tp.reordered);
+  if (tp.duplicated) {
+    world_->deposit(dst,
+                    world::message{rank_, tag, tp.dup_depart,
+                                   std::vector<std::byte>(data.begin(),
+                                                          data.end()),
+                                   seq, sum});
+  }
+}
+
 recv_status communicator::recv_bytes(std::span<std::byte> out, int src,
                                      int tag) {
   TFX_EXPECTS(src == any_source || (src >= 0 && src < size()));
+  if (const fault_plane* f = world_->faults(); f != nullptr && f->active()) {
+    return fault_recv(out, src, tag, *f);
+  }
   world::message msg = world_->collect(rank_, src, tag);
   TFX_EXPECTS(msg.payload.size() <= out.size());
   std::copy(msg.payload.begin(), msg.payload.end(), out.begin());
@@ -62,6 +140,59 @@ recv_status communicator::recv_bytes(std::span<std::byte> out, int src,
   recv_port_free_ = arrival;
   clock_ = std::max(clock_, arrival) + net.recv_overhead_s;
   return recv_status{msg.source, msg.tag, msg.payload.size(), arrival};
+}
+
+recv_status communicator::fault_recv(std::span<std::byte> out, int src,
+                                     int tag, const fault_plane&) {
+  for (;;) {
+    world::message msg = world_->collect_faulty(rank_, src, tag);
+    if (msg.kind == world::msg_kind::crash_notice) {
+      crashed_ = true;
+      throw comm_error(comm_error::reason::peer_crashed, msg.source,
+                       "recv from rank " + std::to_string(msg.source) +
+                           ": peer crashed");
+    }
+    if (msg.kind == world::msg_kind::send_failed) {
+      crashed_ = true;
+      throw comm_error(comm_error::reason::retries_exhausted, msg.source,
+                       "recv from rank " + std::to_string(msg.source) +
+                           ": peer's send exhausted its retries");
+    }
+    auto& seen = delivered_[static_cast<std::size_t>(msg.source)];
+    if (fault_plane::checksum(msg.payload) != msg.checksum ||
+        seen.count(msg.seq) != 0) {
+      // Corrupted copy or replayed sequence number: discard and keep
+      // waiting. Filtered before the drain port, so discards cost no
+      // virtual time (NIC-level filtering); the retransmission delay
+      // was charged on the sender's schedule.
+      ++rx_discards_;
+      continue;
+    }
+    seen.insert(msg.seq);
+    delivery_log_.push_back({msg.source, msg.tag, msg.seq});
+
+    TFX_EXPECTS(msg.payload.size() <= out.size());
+    std::copy(msg.payload.begin(), msg.payload.end(), out.begin());
+    const auto& net = world_->net();
+    const auto& place = world_->placement();
+    const double ready =
+        msg.depart_vtime +
+        transfer_latency_seconds(net, place, msg.source, rank_,
+                                 msg.payload.size());
+    const double arrival =
+        std::max(ready, recv_port_free_) +
+        serialization_seconds(net, place, msg.source, rank_,
+                              msg.payload.size());
+    recv_port_free_ = arrival;
+    clock_ = std::max(clock_, arrival) + net.recv_overhead_s;
+    return recv_status{msg.source, msg.tag, msg.payload.size(), arrival};
+  }
+}
+
+void communicator::crash(const char* what) {
+  crashed_ = true;
+  world_->broadcast_crash(rank_, clock_);
+  throw comm_error(comm_error::reason::peer_crashed, rank_, what);
 }
 
 recv_status communicator::sendrecv_bytes(std::span<const std::byte> out_data,
@@ -84,6 +215,10 @@ world::world(torus_placement place, tofud_params net)
   }
 }
 
+void world::set_faults(const fault_config& cfg) {
+  faults_ = std::make_unique<fault_plane>(cfg);
+}
+
 void world::run(const std::function<void(communicator&)>& fn) {
   const int ranks = size();
   for (auto& box : mailboxes_) {
@@ -91,34 +226,77 @@ void world::run(const std::function<void(communicator&)>& fn) {
     box->queue.clear();
   }
   final_clocks_.assign(static_cast<std::size_t>(ranks), 0.0);
+  const bool faulty = faults_ != nullptr && faults_->active();
+  report_ = fault_report{};
+  std::vector<fault_stats> rank_stats;
+  std::vector<std::uint64_t> rank_discards;
+  std::vector<std::uint8_t> rank_crashed;
+  if (faulty) {
+    report_.deliveries.resize(static_cast<std::size_t>(ranks));
+    rank_stats.resize(static_cast<std::size_t>(ranks));
+    rank_discards.assign(static_cast<std::size_t>(ranks), 0);
+    rank_crashed.assign(static_cast<std::size_t>(ranks), 0);
+  }
 
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(ranks));
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(ranks));
   for (int r = 0; r < ranks; ++r) {
-    threads.emplace_back([this, r, &fn, &errors] {
+    threads.emplace_back([&, this, r] {
+      const auto ri = static_cast<std::size_t>(r);
       communicator comm(this, r);
       try {
         fn(comm);
       } catch (...) {
-        errors[static_cast<std::size_t>(r)] = std::current_exception();
+        errors[ri] = std::current_exception();
+        // Under faults, any dying rank notifies its peers so nobody
+        // blocks forever on a message that will never come.
+        if (faulty) {
+          comm.crashed_ = true;
+          broadcast_crash(r, comm.now());
+        }
       }
-      final_clocks_[static_cast<std::size_t>(r)] = comm.now();
+      final_clocks_[ri] = comm.now();
+      if (faulty) {
+        rank_stats[ri] = comm.stats_;
+        rank_discards[ri] = comm.rx_discards_;
+        rank_crashed[ri] = comm.crashed_ ? 1 : 0;
+        report_.deliveries[ri] = std::move(comm.delivery_log_);
+      }
     });
   }
   for (auto& t : threads) t.join();
+  if (faulty) {
+    for (int r = 0; r < ranks; ++r) {
+      const auto ri = static_cast<std::size_t>(r);
+      report_.stats += rank_stats[ri];
+      report_.rx_discards += rank_discards[ri];
+      if (rank_crashed[ri] != 0) report_.crashed.push_back(r);
+    }
+  }
   for (auto& e : errors) {
     if (e) std::rethrow_exception(e);
   }
 }
 
-void world::deposit(int dst, message msg) {
+void world::deposit(int dst, message msg, bool front) {
   mailbox& box = *mailboxes_[static_cast<std::size_t>(dst)];
   {
     const std::scoped_lock lock(box.mutex);
-    box.queue.push_back(std::move(msg));
+    if (front) {
+      box.queue.push_front(std::move(msg));
+    } else {
+      box.queue.push_back(std::move(msg));
+    }
   }
   box.arrived.notify_all();
+}
+
+void world::broadcast_crash(int rank, double vtime) {
+  for (int dst = 0; dst < size(); ++dst) {
+    if (dst == rank) continue;
+    deposit(dst, message{rank, 0, vtime, {}, 0, 0, msg_kind::crash_notice});
+  }
 }
 
 world::message world::collect(int dst, int src, int tag) {
@@ -132,6 +310,40 @@ world::message world::collect(int dst, int src, int tag) {
         message msg = std::move(*it);
         box.queue.erase(it);
         return msg;
+      }
+    }
+    box.arrived.wait(lock);
+  }
+}
+
+world::message world::collect_faulty(int dst, int src, int tag) {
+  mailbox& box = *mailboxes_[static_cast<std::size_t>(dst)];
+  std::unique_lock lock(box.mutex);
+  for (;;) {
+    // Pass 1: real traffic, lowest sequence number first so a
+    // reordered queue still delivers per-stream in order.
+    auto best = box.queue.end();
+    for (auto it = box.queue.begin(); it != box.queue.end(); ++it) {
+      if (it->kind == msg_kind::crash_notice) continue;
+      const bool src_ok = src == any_source || it->source == src;
+      const bool tag_ok = tag == any_tag || it->tag == tag;
+      if (!src_ok || !tag_ok) continue;
+      if (best == box.queue.end() || it->seq < best->seq ||
+          (it->seq == best->seq && it->source < best->source)) {
+        best = it;
+      }
+    }
+    if (best != box.queue.end()) {
+      message msg = std::move(*best);
+      box.queue.erase(best);
+      return msg;
+    }
+    // Pass 2: only when no real message matches may a crash notice
+    // fire - the awaited message will never arrive.
+    for (auto& m : box.queue) {
+      if (m.kind != msg_kind::crash_notice) continue;
+      if (src == any_source || m.source == src) {
+        return m;  // left in the queue: it poisons every later recv too
       }
     }
     box.arrived.wait(lock);

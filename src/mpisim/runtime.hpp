@@ -26,6 +26,16 @@
 ///           what serializes a many-to-one flood (e.g. the Gatherv
 ///           root) instead of letting all messages land in parallel.
 ///  * compute/overhead: advance(seconds) adds straight to the clock.
+///
+/// Reliability: when a fault plane is attached (world::set_faults,
+/// faultplane.hpp), every message is stamped with a per-channel
+/// sequence number and a payload checksum; lost/corrupted
+/// transmissions are retried with exponential backoff, duplicates are
+/// deduplicated on the receive side, reordered queues are re-sorted by
+/// sequence number, and exhausted retries or scheduled crashes raise a
+/// typed comm_error on both endpoints instead of hanging. With no (or
+/// an all-zero) fault plane the vanilla path below runs unchanged -
+/// bit- and allocation-identical to the pre-fault-plane runtime.
 
 #include <condition_variable>
 #include <cstddef>
@@ -35,8 +45,10 @@
 #include <memory>
 #include <mutex>
 #include <span>
+#include <unordered_set>
 #include <vector>
 
+#include "mpisim/faultplane.hpp"
 #include "mpisim/network.hpp"
 
 namespace tfx::mpisim {
@@ -165,13 +177,34 @@ class communicator {
 
  private:
   friend class world;
-  communicator(world* w, int rank) : world_(w), rank_(rank) {}
+  communicator(world* w, int rank);
+
+  /// Fault-plane send path: seq stamping, checksummed copies, the
+  /// retry schedule from fault_plane::plan, stall/crash schedules.
+  void fault_send(std::span<const std::byte> data, int dst, int tag,
+                  const fault_plane& faults);
+  /// Fault-plane receive path: checksum verification, duplicate
+  /// discarding, lowest-seq-first matching, crash-notice propagation.
+  recv_status fault_recv(std::span<std::byte> out, int src, int tag,
+                         const fault_plane& faults);
+  /// Broadcast a crash notice and die with comm_error.
+  [[noreturn]] void crash(const char* what);
 
   world* world_;
   int rank_;
   double clock_ = 0;
   double send_port_free_ = 0;  ///< when my injection port next idles
   double recv_port_free_ = 0;  ///< when my drain port next idles
+
+  // -- reliability-protocol state; empty unless the fault plane is
+  //    active (the vanilla path must stay allocation-identical) --
+  std::vector<std::uint64_t> send_seq_;  ///< next seq per destination
+  std::uint64_t sends_total_ = 0;        ///< rank-wide send counter
+  std::vector<std::unordered_set<std::uint64_t>> delivered_;  ///< per src
+  std::vector<delivery_record> delivery_log_;
+  fault_stats stats_;
+  std::uint64_t rx_discards_ = 0;  ///< dup/corrupt copies thrown away
+  bool crashed_ = false;
 };
 
 /// A set of ranks with mailboxes, a placement, and a network model.
@@ -201,14 +234,44 @@ class world {
   [[nodiscard]] const tofud_params& net() const { return net_; }
   [[nodiscard]] const torus_placement& placement() const { return place_; }
 
+  /// Attach a deterministic fault plane for subsequent run()s. An
+  /// all-zero config is inert: the vanilla send/recv path runs
+  /// unchanged (bit- and allocation-identical).
+  void set_faults(const fault_config& cfg);
+  void clear_faults() { faults_.reset(); }
+  [[nodiscard]] const fault_plane* faults() const { return faults_.get(); }
+
+  /// What the fault plane did during the last run(): injection/retry
+  /// counters, per-rank delivery orders, and which ranks died of
+  /// comm_error. The DES reports the same fields for the same
+  /// schedule, and the chaos tests compare them field for field.
+  struct fault_report {
+    fault_stats stats;
+    std::vector<std::vector<delivery_record>> deliveries;  ///< per rank
+    std::vector<int> crashed;        ///< ranks that raised comm_error
+    std::uint64_t rx_discards = 0;   ///< dup/corrupt copies discarded
+  };
+  [[nodiscard]] const fault_report& last_fault_report() const {
+    return report_;
+  }
+
  private:
   friend class communicator;
+
+  enum class msg_kind : std::uint8_t {
+    payload,       ///< ordinary data (possibly a corrupted/dup copy)
+    send_failed,   ///< sender exhausted retries; poisons the matcher
+    crash_notice,  ///< source rank died; matches any tag from it
+  };
 
   struct message {
     int source;
     int tag;
     double depart_vtime;
     std::vector<std::byte> payload;
+    std::uint64_t seq = 0;
+    std::uint64_t checksum = 0;
+    msg_kind kind = msg_kind::payload;
   };
 
   struct mailbox {
@@ -217,13 +280,21 @@ class world {
     std::deque<message> queue;
   };
 
-  void deposit(int dst, message msg);
+  void deposit(int dst, message msg, bool front = false);
   message collect(int dst, int src, int tag);
+  /// Fault-mode matching: payload/send_failed messages win over crash
+  /// notices, and among matching payloads the lowest sequence number
+  /// is taken first (reordered queues deliver in order).
+  message collect_faulty(int dst, int src, int tag);
+  /// Deposit a crash notice from `rank` into every other mailbox.
+  void broadcast_crash(int rank, double vtime);
 
   tofud_params net_;
   torus_placement place_;
   std::vector<std::unique_ptr<mailbox>> mailboxes_;
   std::vector<double> final_clocks_;
+  std::unique_ptr<fault_plane> faults_;
+  fault_report report_;
 };
 
 }  // namespace tfx::mpisim

@@ -120,12 +120,24 @@ void exchange_halo(mpisim::communicator& comm, slab<T>& f, int tag) {
     return;
   }
   // Send my top row up and my bottom row down; receive symmetric.
-  comm.send(std::span<const T>(f.row(f.local_ny() - 1)), up, tag);
-  comm.send(std::span<const T>(f.row(0)), down, tag + 1);
-  comm.recv(std::span<T>(&f(0, -1), static_cast<std::size_t>(f.nx())), down,
-            tag);
-  comm.recv(std::span<T>(&f(0, f.local_ny()), static_cast<std::size_t>(f.nx())),
-            up, tag + 1);
+  // Under a fault plane (mpisim/faultplane.hpp) a crashed neighbour or
+  // an exhausted retry budget raises comm_error; annotate it with the
+  // exchange context so the step loop fails loudly and debuggably
+  // instead of hanging on a halo row that will never arrive.
+  try {
+    comm.send(std::span<const T>(f.row(f.local_ny() - 1)), up, tag);
+    comm.send(std::span<const T>(f.row(0)), down, tag + 1);
+    comm.recv(std::span<T>(&f(0, -1), static_cast<std::size_t>(f.nx())), down,
+              tag);
+    comm.recv(
+        std::span<T>(&f(0, f.local_ny()), static_cast<std::size_t>(f.nx())),
+        up, tag + 1);
+  } catch (const mpisim::comm_error& e) {
+    throw mpisim::comm_error(
+        e.why(), e.peer(),
+        "halo exchange (rank " + std::to_string(comm.rank()) + ", tag " +
+            std::to_string(tag) + "): " + e.what());
+  }
 }
 
 }  // namespace detail

@@ -55,12 +55,11 @@ sim_program random_program(int p, std::uint64_t seed, int rounds) {
   return prog;
 }
 
-/// Execute a sim_program on the threaded runtime, returning the final
-/// virtual clocks.
-std::vector<double> run_threaded(const sim_program& prog,
-                                 const torus_placement& place,
-                                 const tofud_params& net) {
-  world w(place, net);
+/// Execute a sim_program on (an already configured) world. `tag` is 7
+/// for the vanilla fuzz (any fixed tag works) but 0 for fault-plane
+/// runs, whose delivery records are compared against the DES (which
+/// logs tag 0 - sim_ops carry no tag).
+void run_program(world& w, const sim_program& prog, int tag) {
   w.run([&](communicator& comm) {
     const auto& ops = prog.ranks[static_cast<std::size_t>(comm.rank())];
     std::vector<std::byte> buf(1 << 18);
@@ -68,11 +67,11 @@ std::vector<double> run_threaded(const sim_program& prog,
       switch (op.what) {
         case sim_op::kind::send:
           comm.send_bytes(std::span<const std::byte>(buf.data(), op.bytes),
-                          op.peer, 7);
+                          op.peer, tag);
           break;
         case sim_op::kind::recv:
           comm.recv_bytes(std::span<std::byte>(buf.data(), op.bytes),
-                          op.peer, 7);
+                          op.peer, tag);
           break;
         case sim_op::kind::compute:
           comm.advance(op.seconds);
@@ -80,6 +79,15 @@ std::vector<double> run_threaded(const sim_program& prog,
       }
     }
   });
+}
+
+/// Execute a sim_program on the threaded runtime, returning the final
+/// virtual clocks.
+std::vector<double> run_threaded(const sim_program& prog,
+                                 const torus_placement& place,
+                                 const tofud_params& net) {
+  world w(place, net);
+  run_program(w, prog, 7);
   return w.final_clocks();
 }
 
@@ -97,6 +105,9 @@ TEST_P(FuzzEngines, ThreadedAndDesClocksAgree) {
   const torus_placement place({nodes, 1, 1}, per_node);
   // Pad the program to the placement's full rank count.
   const int total = place.rank_count();
+  SCOPED_TRACE("seed " + std::to_string(seed) + " ranks " +
+               std::to_string(total) + " rounds " + std::to_string(rounds) +
+               " per_node " + std::to_string(per_node));
   auto prog = random_program(total, seed * 7919 + 13, rounds);
 
   const tofud_params net;
@@ -111,3 +122,52 @@ TEST_P(FuzzEngines, ThreadedAndDesClocksAgree) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzEngines,
                          ::testing::Range<std::uint64_t>(1, 26));
+
+// Same fuzz, now with a seeded fault plane: both engines must agree on
+// the virtual clocks AND on the chaos bookkeeping - per-rank delivery
+// orders, retry/drop/duplicate counters, nobody crashed (the retry
+// budget is deep enough to always drain).
+class FuzzEnginesFaulty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzEnginesFaulty, ChaosClocksStatsAndDeliveriesAgree) {
+  const std::uint64_t seed = GetParam();
+  xoshiro256 meta(seed * 0x9e3779b97f4a7c15ULL + 1);
+  const int p = 2 + static_cast<int>(meta.bounded(7));      // 2..8 ranks
+  const int rounds = 2 + static_cast<int>(meta.bounded(6)); // 2..7 rounds
+  const torus_placement place({p, 1, 1}, 1);
+  SCOPED_TRACE("seed " + std::to_string(seed) + " ranks " +
+               std::to_string(p) + " rounds " + std::to_string(rounds));
+  const auto prog = random_program(p, seed * 6271 + 5, rounds);
+
+  fault_config cfg;
+  cfg.seed = seed * 131 + 17;
+  cfg.probs.drop = 0.1;
+  cfg.probs.duplicate = 0.06;
+  cfg.probs.corrupt = 0.05;
+  cfg.probs.reorder = 0.08;
+  cfg.probs.delay = 0.06;
+  cfg.retry.max_retries = 40;
+  const fault_plane plane(cfg);
+
+  const tofud_params net;
+  world w(place, net);
+  w.set_faults(cfg);
+  run_program(w, prog, /*tag=*/0);
+  const auto& threaded = w.last_fault_report();
+
+  const auto des = simulate(prog, net, place, {}, &plane);
+
+  EXPECT_TRUE(threaded.crashed.empty());
+  EXPECT_TRUE(des.crashed.empty());
+  EXPECT_EQ(threaded.stats, des.stats);
+  ASSERT_EQ(des.deliveries.size(), des.clocks.size());
+  for (std::size_t r = 0; r < des.clocks.size(); ++r) {
+    EXPECT_EQ(threaded.deliveries[r], des.deliveries[r]) << "rank " << r;
+    ASSERT_NEAR(w.final_clocks()[r], des.clocks[r],
+                1e-15 + 1e-9 * des.clocks[r])
+        << "rank " << r;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzEnginesFaulty,
+                         ::testing::Range<std::uint64_t>(1, 17));

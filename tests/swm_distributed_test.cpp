@@ -4,7 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "fp/float16.hpp"
 #include "fp/fpenv.hpp"
@@ -164,6 +166,34 @@ TEST(Distributed, HaloExchangeMovesNeighbourRows) {
     EXPECT_EQ(s(0, 2), static_cast<double>(up));
     EXPECT_EQ(s(0, 0), static_cast<double>(r));  // interior untouched
   });
+}
+
+TEST(Distributed, CrashedRankFailsTheStepLoudly) {
+  // A crashed neighbour must surface as a typed comm_error from the
+  // halo exchange - annotated with the exchange context - never as a
+  // hang. Rank 1 dies by schedule before its first halo send; the
+  // crash notice cascades through the ring so every rank fails.
+  const swm_params params = small_params();
+  const auto init = initial_state<double>(params);
+
+  mpisim::world w(4);
+  mpisim::fault_config cfg;
+  cfg.crashes.push_back({1, 0});
+  w.set_faults(cfg);
+  try {
+    w.run([&](mpisim::communicator& comm) {
+      distributed_model<double> dm(comm, params);
+      dm.set_from_global(init);
+      dm.run(5);
+    });
+    FAIL() << "expected comm_error, got a completed run";
+  } catch (const mpisim::comm_error& e) {
+    EXPECT_EQ(e.why(), mpisim::comm_error::reason::peer_crashed) << e.what();
+    EXPECT_NE(std::string(e.what()).find("halo exchange"), std::string::npos)
+        << e.what();
+  }
+  const auto& crashed = w.last_fault_report().crashed;
+  EXPECT_NE(std::find(crashed.begin(), crashed.end(), 1), crashed.end());
 }
 
 TEST(Distributed, DecompositionArithmetic) {
