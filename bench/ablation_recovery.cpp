@@ -1,0 +1,228 @@
+// Ablation: what rollback recovery costs in virtual time.
+//
+// A 4-rank distributed shallow-water run (swm/distributed.hpp) executes
+// under the resilience session (swm/resilience.hpp) while the fault
+// plane kills ranks at seeded send indices. The sweep crosses the
+// buddy-checkpoint interval K with the number of injected crashes and
+// reports the virtual-clock inflation against the unprotected step
+// loop, plus the replay/commit/round counters. Every recovered run is
+// checked bit-identical to the fault-free oracle before its row is
+// printed - a row in the table doubles as a correctness witness.
+//
+// Checkpoint commits and recovery transfers ride the same LogGP-costed
+// channels as the halo exchange, so the overhead column is the real
+// virtual-time price of protection (the recovery board itself is
+// control plane only and costs nothing). Everything is seeded and
+// exactly reproducible on any host; BENCH_recovery.json carries the
+// machine-readable trend line for docs/RESILIENCE.md.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/cli.hpp"
+#include "core/table.hpp"
+#include "core/units.hpp"
+#include "mpisim/faultplane.hpp"
+#include "mpisim/runtime.hpp"
+#include "swm/distributed.hpp"
+#include "swm/model.hpp"
+#include "swm/resilience.hpp"
+
+using namespace tfx;
+using namespace tfx::swm;
+
+namespace {
+
+constexpr int kRanks = 4;
+
+struct row {
+  int interval = 0;       ///< checkpoint interval K (steps)
+  int crashes = 0;        ///< injected rank crashes
+  double clock_s = 0;     ///< max final virtual clock
+  double overhead = 0;    ///< clock / unprotected baseline clock
+  int replayed = 0;       ///< max steps re-executed on any rank
+  std::uint64_t commits = 0;  ///< committed checkpoint epochs
+  int rounds = 0;             ///< completed recovery rounds
+  bool identical = false;     ///< final state bit-matches the oracle
+};
+
+swm_params bench_params() {
+  swm_params p;
+  p.nx = 32;
+  p.ny = 16;
+  return p;
+}
+
+state<double> initial_state(const swm_params& p) {
+  model<double> m(p);
+  m.seed_random_eddies(7, 0.5);
+  return m.prognostic();
+}
+
+struct run_out {
+  std::vector<std::vector<double>> packed;  ///< per-rank pack_state()
+  double clock_s = 0;
+  int replayed = 0;
+  std::uint64_t commits = 0;
+  int rounds = 0;
+};
+
+/// Unprotected plain run: no fault plane, no session. The baseline and
+/// the bit-exactness oracle.
+run_out plain_run(const swm_params& params, int steps) {
+  const auto init = initial_state(params);
+  run_out out;
+  out.packed.resize(kRanks);
+  mpisim::world w(kRanks);
+  w.run([&](mpisim::communicator& comm) {
+    distributed_model<double> dm(comm, params);
+    dm.set_from_global(init);
+    dm.run(steps);
+    auto& mine = out.packed[static_cast<std::size_t>(comm.rank())];
+    mine.resize(dm.packed_size());
+    dm.pack_state(std::span<double>(mine));
+  });
+  const auto& clocks = w.final_clocks();
+  out.clock_s = *std::max_element(clocks.begin(), clocks.end());
+  return out;
+}
+
+/// Resilient run with `crashes` ranks killed at seeded send indices.
+/// Zero crashes still activates the fault plane (a sentinel event no
+/// rank ever reaches) so the row isolates pure checkpoint overhead.
+run_out resilient_run(const swm_params& params, int steps, int interval,
+                      int crashes, std::uint64_t seed) {
+  const auto init = initial_state(params);
+  mpisim::fault_config cfg;
+  cfg.seed = seed;
+  cfg.crashes = {{0, std::uint64_t{1} << 40}};  // plane-activating sentinel
+  if (crashes >= 1) cfg.crashes.push_back({1, 80});
+  if (crashes >= 2) cfg.crashes.push_back({0, 400});
+
+  resilience_options opt;
+  opt.checkpoint_interval = interval;
+
+  run_out out;
+  out.packed.resize(kRanks);
+  mpisim::world w(kRanks);
+  w.set_faults(cfg);
+  w.run([&](mpisim::communicator& comm) {
+    distributed_model<double> dm(comm, params);
+    dm.set_from_global(init);
+    const recovery_report rep = run_resilient(comm, dm, steps, opt);
+    auto& mine = out.packed[static_cast<std::size_t>(comm.rank())];
+    mine.resize(dm.packed_size());
+    dm.pack_state(std::span<double>(mine));
+    if (comm.rank() == 0) out.commits = rep.commits;
+    out.replayed = std::max(out.replayed, rep.replayed_steps);
+    out.rounds = std::max(out.rounds, rep.rounds);
+  });
+  const auto& clocks = w.final_clocks();
+  out.clock_s = *std::max_element(clocks.begin(), clocks.end());
+  return out;
+}
+
+bool bit_identical(const run_out& got, const run_out& want) {
+  for (int r = 0; r < kRanks; ++r) {
+    const auto& a = got.packed[static_cast<std::size_t>(r)];
+    const auto& b = want.packed[static_cast<std::size_t>(r)];
+    if (a.size() != b.size() ||
+        std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void write_json(const std::string& path, std::uint64_t seed, int steps,
+                const std::vector<row>& rows) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"ablation_recovery\",\n");
+  std::fprintf(f, "  \"ranks\": %d,\n  \"seed\": %llu,\n", kRanks,
+               static_cast<unsigned long long>(seed));
+  std::fprintf(f, "  \"steps\": %d,\n  \"rows\": [\n", steps);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    std::fprintf(
+        f,
+        "    {\"interval\": %d, \"crashes\": %d, \"clock_s\": %.6e, "
+        "\"overhead\": %.4f, \"replayed_steps\": %d, \"commits\": %llu, "
+        "\"rounds\": %d, \"bit_identical\": %s}%s\n",
+        r.interval, r.crashes, r.clock_s, r.overhead, r.replayed,
+        static_cast<unsigned long long>(r.commits), r.rounds,
+        r.identical ? "true" : "false", i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nWrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cli args(argc, argv,
+           {{"steps", "model steps per run (default 20)"},
+            {"seed", "fault-plane seed (default 1)"},
+            {"json", "output path (default BENCH_recovery.json)"}});
+  if (args.wants_help()) {
+    std::fputs(args.help().c_str(), stderr);
+    return 1;
+  }
+  const int steps = static_cast<int>(args.get_int("steps", 20));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const std::string json = args.get_string("json", "BENCH_recovery.json");
+
+  std::puts("Ablation: buddy-checkpoint and rollback-recovery overhead.");
+  std::puts("4-rank shallow-water run in virtual time; crashes injected at");
+  std::puts("seeded send indices; every row is verified bit-identical to");
+  std::puts("the fault-free oracle before it is printed.");
+
+  const swm_params params = bench_params();
+  const run_out oracle = plain_run(params, steps);
+
+  const int intervals[] = {2, 5, 10};
+  const int crash_counts[] = {0, 1, 2};
+
+  std::vector<row> rows;
+  table t({"K", "crashes", "clock", "overhead", "replayed", "commits",
+           "rounds", "bit-identical"});
+  for (const int interval : intervals) {
+    for (const int crashes : crash_counts) {
+      const run_out got =
+          resilient_run(params, steps, interval, crashes, seed);
+      row r;
+      r.interval = interval;
+      r.crashes = crashes;
+      r.clock_s = got.clock_s;
+      r.overhead = got.clock_s / oracle.clock_s;
+      r.replayed = got.replayed;
+      r.commits = got.commits;
+      r.rounds = got.rounds;
+      r.identical = bit_identical(got, oracle);
+      t.add_row({std::to_string(r.interval), std::to_string(r.crashes),
+                 format_seconds(r.clock_s), format_fixed(r.overhead, 3),
+                 std::to_string(r.replayed), std::to_string(r.commits),
+                 std::to_string(r.rounds), r.identical ? "yes" : "NO"});
+      rows.push_back(r);
+      if (!r.identical) {
+        std::fprintf(stderr,
+                     "FATAL: K=%d crashes=%d diverged from the oracle\n",
+                     r.interval, r.crashes);
+        t.print(std::cout);
+        return 1;
+      }
+    }
+  }
+  t.print(std::cout);
+  write_json(json, seed, steps, rows);
+  return 0;
+}

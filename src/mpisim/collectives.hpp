@@ -440,6 +440,25 @@ void allreduce(Comm& comm, std::span<const T> in, std::span<T> out,
   });
 }
 
+/// Crash-tolerant agreement primitive of rollback recovery
+/// (swm/resilience.hpp): every member ends with the maximum of the
+/// contributed values. Runs as a recursive-doubling allreduce, usually
+/// over a survivors_of() sub-communicator; "tolerating further deaths"
+/// means a death mid-agreement surfaces as an annotated comm_error on
+/// every member, which aborts the recovery round - the round then
+/// restarts with the enlarged casualty set, so no rank ever acts on a
+/// half-agreed value.
+template <typename Comm>
+[[nodiscard]] std::uint64_t agree_max(Comm& comm, std::uint64_t value) {
+  std::uint64_t acc = value;
+  if (comm.size() == 1) return acc;
+  detail::with_comm_context("agree", [&] {
+    detail::allreduce_rdoubling(comm, std::span<std::uint64_t>(&acc, 1),
+                                ops::max{});
+  });
+  return acc;
+}
+
 /// Gather with per-rank counts (MPI_Gatherv): linear to root, matching
 /// what the IMB Gatherv benchmark measures.
 template <typename T, typename Comm>

@@ -94,6 +94,9 @@ class comm_error : public std::runtime_error {
   enum class reason {
     retries_exhausted,  ///< a send burned max_retries without an ack
     peer_crashed,       ///< the peer raised, crashed, or was poisoned
+    unrecoverable,      ///< rollback recovery cannot restore the run
+                        ///< (e.g. a rank and its buddy died together;
+                        ///< see swm/resilience.hpp)
   };
 
   comm_error(reason why, int peer, const std::string& what)

@@ -98,6 +98,7 @@ void communicator::fault_send(std::span<const std::byte> data, int dst,
                     world::message{rank_, tag, tp.attempts.back().depart, {},
                                    seq, 0, world::msg_kind::send_failed});
     crashed_ = true;
+    fail_stopped_ = true;
     world_->broadcast_crash(rank_, clock_);
     throw comm_error(comm_error::reason::retries_exhausted, dst,
                      "send to rank " + std::to_string(dst) + " exhausted " +
@@ -191,9 +192,29 @@ recv_status communicator::fault_recv(std::span<std::byte> out, int src,
 
 void communicator::crash(const char* what) {
   crashed_ = true;
+  fail_stopped_ = true;
   world_->broadcast_crash(rank_, clock_);
   throw comm_error(comm_error::reason::peer_crashed, rank_, what);
 }
+
+bool communicator::fault_plane_active() const {
+  const fault_plane* f = world_->faults();
+  return f != nullptr && f->active();
+}
+
+recovery_board& communicator::board() { return world_->board(); }
+
+void communicator::announce_recovery() {
+  world_->broadcast_crash(rank_, clock_);
+}
+
+void communicator::fail_stop() {
+  crashed_ = true;
+  fail_stopped_ = true;
+  world_->broadcast_crash(rank_, clock_);
+}
+
+void communicator::drain_mailbox() { world_->drain_mailbox(rank_); }
 
 recv_status communicator::sendrecv_bytes(std::span<const std::byte> out_data,
                                          int dst, int send_tag,
@@ -226,6 +247,7 @@ void world::run(const std::function<void(communicator&)>& fn) {
     box->queue.clear();
   }
   final_clocks_.assign(static_cast<std::size_t>(ranks), 0.0);
+  board_.reset(ranks);
   const bool faulty = faults_ != nullptr && faults_->active();
   report_ = fault_report{};
   std::vector<fault_stats> rank_stats;
@@ -316,6 +338,12 @@ world::message world::collect(int dst, int src, int tag) {
   }
 }
 
+void world::drain_mailbox(int rank) {
+  mailbox& box = *mailboxes_[static_cast<std::size_t>(rank)];
+  const std::scoped_lock lock(box.mutex);
+  box.queue.clear();
+}
+
 world::message world::collect_faulty(int dst, int src, int tag) {
   mailbox& box = *mailboxes_[static_cast<std::size_t>(dst)];
   std::unique_lock lock(box.mutex);
@@ -348,6 +376,149 @@ world::message world::collect_faulty(int dst, int src, int tag) {
     }
     box.arrived.wait(lock);
   }
+}
+
+// ---------------------------------------------------------------------------
+// recovery_board - the shared control plane of rollback recovery.
+// All state lives behind one mutex; waits are plain condition-variable
+// predicates, so the board is trivially clean under TSan.
+// ---------------------------------------------------------------------------
+
+void recovery_board::reset(int ranks) {
+  const std::scoped_lock lock(mutex_);
+  ranks_ = ranks;
+  generation_ = 0;
+  finalized_ = 0;
+  pending_ = false;
+  abandoned_ = false;
+  parked_ = 0;
+  dead_.clear();
+  casualties_.clear();
+  phases_.fill(phase_slot{});
+}
+
+void recovery_board::report_death(int rank) {
+  {
+    const std::scoped_lock lock(mutex_);
+    if (std::find(dead_.begin(), dead_.end(), rank) == dead_.end()) {
+      dead_.push_back(rank);
+      std::sort(dead_.begin(), dead_.end());
+      casualties_.push_back(rank);
+    }
+    // Bump even for a repeated report: any in-flight round must abort
+    // and re-read the casualty set.
+    ++generation_;
+    pending_ = true;
+  }
+  changed_.notify_all();
+}
+
+recovery_board::round_info recovery_board::begin_round() {
+  round_info info;
+  {
+    const std::scoped_lock lock(mutex_);
+    pending_ = true;  // wake parked ranks into the round
+    info.generation = generation_;
+    info.dead = dead_;
+  }
+  changed_.notify_all();
+  return info;
+}
+
+bool recovery_board::arrive(int phase, std::uint64_t generation) {
+  std::unique_lock lock(mutex_);
+  if (generation_ != generation || abandoned_) {
+    // The round this rank is arriving for is already superseded. Abort
+    // without touching the slot: a stale arrival that reclaimed it here
+    // would wipe the counts of ranks already gathered for the newer
+    // generation, and their arrivals can never be replayed.
+    return false;
+  }
+  phase_slot& slot = phases_[static_cast<std::size_t>(phase)];
+  if (slot.generation != generation) {
+    // First arrival of this (phase, generation): lazily claim the slot.
+    // A stale slot can be reused safely because its generation is over:
+    // every waiter parked on it aborts via the generation_ clause, and
+    // the claim above is gated on generation == generation_, so only
+    // the current generation ever resets the counts.
+    slot.generation = generation;
+    slot.count = 0;
+  }
+  ++slot.count;
+  changed_.notify_all();
+  changed_.wait(lock, [&] {
+    // Success first: a barrier that filled stays passed even if the
+    // generation moves on before this waiter wakes.
+    return (slot.generation == generation && slot.count >= ranks_) ||
+           generation_ != generation || abandoned_;
+  });
+  return slot.generation == generation && slot.count >= ranks_;
+}
+
+bool recovery_board::complete_round(std::uint64_t generation) {
+  std::unique_lock lock(mutex_);
+  if (generation_ != generation || abandoned_) {
+    return false;  // stale round: do not clobber a newer claim (see arrive)
+  }
+  phase_slot& slot = phases_[phase_slots - 1];
+  if (slot.generation != generation) {
+    slot.generation = generation;
+    slot.count = 0;
+  }
+  ++slot.count;
+  changed_.notify_all();
+  changed_.wait(lock, [&] {
+    return (slot.generation == generation && slot.count >= ranks_) ||
+           generation_ != generation || abandoned_;
+  });
+  const bool ok = slot.generation == generation && slot.count >= ranks_;
+  if (ok && finalized_ != generation + 1) {
+    // Exactly one finisher finalizes; deaths reported after the round
+    // filled (generation already moved on) stay queued for the next
+    // round because the finalized_ marker keeps this branch single-shot.
+    finalized_ = generation + 1;
+    dead_.clear();
+    pending_ = false;
+  }
+  return ok;
+}
+
+void recovery_board::await_generation_past(std::uint64_t generation) {
+  std::unique_lock lock(mutex_);
+  changed_.wait(lock,
+                [&] { return generation_ > generation || abandoned_; });
+}
+
+recovery_board::park_result recovery_board::park() {
+  std::unique_lock lock(mutex_);
+  ++parked_;
+  changed_.notify_all();
+  changed_.wait(lock, [&] {
+    return parked_ >= ranks_ || pending_ || abandoned_;
+  });
+  if (parked_ >= ranks_ && !pending_ && !abandoned_) {
+    return park_result::all_done;
+  }
+  --parked_;
+  return park_result::recover;
+}
+
+void recovery_board::abandon() {
+  {
+    const std::scoped_lock lock(mutex_);
+    abandoned_ = true;
+  }
+  changed_.notify_all();
+}
+
+bool recovery_board::abandoned() const {
+  const std::scoped_lock lock(mutex_);
+  return abandoned_;
+}
+
+std::vector<int> recovery_board::casualties() const {
+  const std::scoped_lock lock(mutex_);
+  return casualties_;
 }
 
 }  // namespace tfx::mpisim

@@ -37,6 +37,7 @@
 /// an all-zero) fault plane the vanilla path below runs unchanged -
 /// bit- and allocation-identical to the pre-fault-plane runtime.
 
+#include <array>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -102,6 +103,93 @@ class request {
 
 /// Wait on a batch of requests (MPI_Waitall).
 void waitall(std::span<request> requests);
+
+/// Shared-memory control plane for rollback recovery
+/// (swm/resilience.hpp). Ranks that hit a comm_error or health failure
+/// converge here to agree on *which* recovery round they are in before
+/// any recovery messaging starts. Pure coordination: the board carries
+/// no payload data and no virtual time.
+///
+/// A *generation* counts death reports. Every recovery round is keyed
+/// to the generation it started under; the round's phase barriers
+/// abort as soon as another death bumps the generation, so a round can
+/// never complete with a stale view of the casualty set. A completed
+/// barrier stays completed: `arrive` checks the success clause before
+/// the abort clause, so a generation bump that lands after the last
+/// arrival cannot retroactively fail the round.
+///
+/// Safety argument for the abortable barriers: a barrier at generation
+/// g expects all `ranks` arrivals *including* any rank about to report
+/// a death - and `report_death` bumps the generation *before* that
+/// rank can arrive. A stale barrier therefore never sees more than
+/// ranks-1 arrivals and cannot complete.
+class recovery_board {
+ public:
+  struct round_info {
+    std::uint64_t generation = 0;
+    std::vector<int> dead;  ///< accumulated casualties, ascending
+  };
+  enum class park_result : std::uint8_t { all_done, recover };
+
+  /// Fresh board for `ranks` ranks (world::run calls this).
+  void reset(int ranks);
+
+  /// Record a death (idempotent per rank) and bump the generation,
+  /// aborting any in-flight round's barriers.
+  void report_death(int rank);
+
+  /// Enter a recovery round: marks recovery pending (waking parked
+  /// ranks) and snapshots the generation + casualty set. The snapshot
+  /// is stable for the whole round: any change bumps the generation
+  /// and aborts the round's barriers.
+  [[nodiscard]] round_info begin_round();
+
+  /// Phase barrier `phase` (0-based) of the round at `generation`.
+  /// Blocks until all ranks arrive (true) or the generation moves on
+  /// (false: abort the round and re-enter via begin_round).
+  [[nodiscard]] bool arrive(int phase, std::uint64_t generation);
+
+  /// Final barrier of a round; on success the first finisher clears
+  /// the casualty set and the pending flag (exactly once, so deaths
+  /// reported immediately after are preserved for the next round).
+  [[nodiscard]] bool complete_round(std::uint64_t generation);
+
+  /// Block until the generation exceeds `generation` (used before
+  /// retrying a round whose abort implies an incoming death report).
+  void await_generation_past(std::uint64_t generation);
+
+  /// A rank that finished its program parks here: returns all_done
+  /// when every rank parked, or recover when a round needs it.
+  [[nodiscard]] park_result park();
+
+  /// Poison the board (a rank is exiting with an unrecoverable error):
+  /// every blocked wait returns immediately and `abandoned()` turns
+  /// true, so peers stop waiting for arrivals that will never come.
+  void abandon();
+  [[nodiscard]] bool abandoned() const;
+
+  /// Every death reported since reset (history, survives round ends).
+  [[nodiscard]] std::vector<int> casualties() const;
+
+ private:
+  static constexpr int phase_slots = 3;
+  struct phase_slot {
+    std::uint64_t generation = ~std::uint64_t{0};
+    int count = 0;
+  };
+
+  mutable std::mutex mutex_;
+  std::condition_variable changed_;
+  int ranks_ = 0;
+  std::uint64_t generation_ = 0;
+  std::uint64_t finalized_ = 0;  ///< generation+1 of the last finalized round
+  bool pending_ = false;
+  bool abandoned_ = false;
+  int parked_ = 0;
+  std::vector<int> dead_;        ///< casualties of the current round
+  std::vector<int> casualties_;  ///< full history since reset
+  std::array<phase_slot, phase_slots> phases_;
+};
 
 /// Per-rank handle: p2p operations and the rank's virtual clock.
 /// Not thread-safe across user threads (each rank thread owns its own).
@@ -175,6 +263,44 @@ class communicator {
   [[nodiscard]] const tofud_params& net() const;
   [[nodiscard]] const torus_placement& placement() const;
 
+  // -- rollback-recovery support (swm/resilience.hpp) ------------------
+
+  /// Rank-wide count of sends posted so far; crash schedules index
+  /// this counter, so recovery code uses it to place probe faults.
+  [[nodiscard]] std::uint64_t sends_posted() const { return sends_total_; }
+
+  /// True when an attached fault plane can fire this run.
+  [[nodiscard]] bool fault_plane_active() const;
+
+  /// The world's shared recovery board (control plane, no virtual time).
+  [[nodiscard]] recovery_board& board();
+
+  /// Wake every peer blocked in a receive by depositing crash notices
+  /// (the same wire mechanism a real death uses), so they fail into
+  /// the recovery path and converge on the board. No clock effects.
+  void announce_recovery();
+
+  /// Deliberate fail-stop: mark this rank crashed and notify peers
+  /// (the health sentinel treats numerical corruption like a crash).
+  void fail_stop();
+
+  /// Discard every message queued for this rank: stale traffic and
+  /// crash notices from before a recovery round.
+  void drain_mailbox();
+
+  /// Clear the crashed flag after a successful recovery round so the
+  /// final fault report lists only unrecovered deaths.
+  void mark_recovered() {
+    crashed_ = false;
+    fail_stopped_ = false;
+  }
+
+  /// True when *this* rank fail-stopped (scheduled crash, exhausted
+  /// retries on its own send, or an explicit fail_stop) - as opposed
+  /// to merely observing a peer's failure. Recovery reports such a
+  /// rank dead and restores it from its buddy.
+  [[nodiscard]] bool self_fail_stopped() const { return fail_stopped_; }
+
  private:
   friend class world;
   communicator(world* w, int rank);
@@ -205,6 +331,7 @@ class communicator {
   fault_stats stats_;
   std::uint64_t rx_discards_ = 0;  ///< dup/corrupt copies thrown away
   bool crashed_ = false;
+  bool fail_stopped_ = false;  ///< this rank itself died (not a peer)
 };
 
 /// A set of ranks with mailboxes, a placement, and a network model.
@@ -255,6 +382,9 @@ class world {
     return report_;
   }
 
+  /// The recovery control plane shared by all ranks (reset per run()).
+  [[nodiscard]] recovery_board& board() { return board_; }
+
  private:
   friend class communicator;
 
@@ -288,6 +418,8 @@ class world {
   message collect_faulty(int dst, int src, int tag);
   /// Deposit a crash notice from `rank` into every other mailbox.
   void broadcast_crash(int rank, double vtime);
+  /// Clear every message queued for `rank` (recovery-round drain).
+  void drain_mailbox(int rank);
 
   tofud_params net_;
   torus_placement place_;
@@ -295,6 +427,7 @@ class world {
   std::vector<double> final_clocks_;
   std::unique_ptr<fault_plane> faults_;
   fault_report report_;
+  recovery_board board_;
 };
 
 }  // namespace tfx::mpisim

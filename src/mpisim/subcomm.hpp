@@ -16,6 +16,7 @@
 /// cannot alias each other's collective traffic.
 
 #include <algorithm>
+#include <span>
 #include <vector>
 
 #include "mpisim/collectives.hpp"
@@ -147,6 +148,24 @@ inline sub_communicator split(communicator& comm, int color, int key) {
 /// Split by node of the placement: the "CMG/node communicator".
 inline sub_communicator split_by_node(communicator& comm) {
   return split(comm, comm.placement().node_of(comm.rank()), comm.rank());
+}
+
+/// The shrunk communicator of rollback recovery (swm/resilience.hpp):
+/// every rank of the parent world except the ones in `dead` (sorted
+/// ascending). Built locally from the agreed casualty set - no
+/// collective required, because the recovery board already gave every
+/// survivor the same `dead` view. Dead ranks receive a non-member view.
+inline sub_communicator survivors_of(communicator& comm,
+                                     std::span<const int> dead,
+                                     int tag_offset) {
+  std::vector<int> members;
+  members.reserve(static_cast<std::size_t>(comm.size()));
+  for (int r = 0; r < comm.size(); ++r) {
+    if (std::find(dead.begin(), dead.end(), r) == dead.end()) {
+      members.push_back(r);
+    }
+  }
+  return sub_communicator(comm, std::move(members), tag_offset);
 }
 
 }  // namespace tfx::mpisim

@@ -11,19 +11,39 @@
 /// was written with - cross-precision handoff goes through
 /// convert_state, deliberately visible in user code.
 ///
-/// Format (little-endian host assumed, like every HPC restart file):
-///   magic "TFXSWM1\0" | u32 elem_bytes | u32 nx | u32 ny | u64 steps
-///   | f64 scale | u, v, eta arrays (nx*ny elements each, raw bits)
+/// Format v2 (little-endian host assumed, like every HPC restart file):
+///   magic "TFXSWM2\0" | u32 elem_bytes | u32 nx | u32 ny | u64 steps
+///   | f64 scale | u32 flags (bit 0: compensation arrays follow)
+///   | u32 reserved | u, v, eta arrays (nx*ny elements each, raw bits)
+///   [| comp_u, comp_v, comp_eta] | u64 CRC64 over everything above
 ///
-/// The Kahan compensation arrays are not stored: restarting clears
-/// them, which perturbs the trajectory by one rounding at most (the
-/// compensation is always < 1 ulp of the state).
+/// Integrity discipline (the restart file is the last line of defense
+/// after a crash, so it gets the full production treatment):
+///   * CRC64 (ECMA-182 polynomial, reflected - the XZ/backup-tool
+///     variant) over header+payload; a truncated or bit-flipped file
+///     is rejected instead of loading as garbage.
+///   * The exact file length is validated against the header, so a
+///     short read can never silently zero-fill the tail of a field.
+///   * Writes go to `path + ".tmp"` and are atomically renamed over
+///     the target only after a verified flush: a crash mid-save leaves
+///     the previous checkpoint intact, never a half-written file.
+///   * The optional compensation payload (flags bit 0) persists the
+///     Kahan residuals, so a compensated run restarts bit-identically
+///     (model::restore(state, compensation, steps)).
+///
+/// v1 files ("TFXSWM1", no flags/CRC) still load - with the exact-size
+/// check applied, which retroactively fixes v1's silent-truncation
+/// hole.
 
+#include <array>
 #include <cstdint>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <optional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "swm/field.hpp"
 
@@ -35,65 +55,231 @@ struct checkpoint_info {
   int ny = 0;
   std::uint64_t steps_taken = 0;
   double scale = 1.0;
+  bool has_compensation = false;  ///< set by the loader (v2 only)
 };
 
 namespace detail {
-inline constexpr char checkpoint_magic[8] = {'T', 'F', 'X', 'S',
-                                             'W', 'M', '1', '\0'};
+
+inline constexpr char checkpoint_magic_v1[8] = {'T', 'F', 'X', 'S',
+                                                'W', 'M', '1', '\0'};
+inline constexpr char checkpoint_magic_v2[8] = {'T', 'F', 'X', 'S',
+                                                'W', 'M', '2', '\0'};
+inline constexpr std::uint32_t checkpoint_flag_compensation = 1u;
+inline constexpr std::size_t checkpoint_header_bytes_v1 = 8 + 4 + 4 + 4 + 8 + 8;
+inline constexpr std::size_t checkpoint_header_bytes_v2 =
+    checkpoint_header_bytes_v1 + 4 + 4;
+
+/// CRC64/XZ (ECMA-182 polynomial, reflected), table generated at
+/// compile time.
+constexpr std::array<std::uint64_t, 256> make_crc64_table() {
+  constexpr std::uint64_t poly = 0xC96C5795D7870F42ull;
+  std::array<std::uint64_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint64_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) != 0 ? (c >> 1) ^ poly : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
 }
 
-/// Write a checkpoint. Returns false on I/O failure.
+inline constexpr std::array<std::uint64_t, 256> crc64_table =
+    make_crc64_table();
+
+inline std::uint64_t crc64(const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t crc = ~std::uint64_t{0};
+  for (std::size_t i = 0; i < n; ++i) {
+    crc = crc64_table[(crc ^ p[i]) & 0xffu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+inline void append_bytes(std::vector<char>& buf, const void* src,
+                         std::size_t n) {
+  const auto* p = static_cast<const char*>(src);
+  buf.insert(buf.end(), p, p + n);
+}
+
+/// Serialize a full v2 image (header + payload, no CRC yet).
 template <typename T>
-bool save_checkpoint(const state<T>& s, const checkpoint_info& info,
-                     const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return false;
-  out.write(detail::checkpoint_magic, 8);
+std::vector<char> serialize_checkpoint(const state<T>& s,
+                                       const state<T>* comp,
+                                       const checkpoint_info& info) {
+  const std::size_t field_bytes =
+      static_cast<std::size_t>(info.nx) * static_cast<std::size_t>(info.ny) *
+      sizeof(T);
+  std::vector<char> buf;
+  buf.reserve(checkpoint_header_bytes_v2 +
+              (comp != nullptr ? 6 : 3) * field_bytes + 8);
+  append_bytes(buf, checkpoint_magic_v2, 8);
   const auto elem = static_cast<std::uint32_t>(sizeof(T));
   const auto nx = static_cast<std::uint32_t>(info.nx);
   const auto ny = static_cast<std::uint32_t>(info.ny);
-  out.write(reinterpret_cast<const char*>(&elem), 4);
-  out.write(reinterpret_cast<const char*>(&nx), 4);
-  out.write(reinterpret_cast<const char*>(&ny), 4);
-  out.write(reinterpret_cast<const char*>(&info.steps_taken), 8);
-  out.write(reinterpret_cast<const char*>(&info.scale), 8);
+  const std::uint32_t flags =
+      comp != nullptr ? checkpoint_flag_compensation : 0u;
+  const std::uint32_t reserved = 0;
+  append_bytes(buf, &elem, 4);
+  append_bytes(buf, &nx, 4);
+  append_bytes(buf, &ny, 4);
+  append_bytes(buf, &info.steps_taken, 8);
+  append_bytes(buf, &info.scale, 8);
+  append_bytes(buf, &flags, 4);
+  append_bytes(buf, &reserved, 4);
   for (const auto* f : {&s.u, &s.v, &s.eta}) {
-    out.write(reinterpret_cast<const char*>(f->flat().data()),
-              static_cast<std::streamsize>(f->size() * sizeof(T)));
+    append_bytes(buf, f->flat().data(), field_bytes);
   }
-  return static_cast<bool>(out);
+  if (comp != nullptr) {
+    for (const auto* f : {&comp->u, &comp->v, &comp->eta}) {
+      append_bytes(buf, f->flat().data(), field_bytes);
+    }
+  }
+  return buf;
 }
 
-/// Load a checkpoint written at element type T. Returns nullopt on I/O
-/// failure, bad magic, or element-size mismatch.
+/// Write `buf` + CRC64 footer to `path` via temp file + atomic rename.
+inline bool write_checkpoint_file(const std::vector<char>& buf,
+                                  const std::string& path) {
+  const std::uint64_t crc = crc64(buf.data(), buf.size());
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+    out.write(reinterpret_cast<const char*>(&crc), 8);
+    out.flush();
+    if (!out) {
+      out.close();
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace detail
+
+/// Write a v2 checkpoint (prognostic fields only). Returns false on
+/// I/O failure; the previous checkpoint at `path`, if any, survives
+/// every failure mode (temp-file + atomic-rename discipline).
+template <typename T>
+bool save_checkpoint(const state<T>& s, const checkpoint_info& info,
+                     const std::string& path) {
+  return detail::write_checkpoint_file(
+      detail::serialize_checkpoint<T>(s, nullptr, info), path);
+}
+
+/// Write a v2 checkpoint including the Kahan compensation arrays, so a
+/// compensated integration can restart bit-identically.
+template <typename T>
+bool save_checkpoint(const state<T>& s, const state<T>& compensation,
+                     const checkpoint_info& info, const std::string& path) {
+  return detail::write_checkpoint_file(
+      detail::serialize_checkpoint<T>(s, &compensation, info), path);
+}
+
+/// Everything a v2 checkpoint can carry.
+template <typename T>
+struct loaded_checkpoint {
+  state<T> fields;
+  state<T> compensation;  ///< meaningful iff info.has_compensation
+  checkpoint_info info;
+};
+
+/// Load a checkpoint written at element type T; accepts v2 and v1
+/// files. Returns nullopt on I/O failure, bad magic, element-size
+/// mismatch, wrong file length, or (v2) CRC mismatch.
+template <typename T>
+std::optional<loaded_checkpoint<T>> load_checkpoint_full(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return std::nullopt;
+  const std::streamsize size = in.tellg();
+  if (size < static_cast<std::streamsize>(
+                 detail::checkpoint_header_bytes_v1)) {
+    return std::nullopt;
+  }
+  std::vector<char> buf(static_cast<std::size_t>(size));
+  in.seekg(0);
+  in.read(buf.data(), size);
+  if (!in) return std::nullopt;
+
+  const bool v2 = std::memcmp(buf.data(), detail::checkpoint_magic_v2, 8) == 0;
+  const bool v1 = std::memcmp(buf.data(), detail::checkpoint_magic_v1, 8) == 0;
+  if (!v1 && !v2) return std::nullopt;
+
+  std::uint32_t elem = 0, nx = 0, ny = 0, flags = 0;
+  checkpoint_info info;
+  std::size_t at = 8;
+  auto take = [&](void* dst, std::size_t n) {
+    std::memcpy(dst, buf.data() + at, n);
+    at += n;
+  };
+  take(&elem, 4);
+  take(&nx, 4);
+  take(&ny, 4);
+  take(&info.steps_taken, 8);
+  take(&info.scale, 8);
+  if (v2) {
+    if (buf.size() < detail::checkpoint_header_bytes_v2) return std::nullopt;
+    std::uint32_t reserved = 0;
+    take(&flags, 4);
+    take(&reserved, 4);
+  }
+  if (elem != sizeof(T) || nx == 0 || ny == 0) return std::nullopt;
+  info.nx = static_cast<int>(nx);
+  info.ny = static_cast<int>(ny);
+  info.has_compensation =
+      v2 && (flags & detail::checkpoint_flag_compensation) != 0;
+
+  const std::size_t field_bytes =
+      static_cast<std::size_t>(nx) * static_cast<std::size_t>(ny) * sizeof(T);
+  const std::size_t n_fields = info.has_compensation ? 6 : 3;
+  const std::size_t expected =
+      at + n_fields * field_bytes + (v2 ? 8 : 0);
+  // Exact length: a truncated (or padded) file is rejected, never
+  // zero-filled - the v1 silent-truncation fix applies here too.
+  if (buf.size() != expected) return std::nullopt;
+
+  if (v2) {
+    const std::size_t body = buf.size() - 8;
+    std::uint64_t stored = 0;
+    std::memcpy(&stored, buf.data() + body, 8);
+    if (detail::crc64(buf.data(), body) != stored) return std::nullopt;
+  }
+
+  loaded_checkpoint<T> out{state<T>(info.nx, info.ny),
+                           state<T>(info.nx, info.ny), info};
+  for (auto* f : {&out.fields.u, &out.fields.v, &out.fields.eta}) {
+    std::memcpy(f->flat().data(), buf.data() + at, field_bytes);
+    at += field_bytes;
+  }
+  if (info.has_compensation) {
+    for (auto* f : {&out.compensation.u, &out.compensation.v,
+                    &out.compensation.eta}) {
+      std::memcpy(f->flat().data(), buf.data() + at, field_bytes);
+      at += field_bytes;
+    }
+  } else {
+    out.compensation.u.fill(T{});
+    out.compensation.v.fill(T{});
+    out.compensation.eta.fill(T{});
+  }
+  return out;
+}
+
+/// Compatibility loader: fields + info only (works for v1 and v2).
 template <typename T>
 std::optional<std::pair<state<T>, checkpoint_info>> load_checkpoint(
     const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return std::nullopt;
-  char magic[8];
-  in.read(magic, 8);
-  if (!in || std::memcmp(magic, detail::checkpoint_magic, 8) != 0) {
-    return std::nullopt;
-  }
-  std::uint32_t elem = 0, nx = 0, ny = 0;
-  checkpoint_info info;
-  in.read(reinterpret_cast<char*>(&elem), 4);
-  in.read(reinterpret_cast<char*>(&nx), 4);
-  in.read(reinterpret_cast<char*>(&ny), 4);
-  in.read(reinterpret_cast<char*>(&info.steps_taken), 8);
-  in.read(reinterpret_cast<char*>(&info.scale), 8);
-  if (!in || elem != sizeof(T) || nx == 0 || ny == 0) return std::nullopt;
-  info.nx = static_cast<int>(nx);
-  info.ny = static_cast<int>(ny);
-
-  state<T> s(info.nx, info.ny);
-  for (auto* f : {&s.u, &s.v, &s.eta}) {
-    in.read(reinterpret_cast<char*>(f->flat().data()),
-            static_cast<std::streamsize>(f->size() * sizeof(T)));
-  }
-  if (!in) return std::nullopt;
-  return std::make_pair(std::move(s), info);
+  auto full = load_checkpoint_full<T>(path);
+  if (!full) return std::nullopt;
+  return std::make_pair(std::move(full->fields), full->info);
 }
 
 }  // namespace tfx::swm

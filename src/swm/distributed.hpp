@@ -25,6 +25,7 @@
 #include "mpisim/runtime.hpp"
 #include "swm/diagnostics.hpp"
 #include "swm/field.hpp"
+#include "swm/health.hpp"
 #include "swm/params.hpp"
 #include "swm/rhs.hpp"
 #include "swm/timestep.hpp"
@@ -72,6 +73,10 @@ class slab {
 
   /// All interior elements, row-major (halo rows excluded).
   [[nodiscard]] std::span<T> interior() {
+    return {&(*this)(0, 0), static_cast<std::size_t>(nx_) *
+                                static_cast<std::size_t>(local_ny_)};
+  }
+  [[nodiscard]] std::span<const T> interior() const {
     return {&(*this)(0, 0), static_cast<std::size_t>(nx_) *
                                 static_cast<std::size_t>(local_ny_)};
   }
@@ -257,6 +262,7 @@ class distributed_model {
       apply_plain(prog_.eta, inc_.eta);
     }
     ++steps_;
+    if (health_every_ > 0 && steps_ % health_every_ == 0) check_health();
   }
 
   void run(int steps) {
@@ -264,6 +270,62 @@ class distributed_model {
   }
 
   [[nodiscard]] int steps_taken() const { return steps_; }
+
+  /// Scan the surface height every `every` steps inside step() and
+  /// raise numerical_error on the first non-finite value; 0 disables
+  /// the sentinel (the default - the branch costs one integer modulo
+  /// and no allocation, keeping the disabled step loop bit-identical).
+  void set_health_interval(int every) { health_every_ = every; }
+
+  /// The sentinel scan itself (swm/health.hpp); callable directly by
+  /// the resilience layer, which orders it *before* checkpoint commits
+  /// so a poisoned state can never enter a prepared checkpoint.
+  void check_health() const {
+    require_finite(prog_.eta.interior(), "eta", steps_, comm_.rank());
+  }
+
+  // -- checkpoint/rollback surface (swm/resilience.hpp) ---------------
+
+  /// Elements in a packed state image: prognostic u,v,eta plus the
+  /// Kahan compensation slabs, interiors only (halos are re-exchanged).
+  [[nodiscard]] std::size_t packed_size() const {
+    return 6ull * static_cast<std::size_t>(params_.nx) *
+           static_cast<std::size_t>(local_ny_);
+  }
+
+  /// Serialize this rank's full integration state into `out`
+  /// (packed_size() elements): the exact bits needed to resume
+  /// bit-identically, including the compensation residuals.
+  void pack_state(std::span<T> out) const {
+    TFX_EXPECTS(out.size() == packed_size());
+    std::size_t at = 0;
+    for (const slab<T>* s : {&prog_.u, &prog_.v, &prog_.eta, &comp_.u,
+                             &comp_.v, &comp_.eta}) {
+      const auto src = s->interior();
+      std::copy(src.begin(), src.end(), out.begin() + at);
+      at += src.size();
+    }
+  }
+
+  /// Inverse of pack_state: adopt a packed image and step counter.
+  void restore_packed(std::span<const T> in, int steps) {
+    TFX_EXPECTS(in.size() == packed_size());
+    std::size_t at = 0;
+    for (slab<T>* s : {&prog_.u, &prog_.v, &prog_.eta, &comp_.u, &comp_.v,
+                       &comp_.eta}) {
+      auto dst = s->interior();
+      std::copy(in.begin() + at, in.begin() + at + dst.size(), dst.begin());
+      at += dst.size();
+    }
+    steps_ = steps;
+  }
+
+  /// Direct access for recovery bookkeeping and fault injection.
+  [[nodiscard]] slab_state<T>& prognostic_slabs() { return prog_; }
+  [[nodiscard]] const slab_state<T>& prognostic_slabs() const {
+    return prog_;
+  }
+  [[nodiscard]] slab_state<T>& compensation_slabs() { return comp_; }
 
   /// Global maximum speed via allreduce (a CFL monitor every rank
   /// obtains collectively).
@@ -432,6 +494,7 @@ class distributed_model {
   int local_ny_ = 0;
   int j0_ = 0;
   int steps_ = 0;
+  int health_every_ = 0;  ///< 0: sentinel off (default)
 
   slab_state<T> prog_, comp_, stage_, inc_;
   slab_state<T> k1_, k2_, k3_, k4_;

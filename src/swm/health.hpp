@@ -1,0 +1,62 @@
+#pragma once
+
+/// \file health.hpp
+/// The NaN/Inf health sentinel of the shallow-water step loop.
+///
+/// The paper's Float16 runs sit one overflow away from a silent NaN
+/// integration - exactly the failure mode the Sherlog scaling analysis
+/// (PAPER.md) exists to prevent. The sentinel is a cheap periodic scan
+/// of the surface-height field that turns "silently integrating NaNs
+/// for another thousand steps" into a typed numerical_error naming the
+/// step, rank, and field. The rollback-recovery layer
+/// (swm/resilience.hpp) treats a sentinel hit like a rank crash: the
+/// detecting rank fail-stops and is restored from its buddy checkpoint,
+/// so a transient bit-flip costs a rollback instead of the campaign.
+
+#include <cmath>
+#include <span>
+#include <stdexcept>
+#include <string>
+
+namespace tfx::swm {
+
+/// Typed report of non-finite model state: which field went bad, at
+/// which step, on which rank (-1 for the serial model).
+class numerical_error : public std::runtime_error {
+ public:
+  numerical_error(const char* field, int step, int rank)
+      : std::runtime_error(
+            std::string("non-finite value in field '") + field +
+            "' at step " + std::to_string(step) +
+            (rank >= 0 ? " on rank " + std::to_string(rank) : "")),
+        field_(field), step_(step), rank_(rank) {}
+
+  [[nodiscard]] const char* field() const { return field_; }
+  [[nodiscard]] int step() const { return step_; }
+  [[nodiscard]] int rank() const { return rank_; }
+
+ private:
+  const char* field_;
+  int step_;
+  int rank_;
+};
+
+/// True when every element is finite. Works for every element type of
+/// the model (double/float/float16/bfloat16): all of them convert to
+/// double, and non-finite values stay non-finite under widening.
+template <typename T>
+[[nodiscard]] bool all_finite(std::span<const T> xs) {
+  for (const T& x : xs) {
+    if (!std::isfinite(static_cast<double>(x))) return false;
+  }
+  return true;
+}
+
+/// Scan one field and raise the typed error on the first bad value.
+template <typename T>
+void require_finite(std::span<const T> xs, const char* field, int step,
+                    int rank) {
+  if (!all_finite(xs)) throw numerical_error(field, step, rank);
+}
+
+}  // namespace tfx::swm

@@ -21,6 +21,7 @@
 #include "core/rng.hpp"
 #include "swm/diagnostics.hpp"
 #include "swm/field.hpp"
+#include "swm/health.hpp"
 #include "swm/params.hpp"
 #include "swm/rhs.hpp"
 #include "swm/timestep.hpp"
@@ -84,6 +85,34 @@ class model {
     prog_ = s;
     comp_.fill(Tprog{});
     steps_ = steps_taken;
+  }
+
+  /// Restart with the Kahan compensation residuals too (v2 checkpoints
+  /// carry them): the compensated integrator resumes *bit-identically*
+  /// instead of restarting its error accumulator from zero.
+  void restore(const state<Tprog>& s, const state<Tprog>& compensation,
+               int steps_taken) {
+    TFX_EXPECTS(s.nx() == params_.nx && s.ny() == params_.ny);
+    TFX_EXPECTS(compensation.nx() == params_.nx &&
+                compensation.ny() == params_.ny);
+    prog_ = s;
+    comp_ = compensation;
+    steps_ = steps_taken;
+  }
+
+  /// The Kahan compensation state (what v2 checkpoints persist).
+  [[nodiscard]] const state<Tprog>& compensation() const { return comp_; }
+
+  /// Scan eta every `every` steps inside step() and throw
+  /// numerical_error on the first non-finite value (swm/health.hpp);
+  /// 0 disables the sentinel (default - one integer-modulo branch, no
+  /// allocation, step loop otherwise untouched).
+  void set_health_interval(int every) { health_every_ = every; }
+
+  /// The sentinel scan itself; rank is -1 (serial model).
+  void check_health() const {
+    require_finite(std::span<const Tprog>(prog_.eta.flat()), "eta", steps_,
+                   -1);
   }
 
   /// Unscaled state in double precision, for diagnostics and output.
@@ -163,6 +192,7 @@ class model {
       step_unfused();
     }
     ++steps_;
+    if (health_every_ > 0 && steps_ % health_every_ == 0) check_health();
   }
 
   void run(int steps) {
@@ -358,6 +388,7 @@ class model {
   tendencies<T> k1_, k2_, k3_, k4_;
   stage_ctx ctx_;
   int steps_ = 0;
+  int health_every_ = 0;  ///< 0: sentinel off (default)
 };
 
 }  // namespace tfx::swm

@@ -1,0 +1,32 @@
+#include "swm/resilience.hpp"
+
+#include "mpisim/patterns.hpp"
+
+namespace tfx::swm {
+
+mpisim::sim_program make_checkpoint_program(const mpisim::tofud_params& net,
+                                            int p,
+                                            std::size_t message_bytes) {
+  TFX_EXPECTS(p >= 1);
+  mpisim::sim_program prog(p);
+  if (p == 1) return prog;  // single rank commits purely locally
+  // Phase 1: buddy-ring prepare - each rank ships its snapshot to
+  // (r+1)%p and receives its left neighbour's.
+  for (int r = 0; r < p; ++r) {
+    prog.rank(r).push_back(mpisim::sim_op::send_to((r + 1) % p, message_bytes));
+    prog.rank(r).push_back(
+        mpisim::sim_op::recv_from((r - 1 + p) % p, message_bytes));
+  }
+  // Phase 2: the one-byte commit vote, exactly the allreduce the
+  // session issues (recursive doubling, count 1, elem 1).
+  const mpisim::sim_program vote = mpisim::make_allreduce_program(
+      net, p, 1, 1, mpisim::coll_algorithm::recursive_doubling);
+  for (int r = 0; r < p; ++r) {
+    for (const auto& op : vote.ranks[static_cast<std::size_t>(r)]) {
+      prog.rank(r).push_back(op);
+    }
+  }
+  return prog;
+}
+
+}  // namespace tfx::swm

@@ -4,13 +4,19 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
 
+#include "fp/bfloat16.hpp"
 #include "fp/float16.hpp"
 #include "swm/checkpoint.hpp"
 #include "swm/diagnostics.hpp"
 #include "swm/model.hpp"
 
 using namespace tfx::swm;
+using tfx::fp::bfloat16;
 using tfx::fp::float16;
 
 namespace {
@@ -135,6 +141,226 @@ TEST(Checkpoint, CrossPrecisionHandoff) {
   prod.run(15);
   EXPECT_TRUE(prod.diag().finite);
   EXPECT_EQ(prod.steps_taken(), 40);
+}
+
+namespace {
+
+std::vector<char> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  EXPECT_TRUE(static_cast<bool>(in));
+  std::vector<char> buf(static_cast<std::size_t>(in.tellg()));
+  in.seekg(0);
+  in.read(buf.data(), static_cast<std::streamsize>(buf.size()));
+  return buf;
+}
+
+void write_file(const std::string& path, const std::vector<char>& buf) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+}
+
+bool file_exists(const std::string& path) {
+  return static_cast<bool>(std::ifstream(path));
+}
+
+/// A deterministic state with non-trivial bit patterns at any element
+/// type (including values half precision rounds: the stored bits, not
+/// the intended reals, are what must round-trip).
+template <typename T>
+state<T> patterned_state(int nx, int ny) {
+  state<T> s(nx, ny);
+  for (int j = 0; j < ny; ++j) {
+    for (int i = 0; i < nx; ++i) {
+      s.u(i, j) = T(0.001 * i - 0.002 * j);
+      s.v(i, j) = T(1.0 / (1 + i + j));
+      s.eta(i, j) = T(std::sin(0.1 * i) * std::cos(0.2 * j));
+    }
+  }
+  return s;
+}
+
+template <typename T>
+void expect_state_bits_equal(const state<T>& a, const state<T>& b) {
+  ASSERT_EQ(a.u.size(), b.u.size());
+  for (const auto& [fa, fb] : {std::pair{&a.u, &b.u}, std::pair{&a.v, &b.v},
+                               std::pair{&a.eta, &b.eta}}) {
+    ASSERT_EQ(0, std::memcmp(fa->flat().data(), fb->flat().data(),
+                             fa->flat().size() * sizeof(T)));
+  }
+}
+
+/// Save/load at element type T and require a bit-exact round trip of
+/// fields, compensation, and metadata.
+template <typename T>
+void round_trip_with_compensation() {
+  const int nx = 12, ny = 6;
+  const state<T> fields = patterned_state<T>(nx, ny);
+  state<T> comp = patterned_state<T>(nx, ny);
+  for (auto& x : comp.eta.flat()) x = T(static_cast<double>(x) * 0.125);
+  const checkpoint_info info{nx, ny, 77, 2.5};
+  ASSERT_TRUE(save_checkpoint(fields, comp, info, tmp_path()));
+
+  const auto loaded = load_checkpoint_full<T>(tmp_path());
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->info.nx, nx);
+  EXPECT_EQ(loaded->info.ny, ny);
+  EXPECT_EQ(loaded->info.steps_taken, 77u);
+  EXPECT_EQ(loaded->info.scale, 2.5);
+  EXPECT_TRUE(loaded->info.has_compensation);
+  expect_state_bits_equal(loaded->fields, fields);
+  expect_state_bits_equal(loaded->compensation, comp);
+}
+
+}  // namespace
+
+TEST(CheckpointV2, RoundTripAllElementTypes) {
+  round_trip_with_compensation<double>();
+  round_trip_with_compensation<float>();
+  round_trip_with_compensation<float16>();
+  round_trip_with_compensation<bfloat16>();
+}
+
+TEST(CheckpointV2, MagicIsTfxswm2AndNoTmpFileSurvives) {
+  const state<double> s = patterned_state<double>(8, 4);
+  ASSERT_TRUE(save_checkpoint(s, checkpoint_info{8, 4, 1, 1.0}, tmp_path()));
+  const auto buf = read_file(tmp_path());
+  ASSERT_GE(buf.size(), 8u);
+  EXPECT_EQ(0, std::memcmp(buf.data(), "TFXSWM2\0", 8));
+  EXPECT_FALSE(file_exists(std::string(tmp_path()) + ".tmp"));
+}
+
+TEST(CheckpointV2, FailedSaveLeavesPreviousCheckpointIntact) {
+  const state<double> good = patterned_state<double>(8, 4);
+  ASSERT_TRUE(
+      save_checkpoint(good, checkpoint_info{8, 4, 11, 1.0}, tmp_path()));
+  // A save into a nonexistent directory must fail loudly...
+  EXPECT_FALSE(save_checkpoint(good, checkpoint_info{8, 4, 12, 1.0},
+                               "/tmp/tfx_no_such_dir_xyz/ckpt.bin"));
+  // ...and the earlier file must still load (atomic-rename discipline).
+  const auto loaded = load_checkpoint_full<double>(tmp_path());
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->info.steps_taken, 11u);
+}
+
+TEST(CheckpointV2, TruncationRejectedAtEveryLength) {
+  const state<double> s = patterned_state<double>(8, 4);
+  ASSERT_TRUE(save_checkpoint(s, checkpoint_info{8, 4, 3, 1.0}, tmp_path()));
+  const auto full = read_file(tmp_path());
+  const std::string cut = std::string(tmp_path()) + ".cut";
+  for (const std::size_t keep :
+       {full.size() - 1, full.size() - 8, full.size() - 9, full.size() / 2,
+        std::size_t{44}, std::size_t{7}}) {
+    write_file(cut, {full.begin(), full.begin() + static_cast<long>(keep)});
+    EXPECT_FALSE(load_checkpoint_full<double>(cut).has_value())
+        << "accepted a file truncated to " << keep << " bytes";
+  }
+  // A padded file is just as wrong as a truncated one.
+  auto padded = full;
+  padded.push_back('\0');
+  write_file(cut, padded);
+  EXPECT_FALSE(load_checkpoint_full<double>(cut).has_value());
+  std::remove(cut.c_str());
+}
+
+TEST(CheckpointV2, BitFlipAnywhereRejected) {
+  const state<double> s = patterned_state<double>(8, 4);
+  ASSERT_TRUE(save_checkpoint(s, checkpoint_info{8, 4, 3, 1.0}, tmp_path()));
+  const auto full = read_file(tmp_path());
+  const std::string bad = std::string(tmp_path()) + ".flip";
+  // Flip one bit in the payload, in the header metadata, and in the
+  // CRC footer itself: all must be caught.
+  for (const std::size_t at :
+       {full.size() / 2, std::size_t{16}, full.size() - 4}) {
+    auto flipped = full;
+    flipped[at] = static_cast<char>(flipped[at] ^ 0x10);
+    write_file(bad, flipped);
+    EXPECT_FALSE(load_checkpoint_full<double>(bad).has_value())
+        << "accepted a bit flip at offset " << at;
+  }
+  std::remove(bad.c_str());
+}
+
+TEST(CheckpointV2, WrongMagicAndWrongElementSizeRejected) {
+  const state<double> s = patterned_state<double>(8, 4);
+  ASSERT_TRUE(save_checkpoint(s, checkpoint_info{8, 4, 3, 1.0}, tmp_path()));
+  auto buf = read_file(tmp_path());
+  buf[6] = '3';  // "TFXSWM3" - a future version is not silently loaded
+  const std::string bad = std::string(tmp_path()) + ".magic";
+  write_file(bad, buf);
+  EXPECT_FALSE(load_checkpoint_full<double>(bad).has_value());
+  std::remove(bad.c_str());
+  // Element-size mismatch through the full loader, too.
+  EXPECT_FALSE(load_checkpoint_full<float>(tmp_path()).has_value());
+  EXPECT_FALSE(load_checkpoint_full<bfloat16>(tmp_path()).has_value());
+}
+
+TEST(CheckpointV2, V1FilesStillLoadAndTruncatedV1Rejected) {
+  // Hand-write a v1 file (no flags, no CRC) byte for byte.
+  const int nx = 6, ny = 4;
+  const state<float> s = patterned_state<float>(nx, ny);
+  std::vector<char> buf;
+  auto put = [&](const void* p, std::size_t n) {
+    const char* c = static_cast<const char*>(p);
+    buf.insert(buf.end(), c, c + n);
+  };
+  put("TFXSWM1\0", 8);
+  const std::uint32_t elem = 4, unx = 6, uny = 4;
+  const std::uint64_t steps = 9;
+  const double scale = 1.5;
+  put(&elem, 4);
+  put(&unx, 4);
+  put(&uny, 4);
+  put(&steps, 8);
+  put(&scale, 8);
+  for (const auto* f : {&s.u, &s.v, &s.eta}) {
+    put(f->flat().data(), f->flat().size() * sizeof(float));
+  }
+  const std::string v1 = std::string(tmp_path()) + ".v1";
+  write_file(v1, buf);
+
+  const auto loaded = load_checkpoint_full<float>(v1);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->info.steps_taken, 9u);
+  EXPECT_EQ(loaded->info.scale, 1.5);
+  EXPECT_FALSE(loaded->info.has_compensation);
+  expect_state_bits_equal(loaded->fields, s);
+  // Compensation defaults to zero when the file carries none.
+  for (const auto& x : loaded->compensation.eta.flat()) {
+    EXPECT_EQ(static_cast<double>(x), 0.0);
+  }
+
+  // The v1 silent-truncation hole is closed: a short v1 file is
+  // rejected, never zero-filled.
+  write_file(v1, {buf.begin(), buf.end() - 12});
+  EXPECT_FALSE(load_checkpoint_full<float>(v1).has_value());
+  std::remove(v1.c_str());
+}
+
+TEST(CheckpointV2, CompensatedRestartContinuesBitExactly) {
+  // The reason compensation is persisted at all: a Kahan-compensated
+  // integration restarted without its residuals drifts off the
+  // straight-through trajectory; with them it is bit-identical.
+  const swm_params p = small_params();
+  model<double> straight(p, integration_scheme::compensated);
+  straight.seed_random_eddies(6, 0.5);
+  straight.run(40);
+
+  model<double> first(p, integration_scheme::compensated);
+  first.seed_random_eddies(6, 0.5);
+  first.run(20);
+  const checkpoint_info info{p.nx, p.ny, 20, 1.0};
+  ASSERT_TRUE(
+      save_checkpoint(first.prognostic(), first.compensation(), info,
+                      tmp_path()));
+
+  const auto loaded = load_checkpoint_full<double>(tmp_path());
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_TRUE(loaded->info.has_compensation);
+  model<double> resumed(p, integration_scheme::compensated);
+  resumed.restore(loaded->fields, loaded->compensation,
+                  static_cast<int>(loaded->info.steps_taken));
+  resumed.run(20);
+  expect_state_bits_equal(resumed.prognostic(), straight.prognostic());
 }
 
 TEST(Spectrum, PureModeHasSinglePeak) {
