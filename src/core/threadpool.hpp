@@ -41,6 +41,8 @@
 #include <vector>
 
 #include "core/contracts.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace tfx {
 
@@ -187,6 +189,12 @@ class thread_pool {
       return;
     }
     TFX_EXPECTS(tasks_.empty() && "nested parallel_region");
+    // Observability: the dispatch path gets a host-clock span covering
+    // wake -> join (serial fallthroughs above stay untouched so a
+    // pool of 1 is trivially identical to an uninstrumented build).
+    TFX_OBS_SPAN(pool, 0, "pool.region", tasks.size(),
+                 static_cast<std::uint64_t>(total_));
+    obs::metric_add("pool.regions");
     pending_.store(total_ - 1, std::memory_order_relaxed);
     {
       const std::scoped_lock lock(mutex_);
@@ -195,7 +203,14 @@ class thread_pool {
       generation_.fetch_add(1, std::memory_order_release);
     }
     wake_.notify_all();
-    run_tasks(0, tasks);
+    {
+      // The caller participates as worker 0; its occupancy is traced
+      // the same way as the helpers' (worker_loop).
+      TFX_OBS_SPAN(pool, 0, "pool.work");
+      TFX_OBS_COUNTER(pool, 0, "pool.occupancy", 1);
+      run_tasks(0, tasks);
+      TFX_OBS_COUNTER(pool, 0, "pool.occupancy", 0);
+    }
     wait_done();
     tasks_ = {};
     scope_ = nullptr;
@@ -270,7 +285,9 @@ class thread_pool {
 
   /// Worker-side dispatch wait: spin on the generation counter, then
   /// sleep on the wake condition variable. Returns false on shutdown.
-  bool wait_for_work(std::uint64_t& seen) {
+  /// Sleep/wake transitions are traced only at the condition-variable
+  /// boundary - never inside the spin loop, which stays event-free.
+  bool wait_for_work(int w, std::uint64_t& seen) {
     for (int spins = 0; spins < spin_; ++spins) {
       if (stop_.load(std::memory_order_acquire)) return false;
       const std::uint64_t g = generation_.load(std::memory_order_acquire);
@@ -280,6 +297,8 @@ class thread_pool {
       }
       cpu_relax();
     }
+    TFX_OBS_INSTANT(pool, w, "pool.sleep");
+    obs::metric_add("pool.sleeps");
     std::unique_lock lock(mutex_);
     wake_.wait(lock, [&] {
       return stop_.load(std::memory_order_acquire) ||
@@ -287,18 +306,29 @@ class thread_pool {
     });
     if (stop_.load(std::memory_order_acquire)) return false;
     seen = generation_.load(std::memory_order_acquire);
+    lock.unlock();
+    TFX_OBS_INSTANT(pool, w, "pool.wake");
+    obs::metric_add("pool.wakes");
     return true;
   }
 
   void worker_loop(int w) {
     std::uint64_t seen = 0;
     for (;;) {
-      if (!wait_for_work(seen)) return;
+      if (!wait_for_work(w, seen)) return;
       const std::span<const task> tasks = tasks_;
       worker_scope* scope = scope_;
-      if (scope != nullptr) scope->enter(w);
-      run_tasks(w, tasks);
-      if (scope != nullptr) scope->exit(w);
+      {
+        // Close the work span before pending_ drops: once the caller
+        // observes pending_ == 0, every worker event of this region
+        // is already published (the drain relies on that edge).
+        TFX_OBS_SPAN(pool, w, "pool.work");
+        TFX_OBS_COUNTER(pool, w, "pool.occupancy", 1);
+        if (scope != nullptr) scope->enter(w);
+        run_tasks(w, tasks);
+        if (scope != nullptr) scope->exit(w);
+        TFX_OBS_COUNTER(pool, w, "pool.occupancy", 0);
+      }
       if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
         { const std::scoped_lock lock(mutex_); }
         done_.notify_one();

@@ -25,11 +25,13 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "core/contracts.hpp"
 #include "mpisim/runtime.hpp"
+#include "obs/trace.hpp"
 
 namespace tfx::mpisim {
 
@@ -99,6 +101,23 @@ decltype(auto) with_comm_context(const char* coll, F&& body) {
   }
 }
 
+/// Comm-aware variant: additionally wraps the body in a virtual-clock
+/// trace span on the rank's `net` track (closed during unwinding too,
+/// so B/E pairs stay balanced when a collective dies of comm_error).
+template <typename Comm, typename F>
+decltype(auto) with_comm_context(const char* coll, Comm& comm, F&& body) {
+  const tfx::obs::scoped_vspan span(
+      tfx::obs::domain::net, static_cast<std::uint16_t>(comm.rank()), coll,
+      [&comm] { return comm.now(); },
+      static_cast<std::uint64_t>(comm.size()));
+  try {
+    return std::forward<F>(body)();
+  } catch (const comm_error& e) {
+    throw comm_error(e.why(), e.peer(),
+                     std::string(coll) + ": " + e.what());
+  }
+}
+
 /// Charge the modeled cost of combining `n` elements at this rank.
 template <typename T, typename Comm>
 void charge_combine(Comm& comm, std::size_t n) {
@@ -126,7 +145,7 @@ inline int largest_pow2_below(int p) {
 /// sub-communicators - subcomm.hpp - reuse the same implementations.)
 template <typename Comm>
 void barrier(Comm& comm) {
-  detail::with_comm_context("barrier", [&] {
+  detail::with_comm_context("barrier", comm, [&] {
     const int p = comm.size();
     const int r = comm.rank();
     if (p == 1) return;
@@ -145,7 +164,7 @@ void barrier(Comm& comm) {
 /// Binomial-tree broadcast of `data` from `root`.
 template <typename T, typename Comm>
 void bcast(Comm& comm, std::span<T> data, int root) {
-  detail::with_comm_context("bcast", [&] {
+  detail::with_comm_context("bcast", comm, [&] {
     const int p = comm.size();
     const int r = comm.rank();
     TFX_EXPECTS(root >= 0 && root < p);
@@ -420,7 +439,7 @@ void allreduce(Comm& comm, std::span<const T> in, std::span<T> out,
                ? coll_algorithm::recursive_doubling
                : coll_algorithm::rabenseifner;
   }
-  detail::with_comm_context("allreduce", [&] {
+  detail::with_comm_context("allreduce", comm, [&] {
     switch (algo) {
       case coll_algorithm::recursive_doubling:
         detail::allreduce_rdoubling(comm, out, op);
@@ -452,7 +471,7 @@ template <typename Comm>
 [[nodiscard]] std::uint64_t agree_max(Comm& comm, std::uint64_t value) {
   std::uint64_t acc = value;
   if (comm.size() == 1) return acc;
-  detail::with_comm_context("agree", [&] {
+  detail::with_comm_context("agree", comm, [&] {
     detail::allreduce_rdoubling(comm, std::span<std::uint64_t>(&acc, 1),
                                 ops::max{});
   });
@@ -542,7 +561,7 @@ void allgather(Comm& comm, std::span<const T> in, std::span<T> out) {
   std::copy(in.begin(), in.end(), block(r).begin());
   const int right = (r + 1) % p;
   const int left = (r - 1 + p) % p;
-  detail::with_comm_context("allgather", [&] {
+  detail::with_comm_context("allgather", comm, [&] {
     for (int step = 0; step < p - 1; ++step) {
       auto outgoing = block(r - step);
       comm.send(std::span<const T>(outgoing.data(), outgoing.size()), right,

@@ -1,10 +1,13 @@
 #include "mpisim/des.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <deque>
 #include <unordered_map>
 
 #include "core/contracts.hpp"
+#include "mpisim/obs_events.hpp"
+#include "obs/metrics.hpp"
 
 namespace tfx::mpisim {
 
@@ -65,6 +68,18 @@ des_result simulate(const sim_program& prog, const tofud_params& net,
   std::vector<std::size_t> pc(static_cast<std::size_t>(p), 0);
   std::vector<double> send_port_free(static_cast<std::size_t>(p), 0.0);
   std::vector<double> recv_port_free(static_cast<std::size_t>(p), 0.0);
+
+  // Observability: all ranks are simulated on this one host thread,
+  // but events carry track == rank and the *virtual* clock, so the DES
+  // trace is bit-reproducible and comparable record-for-record with
+  // the threaded runtime's (tests/obs_trace_test.cpp). tx byte
+  // counters flush into the metrics registry at the end.
+  const bool traced = tfx::obs::active();
+  std::vector<std::uint64_t> obs_tx;
+  if (traced) {
+    obs_tx.assign(static_cast<std::size_t>(p) * static_cast<std::size_t>(p),
+                  0);
+  }
   std::size_t done = 0;
   for (int r = 0; r < p; ++r) {
     if (prog.ranks[static_cast<std::size_t>(r)].empty()) ++done;
@@ -98,8 +113,10 @@ des_result simulate(const sim_program& prog, const tofud_params& net,
             if (stall > 0) {
               clock += stall;
               ++result.stats.stalls;
+              obs_ev::emit_stall(r, op.peer, clock, sidx);
             }
             if (faults->crashes_before(r, sidx)) {
+              obs_ev::emit_casualty(r, r, clock);
               halt(r);
               progressed = true;
               break;
@@ -110,19 +127,24 @@ des_result simulate(const sim_program& prog, const tofud_params& net,
                 faults->plan(net, place, r, op.peer, op.bytes, seq, clock,
                              port, result.stats);
             port = tp.port_free;
+            obs_ev::emit_transmit_plan(r, op.peer, seq, op.bytes, tp);
             if (tp.failed) {
               wire[channel(r, op.peer)].push_back(
                   {tp.attempts.back().depart, seq, true});
+              obs_ev::emit_casualty(r, op.peer, clock);
               halt(r);
               progressed = true;
               break;
             }
+            if (traced) obs_tx[channel(r, op.peer)] += op.bytes;
             wire[channel(r, op.peer)].push_back({tp.good_depart, seq, false});
           } else {
             clock += net.send_overhead_s;
             const double inject_start = std::max(clock, port);
             port = inject_start +
                    serialization_seconds(net, place, r, op.peer, op.bytes);
+            obs_ev::emit_vanilla_send(r, op.peer, inject_start, op.bytes);
+            if (traced) obs_tx[channel(r, op.peer)] += op.bytes;
             wire[channel(r, op.peer)].push_back({inject_start, 0, false});
           }
         } else {  // recv
@@ -131,6 +153,7 @@ des_result simulate(const sim_program& prog, const tofud_params& net,
           const wire_entry entry = it->second.front();
           it->second.pop_front();
           if (entry.poison) {
+            obs_ev::emit_casualty(r, op.peer, clock);
             halt(r);
             progressed = true;
             break;
@@ -144,6 +167,7 @@ des_result simulate(const sim_program& prog, const tofud_params& net,
               serialization_seconds(net, place, op.peer, r, op.bytes);
           port = arrival;
           clock = std::max(clock, arrival) + net.recv_overhead_s;
+          obs_ev::emit_recv(r, op.peer, clock, op.bytes);
           if (faulty) {
             result.deliveries[static_cast<std::size_t>(r)].push_back(
                 {op.peer, 0, entry.seq});
@@ -167,6 +191,8 @@ des_result simulate(const sim_program& prog, const tofud_params& net,
         auto it = wire.find(channel(op.peer, r));
         const bool starved = it == wire.end() || it->second.empty();
         if (starved && crashed[static_cast<std::size_t>(op.peer)] != 0) {
+          obs_ev::emit_casualty(r, op.peer,
+                                result.clocks[static_cast<std::size_t>(r)]);
           halt(r);
           progressed = true;
         }
@@ -180,6 +206,29 @@ des_result simulate(const sim_program& prog, const tofud_params& net,
         result.crashed.push_back(r);
       }
     }
+  }
+  if (traced) {
+    // Same metric names as communicator::flush_obs, so a threaded run
+    // and its DES twin produce comparable registry contents.
+    char name[48];
+    for (int src = 0; src < p; ++src) {
+      for (int dst = 0; dst < p; ++dst) {
+        const std::uint64_t bytes = obs_tx[channel(src, dst)];
+        if (bytes == 0) continue;
+        std::snprintf(name, sizeof name, "net.tx_bytes.%d->%d", src, dst);
+        tfx::obs::metric_add(name, bytes);
+      }
+    }
+    tfx::obs::metric_add("net.sends", result.stats.sends);
+    tfx::obs::metric_add("net.attempts", result.stats.attempts);
+    tfx::obs::metric_add("net.retries", result.stats.retries);
+    tfx::obs::metric_add("net.drops", result.stats.drops);
+    tfx::obs::metric_add("net.corruptions", result.stats.corruptions);
+    tfx::obs::metric_add("net.duplicates", result.stats.duplicates);
+    tfx::obs::metric_add("net.reorders", result.stats.reorders);
+    tfx::obs::metric_add("net.delays", result.stats.delays);
+    tfx::obs::metric_add("net.stalls", result.stats.stalls);
+    tfx::obs::metric_add("net.failed_sends", result.stats.failed_sends);
   }
   return result;
 }

@@ -1,0 +1,118 @@
+#pragma once
+
+/// \file obs_events.hpp
+/// Shared trace-event vocabulary of the message-passing layer.
+///
+/// The threaded runtime (runtime.cpp) and the discrete-event engine
+/// (des.cpp) must emit the *same* event sequence for the same program
+/// and fault schedule - the golden-trace test
+/// (tests/obs_trace_test.cpp) compares the two streams record for
+/// record. Both engines therefore route their emission through these
+/// helpers: every lifecycle event is derived from the same
+/// fault_plane::plan() output and stamped with the rank's *virtual*
+/// clock, so DES traces are bit-reproducible and the threaded trace
+/// matches it independent of thread interleaving. The one engine
+/// asymmetry is net.dedup (receive-side discard of a corrupt/replayed
+/// copy): the DES never materializes those copies, so the golden test
+/// filters dedup events out before comparing.
+///
+/// Track convention: track == the emitting (or dying) rank. Payload
+/// words: see each helper.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "mpisim/faultplane.hpp"
+#include "obs/trace.hpp"
+
+namespace tfx::mpisim::obs_ev {
+
+inline constexpr const char* send = "net.send";
+inline constexpr const char* recv = "net.recv";
+inline constexpr const char* stall = "net.stall";
+inline constexpr const char* retry = "net.retry";
+inline constexpr const char* drop = "net.drop";
+inline constexpr const char* corrupt = "net.corrupt";
+inline constexpr const char* dup = "net.dup";
+inline constexpr const char* send_failed = "net.send_failed";
+inline constexpr const char* casualty = "net.casualty";
+inline constexpr const char* dedup = "net.dedup";  ///< threaded engine only
+
+inline std::uint16_t track_of(int rank) {
+  return static_cast<std::uint16_t>(rank);
+}
+
+/// Scheduled stall charged before a send. a = dst, b = send index.
+inline void emit_stall(int rank, int dst, double clock,
+                       std::uint64_t send_index) {
+  tfx::obs::instant_at(tfx::obs::domain::net, track_of(rank), stall, clock,
+                       static_cast<std::uint64_t>(dst), send_index);
+}
+
+/// Vanilla (fault-free path) send. a = dst, b = bytes; ts = the
+/// injection start, identical in both engines.
+inline void emit_vanilla_send(int rank, int dst, double inject_start,
+                              std::size_t bytes) {
+  tfx::obs::instant_at(tfx::obs::domain::net, track_of(rank), send,
+                       inject_start, static_cast<std::uint64_t>(dst),
+                       static_cast<std::uint64_t>(bytes));
+}
+
+/// The full sender-side lifecycle of one fault-plane message, derived
+/// from its transmit_plan: retries (b = attempt index) and their
+/// drop/corrupt outcomes (b = seq) at each attempt's depart time, then
+/// either net.send_failed (retries exhausted) or net.send at the
+/// delivered copy's depart (b = bytes) plus an optional net.dup.
+inline void emit_transmit_plan(int rank, int dst, std::uint64_t seq,
+                               std::size_t bytes, const transmit_plan& tp) {
+  using namespace tfx::obs;
+  if (!active()) return;
+  const auto udst = static_cast<std::uint64_t>(dst);
+  const std::uint16_t tr = track_of(rank);
+  for (std::size_t i = 0; i < tp.attempts.size(); ++i) {
+    const auto& a = tp.attempts[i];
+    if (i > 0) instant_at(domain::net, tr, retry, a.depart, udst, i);
+    if (a.dropped) {
+      instant_at(domain::net, tr, drop, a.depart, udst, seq);
+    } else if (a.corrupt) {
+      instant_at(domain::net, tr, corrupt, a.depart, udst, seq);
+    }
+  }
+  if (tp.failed) {
+    instant_at(domain::net, tr, send_failed, tp.attempts.back().depart, udst,
+               seq);
+    return;
+  }
+  instant_at(domain::net, tr, send, tp.good_depart, udst,
+             static_cast<std::uint64_t>(bytes));
+  if (tp.duplicated) {
+    instant_at(domain::net, tr, dup, tp.dup_depart, udst, seq);
+  }
+}
+
+/// Accepted delivery. a = src, b = bytes; ts = the receiver's clock
+/// after the arrival update (identical formulas in both engines).
+inline void emit_recv(int rank, int src, double clock, std::size_t bytes) {
+  tfx::obs::instant_at(tfx::obs::domain::net, track_of(rank), recv, clock,
+                       static_cast<std::uint64_t>(src),
+                       static_cast<std::uint64_t>(bytes));
+}
+
+/// Receive-side discard of a corrupt or replayed copy (threaded
+/// runtime only). a = src, b = seq.
+inline void emit_dedup(int rank, int src, double clock, std::uint64_t seq) {
+  tfx::obs::instant_at(tfx::obs::domain::net, track_of(rank), dedup, clock,
+                       static_cast<std::uint64_t>(src), seq);
+}
+
+/// Rank death (scheduled crash, exhausted retries, or a fatal notice
+/// from a peer). a = the dying rank (== track), b = the implicated
+/// peer (self for scheduled crashes). The golden test compares
+/// casualty *sets* per engine, not timestamps.
+inline void emit_casualty(int rank, int peer, double clock) {
+  tfx::obs::instant_at(tfx::obs::domain::net, track_of(rank), casualty, clock,
+                       static_cast<std::uint64_t>(rank),
+                       static_cast<std::uint64_t>(peer));
+}
+
+}  // namespace tfx::mpisim::obs_ev

@@ -1,11 +1,14 @@
 #include "mpisim/runtime.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <exception>
 #include <string>
 #include <thread>
 
 #include "core/contracts.hpp"
+#include "mpisim/obs_events.hpp"
+#include "obs/metrics.hpp"
 
 namespace tfx::mpisim {
 
@@ -28,6 +31,12 @@ communicator::communicator(world* w, int rank) : world_(w), rank_(rank) {
     const auto n = static_cast<std::size_t>(world_->size());
     send_seq_.assign(n, 0);
     delivered_.resize(n);
+  }
+  // Per-channel byte counters exist only while tracing is on, so an
+  // untraced run stays allocation-identical too (the ctor is the one
+  // permitted warm-up allocation of a traced run).
+  if (tfx::obs::active()) {
+    obs_tx_.assign(static_cast<std::size_t>(world_->size()), 0);
   }
 }
 
@@ -53,6 +62,10 @@ void communicator::send_bytes(std::span<const std::byte> data, int dst,
       inject_start + serialization_seconds(world_->net(),
                                            world_->placement(), rank_, dst,
                                            data.size());
+  obs_ev::emit_vanilla_send(rank_, dst, inject_start, data.size());
+  if (!obs_tx_.empty()) {
+    obs_tx_[static_cast<std::size_t>(dst)] += data.size();
+  }
   world::message msg{rank_, tag, inject_start,
                      std::vector<std::byte>(data.begin(), data.end())};
   world_->deposit(dst, std::move(msg));
@@ -65,6 +78,7 @@ void communicator::fault_send(std::span<const std::byte> data, int dst,
   if (stall > 0) {
     clock_ += stall;
     ++stats_.stalls;
+    obs_ev::emit_stall(rank_, dst, clock_, send_index);
   }
   if (faults.crashes_before(rank_, send_index)) {
     crash("rank crashed by fault schedule");
@@ -76,6 +90,10 @@ void communicator::fault_send(std::span<const std::byte> data, int dst,
       faults.plan(world_->net(), world_->placement(), rank_, dst,
                   data.size(), seq, clock_, send_port_free_, stats_);
   send_port_free_ = tp.port_free;
+  obs_ev::emit_transmit_plan(rank_, dst, seq, data.size(), tp);
+  if (!tp.failed && !obs_tx_.empty()) {
+    obs_tx_[static_cast<std::size_t>(dst)] += data.size();
+  }
 
   const std::uint64_t sum = fault_plane::checksum(data);
   // Corrupted copies really enter the mailbox (with the *original*
@@ -99,6 +117,7 @@ void communicator::fault_send(std::span<const std::byte> data, int dst,
                                    seq, 0, world::msg_kind::send_failed});
     crashed_ = true;
     fail_stopped_ = true;
+    obs_ev::emit_casualty(rank_, dst, clock_);
     world_->broadcast_crash(rank_, clock_);
     throw comm_error(comm_error::reason::retries_exhausted, dst,
                      "send to rank " + std::to_string(dst) + " exhausted " +
@@ -140,6 +159,7 @@ recv_status communicator::recv_bytes(std::span<std::byte> out, int src,
                             msg.payload.size());
   recv_port_free_ = arrival;
   clock_ = std::max(clock_, arrival) + net.recv_overhead_s;
+  obs_ev::emit_recv(rank_, msg.source, clock_, msg.payload.size());
   return recv_status{msg.source, msg.tag, msg.payload.size(), arrival};
 }
 
@@ -149,12 +169,14 @@ recv_status communicator::fault_recv(std::span<std::byte> out, int src,
     world::message msg = world_->collect_faulty(rank_, src, tag);
     if (msg.kind == world::msg_kind::crash_notice) {
       crashed_ = true;
+      obs_ev::emit_casualty(rank_, msg.source, clock_);
       throw comm_error(comm_error::reason::peer_crashed, msg.source,
                        "recv from rank " + std::to_string(msg.source) +
                            ": peer crashed");
     }
     if (msg.kind == world::msg_kind::send_failed) {
       crashed_ = true;
+      obs_ev::emit_casualty(rank_, msg.source, clock_);
       throw comm_error(comm_error::reason::retries_exhausted, msg.source,
                        "recv from rank " + std::to_string(msg.source) +
                            ": peer's send exhausted its retries");
@@ -167,6 +189,7 @@ recv_status communicator::fault_recv(std::span<std::byte> out, int src,
       // virtual time (NIC-level filtering); the retransmission delay
       // was charged on the sender's schedule.
       ++rx_discards_;
+      obs_ev::emit_dedup(rank_, msg.source, clock_, msg.seq);
       continue;
     }
     seen.insert(msg.seq);
@@ -186,6 +209,7 @@ recv_status communicator::fault_recv(std::span<std::byte> out, int src,
                               msg.payload.size());
     recv_port_free_ = arrival;
     clock_ = std::max(clock_, arrival) + net.recv_overhead_s;
+    obs_ev::emit_recv(rank_, msg.source, clock_, msg.payload.size());
     return recv_status{msg.source, msg.tag, msg.payload.size(), arrival};
   }
 }
@@ -193,8 +217,35 @@ recv_status communicator::fault_recv(std::span<std::byte> out, int src,
 void communicator::crash(const char* what) {
   crashed_ = true;
   fail_stopped_ = true;
+  obs_ev::emit_casualty(rank_, rank_, clock_);
   world_->broadcast_crash(rank_, clock_);
   throw comm_error(comm_error::reason::peer_crashed, rank_, what);
+}
+
+void communicator::flush_obs() {
+  // Cold path, called once per rank at the end of world::run: fold the
+  // per-channel byte counters and this rank's protocol stats into the
+  // metrics registry (string formatting is fine here - we are out of
+  // every hot loop).
+  if (!tfx::obs::active()) return;
+  char name[48];
+  for (std::size_t dst = 0; dst < obs_tx_.size(); ++dst) {
+    if (obs_tx_[dst] == 0) continue;
+    std::snprintf(name, sizeof name, "net.tx_bytes.%d->%d", rank_,
+                  static_cast<int>(dst));
+    tfx::obs::metric_add(name, obs_tx_[dst]);
+  }
+  tfx::obs::metric_add("net.sends", stats_.sends);
+  tfx::obs::metric_add("net.attempts", stats_.attempts);
+  tfx::obs::metric_add("net.retries", stats_.retries);
+  tfx::obs::metric_add("net.drops", stats_.drops);
+  tfx::obs::metric_add("net.corruptions", stats_.corruptions);
+  tfx::obs::metric_add("net.duplicates", stats_.duplicates);
+  tfx::obs::metric_add("net.reorders", stats_.reorders);
+  tfx::obs::metric_add("net.delays", stats_.delays);
+  tfx::obs::metric_add("net.stalls", stats_.stalls);
+  tfx::obs::metric_add("net.failed_sends", stats_.failed_sends);
+  tfx::obs::metric_add("net.rx_discards", rx_discards_);
 }
 
 bool communicator::fault_plane_active() const {
@@ -278,6 +329,7 @@ void world::run(const std::function<void(communicator&)>& fn) {
           broadcast_crash(r, comm.now());
         }
       }
+      comm.flush_obs();
       final_clocks_[ri] = comm.now();
       if (faulty) {
         rank_stats[ri] = comm.stats_;

@@ -315,6 +315,9 @@ class communicator {
                          const fault_plane& faults);
   /// Broadcast a crash notice and die with comm_error.
   [[noreturn]] void crash(const char* what);
+  /// Fold per-channel byte counters + protocol stats into the metrics
+  /// registry (end of world::run; no-op unless tracing is on).
+  void flush_obs();
 
   world* world_;
   int rank_;
@@ -332,6 +335,10 @@ class communicator {
   std::uint64_t rx_discards_ = 0;  ///< dup/corrupt copies thrown away
   bool crashed_ = false;
   bool fail_stopped_ = false;  ///< this rank itself died (not a peer)
+
+  /// Observability: bytes successfully posted per destination. Empty
+  /// (and untouched) unless tracing was on when the rank started.
+  std::vector<std::uint64_t> obs_tx_;
 };
 
 /// A set of ranks with mailboxes, a placement, and a network model.

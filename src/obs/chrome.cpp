@@ -1,0 +1,426 @@
+#include "obs/chrome.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <numeric>
+#include <set>
+#include <utility>
+#include <vector>
+
+namespace tfx::obs {
+
+namespace {
+
+void append_escaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void append_metadata(std::string& out, const char* what, int pid, int tid,
+                     std::string_view name) {
+  char buf[64];
+  out += "{\"name\":\"";
+  out += what;
+  std::snprintf(buf, sizeof buf, "\",\"ph\":\"M\",\"pid\":%d,\"tid\":%d,", pid,
+                tid);
+  out += buf;
+  out += "\"args\":{\"name\":\"";
+  append_escaped(out, name);
+  out += "\"}},\n";
+}
+
+}  // namespace
+
+std::string to_chrome_json(std::span<const event> events,
+                           std::string_view process_name) {
+  // Stable sort by timestamp: per-thread emission order survives among
+  // ties, so every tid's stream is nondecreasing in ts and span
+  // begin/end records keep their LIFO nesting.
+  std::vector<std::size_t> order(events.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t lhs, std::size_t rhs) {
+                     return events[lhs].ts < events[rhs].ts;
+                   });
+
+  constexpr int pid = 1;
+  std::string out;
+  out.reserve(events.size() * 96 + 512);
+  out += "{\"displayTimeUnit\":\"ms\",\n\"traceEvents\":[\n";
+  append_metadata(out, "process_name", pid, 0, process_name);
+
+  // Declare every (domain, track) that carries events as a named
+  // Chrome thread, e.g. "net/3" for rank 3's virtual-clock track.
+  std::set<std::pair<int, std::uint16_t>> tracks;
+  for (const event& e : events)
+    tracks.emplace(static_cast<int>(e.dom), e.track);
+  for (const auto& [dom, track] : tracks) {
+    char name[32];
+    std::snprintf(name, sizeof name, "%s/%u",
+                  domain_name(static_cast<domain>(dom)),
+                  static_cast<unsigned>(track));
+    append_metadata(out, "thread_name", pid,
+                    export_tid(static_cast<domain>(dom), track), name);
+  }
+
+  char buf[160];
+  for (std::size_t n = 0; n < order.size(); ++n) {
+    const event& e = events[order[n]];
+    const int tid = export_tid(e.dom, e.track);
+    out += "{\"name\":\"";
+    append_escaped(out, e.name != nullptr ? e.name : "?");
+    const char* ph = "i";
+    switch (e.what) {
+      case kind::begin: ph = "B"; break;
+      case kind::end: ph = "E"; break;
+      case kind::instant: ph = "i"; break;
+      case kind::counter: ph = "C"; break;
+    }
+    std::snprintf(buf, sizeof buf, "\",\"ph\":\"%s\",\"pid\":%d,\"tid\":%d,",
+                  ph, pid, tid);
+    out += buf;
+    if (e.what == kind::instant) out += "\"s\":\"t\",";
+    // Microseconds with sub-ns precision: virtual clocks tick in the
+    // microsecond range, host spans can be tens of milliseconds.
+    std::snprintf(buf, sizeof buf, "\"ts\":%.6f,", e.ts * 1e6);
+    out += buf;
+    if (e.what == kind::counter) {
+      std::snprintf(buf, sizeof buf,
+                    "\"args\":{\"value\":%" PRIu64 ",\"aux\":%" PRIu64 "}}",
+                    e.a, e.b);
+    } else {
+      std::snprintf(buf, sizeof buf,
+                    "\"args\":{\"a\":%" PRIu64 ",\"b\":%" PRIu64 "}}", e.a,
+                    e.b);
+    }
+    out += buf;
+    out += n + 1 < order.size() ? ",\n" : "\n";
+  }
+  out += "]}\n";
+  return out;
+}
+
+bool write_chrome_trace(const std::string& path,
+                        std::span<const event> events,
+                        std::string_view process_name) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) return false;
+  const std::string json = to_chrome_json(events, process_name);
+  os.write(json.data(), static_cast<std::streamsize>(json.size()));
+  return static_cast<bool>(os);
+}
+
+// -- validator --------------------------------------------------------------
+
+namespace {
+
+/// Minimal JSON cursor for the exporter's output subset (objects,
+/// arrays, strings, numbers; no unicode escapes beyond \uXXXX pass-
+/// through, which we never need to decode for structural checks).
+class json_cursor {
+ public:
+  explicit json_cursor(std::string_view s) : s_(s) {}
+
+  [[nodiscard]] const std::string& error() const { return err_; }
+  [[nodiscard]] bool at_end() {
+    skip_ws();
+    return pos_ >= s_.size();
+  }
+
+  bool expect(char c) {
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return fail(std::string("expected '") + c + "'");
+  }
+
+  [[nodiscard]] bool peek_is(char c) {
+    skip_ws();
+    return pos_ < s_.size() && s_[pos_] == c;
+  }
+
+  bool parse_string(std::string* out) {
+    skip_ws();
+    if (pos_ >= s_.size() || s_[pos_] != '"') return fail("expected string");
+    ++pos_;
+    std::string val;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return fail("truncated escape");
+        switch (s_[pos_]) {
+          case 'n': val += '\n'; break;
+          case 't': val += '\t'; break;
+          case 'u':
+            if (pos_ + 4 >= s_.size()) return fail("truncated \\u escape");
+            pos_ += 4;
+            val += '?';
+            break;
+          default: val += s_[pos_];
+        }
+      } else {
+        val += s_[pos_];
+      }
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) return fail("unterminated string");
+    ++pos_;
+    if (out != nullptr) *out = std::move(val);
+    return true;
+  }
+
+  bool parse_number(double* out) {
+    skip_ws();
+    const std::size_t start = pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0 ||
+            s_[pos_] == '-' || s_[pos_] == '+' || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) return fail("expected number");
+    double val = 0;
+    const auto res = std::from_chars(s_.data() + start, s_.data() + pos_, val);
+    if (res.ec != std::errc{}) return fail("malformed number");
+    if (out != nullptr) *out = val;
+    return true;
+  }
+
+  /// Skip any JSON value (used for args and unknown keys).
+  bool skip_value() {  // NOLINT(misc-no-recursion)
+    skip_ws();
+    if (pos_ >= s_.size()) return fail("expected value");
+    const char c = s_[pos_];
+    if (c == '"') return parse_string(nullptr);
+    if (c == '{' || c == '[') {
+      const char close = c == '{' ? '}' : ']';
+      ++pos_;
+      skip_ws();
+      if (peek_is(close)) {
+        ++pos_;
+        return true;
+      }
+      while (true) {
+        if (c == '{') {
+          if (!parse_string(nullptr) || !expect(':')) return false;
+        }
+        if (!skip_value()) return false;
+        skip_ws();
+        if (peek_is(',')) {
+          ++pos_;
+          continue;
+        }
+        return expect(close);
+      }
+    }
+    if (c == 't') return expect_word("true");
+    if (c == 'f') return expect_word("false");
+    if (c == 'n') return expect_word("null");
+    return parse_number(nullptr);
+  }
+
+  bool fail(std::string msg) {
+    if (err_.empty()) err_ = std::move(msg);
+    return false;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  bool expect_word(std::string_view w) {
+    if (s_.substr(pos_, w.size()) == w) {
+      pos_ += w.size();
+      return true;
+    }
+    return fail("bad literal");
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+  std::string err_;
+};
+
+struct record {
+  std::string name;
+  std::string ph;
+  double pid = -1;
+  double tid = -1;
+  double ts = 0;
+  bool has_ts = false;
+  bool has_pid = false;
+  bool has_tid = false;
+};
+
+bool parse_record(json_cursor& c, record* r) {
+  if (!c.expect('{')) return false;
+  if (c.peek_is('}')) return c.expect('}');
+  while (true) {
+    std::string key;
+    if (!c.parse_string(&key) || !c.expect(':')) return false;
+    bool ok = true;
+    if (key == "name") {
+      ok = c.parse_string(&r->name);
+    } else if (key == "ph") {
+      ok = c.parse_string(&r->ph);
+    } else if (key == "pid") {
+      ok = c.parse_number(&r->pid);
+      r->has_pid = ok;
+    } else if (key == "tid") {
+      ok = c.parse_number(&r->tid);
+      r->has_tid = ok;
+    } else if (key == "ts") {
+      ok = c.parse_number(&r->ts);
+      r->has_ts = ok;
+    } else {
+      ok = c.skip_value();
+    }
+    if (!ok) return false;
+    if (c.peek_is(',')) {
+      c.expect(',');
+      continue;
+    }
+    return c.expect('}');
+  }
+}
+
+}  // namespace
+
+trace_validation validate_chrome_json(std::string_view json) {
+  trace_validation v;
+  const auto reject = [&v](std::string msg) {
+    v.ok = false;
+    if (v.error.empty()) v.error = std::move(msg);
+    return v;
+  };
+
+  json_cursor c(json);
+  if (!c.expect('{')) return reject("not a JSON object: " + c.error());
+
+  struct tid_state {
+    std::vector<std::string> open;  ///< names of open spans (LIFO)
+    double last_ts = 0;
+    bool any_ts = false;
+  };
+  std::map<std::pair<long, long>, tid_state> tids;
+  std::set<long> named_pids;
+  std::set<std::pair<long, long>> named_tids;
+  std::set<long> seen_pids;
+
+  bool saw_trace_events = false;
+  while (true) {
+    std::string key;
+    if (!c.parse_string(&key) || !c.expect(':'))
+      return reject("bad top-level key: " + c.error());
+    if (key != "traceEvents") {
+      if (!c.skip_value()) return reject("bad top-level value: " + c.error());
+    } else {
+      saw_trace_events = true;
+      if (!c.expect('[')) return reject("traceEvents not an array");
+      if (!c.peek_is(']')) {
+        while (true) {
+          record r;
+          if (!parse_record(c, &r))
+            return reject("malformed record: " + c.error());
+          if (r.ph.size() != 1 ||
+              std::string_view("BEiCM").find(r.ph[0]) == std::string::npos)
+            return reject("unknown ph '" + r.ph + "' in '" + r.name + "'");
+          if (!r.has_pid || !r.has_tid)
+            return reject("record '" + r.name + "' missing pid/tid");
+          const long pid = static_cast<long>(r.pid);
+          const long tid = static_cast<long>(r.tid);
+          const char ph = r.ph[0];
+          if (ph == 'M') {
+            ++v.metadata;
+            if (r.name == "process_name") named_pids.insert(pid);
+            if (r.name == "thread_name") named_tids.emplace(pid, tid);
+          } else {
+            if (!r.has_ts)
+              return reject("record '" + r.name + "' missing ts");
+            ++v.events;
+            seen_pids.insert(pid);
+            tid_state& st = tids[{pid, tid}];
+            if (st.any_ts && r.ts < st.last_ts)
+              return reject("ts went backwards on tid " +
+                            std::to_string(tid) + " at '" + r.name + "'");
+            st.last_ts = r.ts;
+            st.any_ts = true;
+            switch (ph) {
+              case 'B': st.open.push_back(r.name); break;
+              case 'E':
+                if (st.open.empty())
+                  return reject("unmatched E '" + r.name + "' on tid " +
+                                std::to_string(tid));
+                if (st.open.back() != r.name)
+                  return reject("E '" + r.name + "' closes B '" +
+                                st.open.back() + "' on tid " +
+                                std::to_string(tid));
+                st.open.pop_back();
+                ++v.spans;
+                break;
+              case 'i': ++v.instants; break;
+              case 'C': ++v.counters; break;
+              default: break;
+            }
+          }
+          if (c.peek_is(',')) {
+            c.expect(',');
+            continue;
+          }
+          break;
+        }
+      }
+      if (!c.expect(']')) return reject("unterminated traceEvents");
+    }
+    if (c.peek_is(',')) {
+      c.expect(',');
+      continue;
+    }
+    break;
+  }
+  if (!c.expect('}')) return reject("unterminated top-level object");
+  if (!saw_trace_events) return reject("no traceEvents array");
+
+  for (const auto& [key, st] : tids) {
+    if (!st.open.empty())
+      return reject("tid " + std::to_string(key.second) +
+                    " ends with open span '" + st.open.back() + "'");
+    if (named_tids.count(key) == 0)
+      return reject("tid " + std::to_string(key.second) +
+                    " has no thread_name metadata");
+  }
+  for (const long pid : seen_pids) {
+    if (named_pids.count(pid) == 0)
+      return reject("pid " + std::to_string(pid) +
+                    " has no process_name metadata");
+  }
+  return v;
+}
+
+}  // namespace tfx::obs

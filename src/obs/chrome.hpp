@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file chrome.hpp
+/// Chrome trace-event JSON exporter for obs::event streams, plus a
+/// small structural validator used by the schema tests.
+///
+/// The export targets the subset of the trace-event format that
+/// chrome://tracing and Perfetto both load: an object with a
+/// "traceEvents" array of {name, ph, pid, tid, ts, args} records,
+/// metadata events (ph "M") declaring process and thread names, span
+/// begin/end (ph "B"/"E"), thread-scoped instants (ph "i") and counter
+/// samples (ph "C"). Timestamps are microseconds; virtual-clock
+/// domains (net, resil) and host-clock domains (pool, serial swm) are
+/// kept on disjoint tids so a tid never mixes clock bases
+/// (docs/TRACING.md).
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "obs/trace.hpp"
+
+namespace tfx::obs {
+
+/// The Chrome tid an event is exported under: domains get disjoint
+/// thousand-blocks so worker tracks and rank tracks never collide.
+constexpr int export_tid(domain d, std::uint16_t track) {
+  return (static_cast<int>(d) + 1) * 1000 + track;
+}
+
+/// Serialize events to Chrome trace JSON. Events are stable-sorted by
+/// timestamp (preserving per-thread emission order among ties), so
+/// every exported tid has nondecreasing ts. `process_name` becomes the
+/// pid-1 process_name metadata record.
+[[nodiscard]] std::string to_chrome_json(
+    std::span<const event> events,
+    std::string_view process_name = "typeflex");
+
+/// to_chrome_json + write to `path`. Returns false on I/O failure.
+bool write_chrome_trace(const std::string& path,
+                        std::span<const event> events,
+                        std::string_view process_name = "typeflex");
+
+/// Result of validating an exported trace.
+struct trace_validation {
+  bool ok = true;
+  std::string error;       ///< first failure, empty when ok
+  std::size_t events = 0;  ///< non-metadata records seen
+  std::size_t spans = 0;   ///< matched B/E pairs
+  std::size_t instants = 0;
+  std::size_t counters = 0;
+  std::size_t metadata = 0;
+};
+
+/// Structural validator for the exporter's output subset:
+///  * every record has name/ph/pid/tid, non-metadata records have ts;
+///  * ph is one of B, E, i, C, M;
+///  * per (pid, tid): B/E properly nested (depth never negative, zero
+///    at end of trace) and ts nondecreasing;
+///  * every pid has a process_name and every (pid, tid) a thread_name
+///    metadata record.
+[[nodiscard]] trace_validation validate_chrome_json(std::string_view json);
+
+}  // namespace tfx::obs

@@ -1,0 +1,58 @@
+#include "obs/metrics.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "core/table.hpp"
+
+namespace tfx::obs {
+
+namespace {
+
+std::string format_u64(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+  return buf;
+}
+
+std::string format_f64(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+void metrics_registry::reset() {
+  const std::scoped_lock lock(mutex_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+void metrics_registry::clear() {
+  const std::scoped_lock lock(mutex_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+tfx::table metrics_registry::to_table() const {
+  const std::scoped_lock lock(mutex_);
+  tfx::table t({"metric", "type", "value"});
+  for (const auto& [name, c] : counters_)
+    t.add_row({name, "counter", format_u64(c->value())});
+  for (const auto& [name, g] : gauges_)
+    t.add_row({name, "gauge", format_f64(g->value())});
+  for (const auto& [name, h] : histograms_) {
+    for (std::size_t i = 0; i + 1 < h->buckets(); ++i) {
+      t.add_row({name + "[le=" + format_f64(h->upper(i)) + "]", "histogram",
+                 format_u64(h->count(i))});
+    }
+    t.add_row({name + "[le=+inf]", "histogram",
+               format_u64(h->count(h->buckets() - 1))});
+  }
+  return t;
+}
+
+}  // namespace tfx::obs

@@ -1,0 +1,189 @@
+#pragma once
+
+/// \file metrics.hpp
+/// Process-wide metrics registry for the observability plane:
+/// monotonic counters, gauges, and fixed-bucket histograms, exported
+/// as a flat core/table (docs/TRACING.md).
+///
+/// Hot-path contract: name lookup takes the registry mutex, so the
+/// instrumented per-element loops never touch the registry directly -
+/// they accumulate locally and flush at region/step/run boundaries.
+/// Updates on an obtained handle (counter::add, histogram::observe)
+/// are relaxed atomics and allocation-free, and looking up an existing
+/// name via std::map's transparent comparator allocates nothing, so
+/// after the first touch of each metric (the warm-up) the convenience
+/// entry points below stay heap-free too. Everything is gated on
+/// tfx::obs::active() and compiles out entirely under TFX_OBS=OFF.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace tfx {
+class table;  // core/table.hpp
+}
+
+namespace tfx::obs {
+
+/// Monotonic counter.
+class metric_counter {
+ public:
+  void add(std::uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins gauge.
+class metric_gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: bucket i counts observations x with
+/// x <= upper[i]; the final bucket is the +inf overflow. Bucket bounds
+/// are fixed at creation (no allocation on observe()).
+class metric_histogram {
+ public:
+  explicit metric_histogram(std::span<const double> uppers)
+      : uppers_(uppers.begin(), uppers.end()),
+        counts_(uppers_.size() + 1) {}
+
+  void observe(double x) {
+    std::size_t i = 0;
+    while (i < uppers_.size() && x > uppers_[i]) ++i;
+    counts_[i].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::size_t buckets() const { return counts_.size(); }
+  /// Upper bound of bucket i; the last bucket has no finite bound.
+  [[nodiscard]] double upper(std::size_t i) const { return uppers_[i]; }
+  [[nodiscard]] std::uint64_t count(std::size_t i) const {
+    return counts_[i].load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t total() const {
+    std::uint64_t t = 0;
+    for (const auto& c : counts_) t += c.load(std::memory_order_relaxed);
+    return t;
+  }
+  void reset() {
+    for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::vector<double> uppers_;
+  std::vector<std::atomic<std::uint64_t>> counts_;
+};
+
+/// The process-wide registry. get_* creates on first use and returns a
+/// stable reference thereafter (entries are never removed except by
+/// clear(), which is a quiescent test-only operation).
+class metrics_registry {
+ public:
+  static metrics_registry& instance() {
+    static metrics_registry reg;
+    return reg;
+  }
+
+  metric_counter& get_counter(std::string_view name) {
+    const std::scoped_lock lock(mutex_);
+    auto it = counters_.find(name);
+    if (it == counters_.end()) {
+      it = counters_.emplace(std::string(name),
+                             std::make_unique<metric_counter>())
+               .first;
+    }
+    return *it->second;
+  }
+
+  metric_gauge& get_gauge(std::string_view name) {
+    const std::scoped_lock lock(mutex_);
+    auto it = gauges_.find(name);
+    if (it == gauges_.end()) {
+      it = gauges_.emplace(std::string(name),
+                           std::make_unique<metric_gauge>())
+               .first;
+    }
+    return *it->second;
+  }
+
+  /// Bucket bounds apply only on first creation of `name`.
+  metric_histogram& get_histogram(std::string_view name,
+                                  std::span<const double> uppers) {
+    const std::scoped_lock lock(mutex_);
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+      it = histograms_
+               .emplace(std::string(name),
+                        std::make_unique<metric_histogram>(uppers))
+               .first;
+    }
+    return *it->second;
+  }
+
+  /// Zero every metric, keeping registrations (bucket layouts survive).
+  void reset();
+  /// Drop every metric (quiescent; tests only).
+  void clear();
+
+  /// Flat export: columns {metric, type, value} with histograms
+  /// flattened to one row per bucket. Defined in metrics.cpp.
+  [[nodiscard]] tfx::table to_table() const;
+
+ private:
+  metrics_registry() = default;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<metric_counter>, std::less<>>
+      counters_;
+  std::map<std::string, std::unique_ptr<metric_gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<metric_histogram>, std::less<>>
+      histograms_;
+};
+
+// -- gated convenience entry points (no-ops when tracing is off) ------------
+
+inline void metric_add(std::string_view name, std::uint64_t delta = 1) {
+  if constexpr (compiled) {
+    if (!active()) return;
+    metrics_registry::instance().get_counter(name).add(delta);
+  }
+}
+
+inline void metric_set(std::string_view name, double value) {
+  if constexpr (compiled) {
+    if (!active()) return;
+    metrics_registry::instance().get_gauge(name).set(value);
+  }
+}
+
+inline void metric_observe(std::string_view name,
+                           std::span<const double> uppers, double x) {
+  if constexpr (compiled) {
+    if (!active()) return;
+    metrics_registry::instance().get_histogram(name, uppers).observe(x);
+  }
+}
+
+}  // namespace tfx::obs

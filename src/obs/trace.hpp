@@ -1,0 +1,455 @@
+#pragma once
+
+/// \file trace.hpp
+/// The observability plane's core: structured trace events recorded
+/// into per-thread bounded buffers, with a process-wide controller.
+///
+/// Design constraints (tests/obs_trace_test, tests/obs_overhead_test):
+///
+///  * deterministic - events carry an explicit timestamp, so the
+///    mpisim runtimes stamp events with their *virtual* clocks and the
+///    DES engine's traces are bit-reproducible for a fixed seed;
+///  * low overhead - the disabled fast path is one relaxed atomic load
+///    and a branch per instrumentation site; recording is a bounded
+///    append into a thread-owned buffer (no locks, no allocation after
+///    the thread's first event of a session);
+///  * compile-time removable - configure with -DTFX_OBS=OFF and every
+///    TFX_OBS_* macro expands to nothing (arguments unevaluated) while
+///    the helper functions below become empty inlines, leaving the
+///    instrumented hot loops bit- and allocation-identical to an
+///    uninstrumented build.
+///
+/// Concurrency contract: emit() may be called from any thread at any
+/// time while the plane is active. start(), stop() and drain() are
+/// *quiescent* operations - call them only while no instrumented code
+/// runs concurrently (between world::run calls, with the thread pool
+/// idle). Ring contents are published with release stores and read
+/// with acquire loads, so a drain that races a late event sees a clean
+/// prefix, but the session discipline above is what the tests (and
+/// TSan) enforce.
+///
+/// Event model (docs/TRACING.md): a flat record of
+///   (kind, domain, track, name, ts, a, b)
+/// where `kind` is span begin/end, instant, or counter sample;
+/// `domain` selects a subsystem (thread pool, simulated network,
+/// shallow-water model, resilience) and with it a clock base - pool
+/// and swm(serial) events use host seconds since start(), net and
+/// resil events use the emitting rank's virtual clock; `track` is the
+/// worker or rank index; `name` must be a string with static storage
+/// duration (no ownership, no allocation); `a`/`b` are free payload
+/// words (byte counts, sequence numbers, epochs).
+
+#ifndef TFX_OBS_ENABLED
+#define TFX_OBS_ENABLED 1
+#endif
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace tfx::obs {
+
+/// True when the observability plane is compiled in (TFX_OBS=ON).
+inline constexpr bool compiled = TFX_OBS_ENABLED != 0;
+
+enum class kind : std::uint8_t {
+  begin,    ///< span open (matched by an `end` with the same track+name)
+  end,      ///< span close
+  instant,  ///< point event
+  counter,  ///< counter sample; `a` is the value
+};
+
+enum class domain : std::uint8_t {
+  pool,   ///< thread pool (host clock, track = worker index)
+  net,    ///< mpisim runtime/DES (virtual clock, track = rank)
+  swm,    ///< shallow-water step loop (serial: host clock, track 0;
+          ///< distributed: virtual clock, track = rank)
+  resil,  ///< resilience protocol (virtual clock, track = rank)
+};
+
+inline constexpr int domain_count = 4;
+
+/// Human-readable domain name (also the thread-name prefix in the
+/// Chrome export).
+constexpr const char* domain_name(domain d) {
+  switch (d) {
+    case domain::pool: return "pool";
+    case domain::net: return "net";
+    case domain::swm: return "swm";
+    case domain::resil: return "resil";
+  }
+  return "?";
+}
+
+/// One trace record. Trivially copyable; `name` must point at a string
+/// with static storage duration.
+struct event {
+  double ts = 0;               ///< seconds (host-relative or virtual)
+  const char* name = nullptr;  ///< static string
+  std::uint64_t a = 0;         ///< payload (bytes, seq, value, ...)
+  std::uint64_t b = 0;         ///< payload
+  kind what = kind::instant;
+  domain dom = domain::pool;
+  std::uint16_t track = 0;  ///< worker or rank index
+};
+
+/// Bounded single-producer event buffer: the owning thread appends,
+/// the controller reads after quiescence. Full buffers drop the
+/// *newest* events (dropping oldest would orphan span begins) and
+/// count the loss.
+class event_ring {
+ public:
+  explicit event_ring(std::size_t capacity) : slots_(capacity) {}
+
+  /// Owner-thread append. Returns false (and counts) when full.
+  bool push(const event& e) {
+    const std::size_t n = count_.load(std::memory_order_relaxed);
+    if (n >= slots_.size()) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    slots_[n] = e;
+    count_.store(n + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Reader side: the published prefix (acquire pairs with push's
+  /// release, so every slot below the count is fully written).
+  [[nodiscard]] std::size_t size() const {
+    return count_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] const event& at(std::size_t i) const { return slots_[i]; }
+  [[nodiscard]] std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::vector<event> slots_;
+  std::atomic<std::size_t> count_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+/// The process-wide trace controller: owns every thread's ring and the
+/// enabled flag. Header-only so core headers (threadpool.hpp) can emit
+/// without a link dependency.
+class trace_plane {
+ public:
+  static constexpr std::size_t default_capacity = std::size_t{1} << 16;
+
+  static trace_plane& instance() {
+    static trace_plane plane;
+    return plane;
+  }
+
+  /// Begin a tracing session: discards previous rings, re-bases the
+  /// host clock, and enables recording. Quiescent operation.
+  void start(std::size_t ring_capacity = default_capacity) {
+    const std::scoped_lock lock(mutex_);
+    rings_.clear();
+    capacity_ = ring_capacity;
+    t0_ = std::chrono::steady_clock::now();
+    // Epoch first, then enabled (release): a thread that observes
+    // enabled == true is guaranteed to re-register rather than push
+    // into a ring freed by the clear() above.
+    epoch_.fetch_add(1, std::memory_order_release);
+    enabled_.store(true, std::memory_order_release);
+  }
+
+  /// Stop recording. Quiescent operation; drain() afterwards.
+  void stop() { enabled_.store(false, std::memory_order_release); }
+
+  [[nodiscard]] bool active() const {
+    return enabled_.load(std::memory_order_acquire);
+  }
+
+  /// Seconds since start() on the host's monotonic clock.
+  [[nodiscard]] double host_now() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0_)
+        .count();
+  }
+
+  /// Every event recorded since start(), concatenated per ring in
+  /// registration order (per-thread program order is preserved).
+  /// Quiescent operation; does not clear (start() does).
+  [[nodiscard]] std::vector<event> collect() {
+    const std::scoped_lock lock(mutex_);
+    std::vector<event> out;
+    std::size_t total = 0;
+    for (const auto& r : rings_) total += r->size();
+    out.reserve(total);
+    for (const auto& r : rings_) {
+      const std::size_t n = r->size();
+      for (std::size_t i = 0; i < n; ++i) out.push_back(r->at(i));
+    }
+    return out;
+  }
+
+  /// Events dropped on full rings since start().
+  [[nodiscard]] std::uint64_t dropped() {
+    const std::scoped_lock lock(mutex_);
+    std::uint64_t total = 0;
+    for (const auto& r : rings_) total += r->dropped();
+    return total;
+  }
+
+  /// Hot path: append to this thread's ring, registering it lazily on
+  /// the thread's first event of the session (the one "warm-up"
+  /// allocation the zero-overhead tests permit).
+  void emit(const event& e) {
+    thread_slot& slot = this_thread();
+    const std::uint64_t ep = epoch_.load(std::memory_order_acquire);
+    if (slot.epoch != ep) {
+      slot.ring = register_thread();
+      slot.epoch = ep;
+    }
+    slot.ring->push(e);
+  }
+
+ private:
+  struct thread_slot {
+    std::uint64_t epoch = 0;
+    event_ring* ring = nullptr;
+  };
+
+  trace_plane() = default;
+
+  static thread_slot& this_thread() {
+    thread_local thread_slot slot;
+    return slot;
+  }
+
+  event_ring* register_thread() {
+    const std::scoped_lock lock(mutex_);
+    rings_.push_back(std::make_unique<event_ring>(capacity_));
+    return rings_.back().get();
+  }
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> epoch_{1};
+  std::mutex mutex_;
+  std::vector<std::unique_ptr<event_ring>> rings_;
+  std::size_t capacity_ = default_capacity;
+  std::chrono::steady_clock::time_point t0_{};
+};
+
+// -- free-function surface (all no-ops when TFX_OBS=OFF) --------------------
+
+/// True when tracing is compiled in *and* currently enabled.
+inline bool active() {
+  if constexpr (!compiled) {
+    return false;
+  } else {
+    return trace_plane::instance().active();
+  }
+}
+
+inline void start(std::size_t ring_capacity = trace_plane::default_capacity) {
+  if constexpr (compiled) trace_plane::instance().start(ring_capacity);
+}
+
+inline void stop() {
+  if constexpr (compiled) trace_plane::instance().stop();
+}
+
+/// All events of the session so far (empty when compiled out).
+inline std::vector<event> collect() {
+  if constexpr (!compiled) {
+    return {};
+  } else {
+    return trace_plane::instance().collect();
+  }
+}
+
+inline std::uint64_t dropped() {
+  if constexpr (!compiled) {
+    return 0;
+  } else {
+    return trace_plane::instance().dropped();
+  }
+}
+
+/// Host seconds since the session started.
+inline double host_now() {
+  if constexpr (!compiled) {
+    return 0.0;
+  } else {
+    return trace_plane::instance().host_now();
+  }
+}
+
+/// Emit with an explicit timestamp (the virtual-clock entry point).
+inline void emit_at(kind k, domain d, std::uint16_t track, const char* name,
+                    double ts, std::uint64_t a = 0, std::uint64_t b = 0) {
+  if constexpr (compiled) {
+    trace_plane& plane = trace_plane::instance();
+    if (!plane.active()) return;
+    plane.emit(event{ts, name, a, b, k, d, track});
+  }
+}
+
+inline void begin_at(domain d, std::uint16_t track, const char* name,
+                     double ts, std::uint64_t a = 0, std::uint64_t b = 0) {
+  emit_at(kind::begin, d, track, name, ts, a, b);
+}
+inline void end_at(domain d, std::uint16_t track, const char* name, double ts,
+                   std::uint64_t a = 0, std::uint64_t b = 0) {
+  emit_at(kind::end, d, track, name, ts, a, b);
+}
+inline void instant_at(domain d, std::uint16_t track, const char* name,
+                       double ts, std::uint64_t a = 0, std::uint64_t b = 0) {
+  emit_at(kind::instant, d, track, name, ts, a, b);
+}
+inline void counter_at(domain d, std::uint16_t track, const char* name,
+                       double ts, std::uint64_t value, std::uint64_t b = 0) {
+  emit_at(kind::counter, d, track, name, ts, value, b);
+}
+
+/// Host-clock variants (the clock is only read when tracing is on).
+inline void instant(domain d, std::uint16_t track, const char* name,
+                    std::uint64_t a = 0, std::uint64_t b = 0) {
+  if constexpr (compiled) {
+    trace_plane& plane = trace_plane::instance();
+    if (!plane.active()) return;
+    plane.emit(
+        event{plane.host_now(), name, a, b, kind::instant, d, track});
+  }
+}
+inline void counter(domain d, std::uint16_t track, const char* name,
+                    std::uint64_t value, std::uint64_t b = 0) {
+  if constexpr (compiled) {
+    trace_plane& plane = trace_plane::instance();
+    if (!plane.active()) return;
+    plane.emit(
+        event{plane.host_now(), name, value, b, kind::counter, d, track});
+  }
+}
+
+/// RAII host-clock span. Records nothing when tracing was off at
+/// construction (and closes even if tracing stops mid-span, so B/E
+/// pairs in a drained session stay balanced).
+class scoped_span {
+ public:
+  scoped_span(domain d, std::uint16_t track, const char* name,
+              std::uint64_t a = 0, std::uint64_t b = 0)
+      : dom_(d), track_(track), name_(name) {
+    if constexpr (compiled) {
+      trace_plane& plane = trace_plane::instance();
+      if (!plane.active()) return;
+      live_ = true;
+      plane.emit(
+          event{plane.host_now(), name, a, b, kind::begin, d, track});
+    }
+  }
+  ~scoped_span() {
+    if constexpr (compiled) {
+      if (!live_) return;
+      trace_plane& plane = trace_plane::instance();
+      plane.emit(event{plane.host_now(), name_, 0, 0, kind::end, dom_,
+                       track_});
+    }
+  }
+  scoped_span(const scoped_span&) = delete;
+  scoped_span& operator=(const scoped_span&) = delete;
+
+ private:
+  domain dom_;
+  std::uint16_t track_;
+  const char* name_;
+  bool live_ = false;
+};
+
+/// RAII span on a caller-supplied clock (the virtual-time analogue of
+/// scoped_span): `clock()` is invoked at open and at close. Used for
+/// mpisim collective spans and resilience commit phases, where the
+/// timestamp is the rank's virtual clock.
+template <typename ClockFn>
+class scoped_vspan {
+ public:
+  scoped_vspan(domain d, std::uint16_t track, const char* name, ClockFn clock,
+               std::uint64_t a = 0, std::uint64_t b = 0)
+      : dom_(d), track_(track), name_(name), clock_(std::move(clock)) {
+    if constexpr (compiled) {
+      if (!trace_plane::instance().active()) return;
+      live_ = true;
+      begin_at(dom_, track_, name_, clock_(), a, b);
+    }
+  }
+  ~scoped_vspan() {
+    if constexpr (compiled) {
+      if (live_) end_at(dom_, track_, name_, clock_());
+    }
+  }
+  scoped_vspan(const scoped_vspan&) = delete;
+  scoped_vspan& operator=(const scoped_vspan&) = delete;
+
+ private:
+  domain dom_;
+  std::uint16_t track_;
+  const char* name_;
+  ClockFn clock_;
+  bool live_ = false;
+};
+
+}  // namespace tfx::obs
+
+// -- instrumentation macros -------------------------------------------------
+// The macro layer exists so TFX_OBS=OFF removes the instrumentation
+// textually: arguments are not evaluated at all. `dom` is a bare
+// domain enumerator (pool, net, swm, resil).
+
+#if TFX_OBS_ENABLED
+
+#define TFX_OBS_CAT2(a, b) a##b
+#define TFX_OBS_CAT(a, b) TFX_OBS_CAT2(a, b)
+
+/// Host-clock RAII span over the rest of the enclosing scope.
+#define TFX_OBS_SPAN(dom, track, name, ...)                              \
+  ::tfx::obs::scoped_span TFX_OBS_CAT(tfx_obs_span_, __LINE__)(          \
+      ::tfx::obs::domain::dom, static_cast<std::uint16_t>(track),        \
+      name __VA_OPT__(, ) __VA_ARGS__)
+
+/// Host-clock instant event.
+#define TFX_OBS_INSTANT(dom, track, name, ...)                        \
+  ::tfx::obs::instant(::tfx::obs::domain::dom,                        \
+                      static_cast<std::uint16_t>(track),              \
+                      name __VA_OPT__(, ) __VA_ARGS__)
+
+/// Host-clock counter sample.
+#define TFX_OBS_COUNTER(dom, track, name, value)       \
+  ::tfx::obs::counter(::tfx::obs::domain::dom,         \
+                      static_cast<std::uint16_t>(track), name, value)
+
+/// Explicit-timestamp (virtual clock) variants.
+#define TFX_OBS_INSTANT_AT(dom, track, name, ts, ...)                  \
+  ::tfx::obs::instant_at(::tfx::obs::domain::dom,                      \
+                         static_cast<std::uint16_t>(track), name,      \
+                         ts __VA_OPT__(, ) __VA_ARGS__)
+#define TFX_OBS_BEGIN_AT(dom, track, name, ts, ...)                    \
+  ::tfx::obs::begin_at(::tfx::obs::domain::dom,                        \
+                       static_cast<std::uint16_t>(track), name,        \
+                       ts __VA_OPT__(, ) __VA_ARGS__)
+#define TFX_OBS_END_AT(dom, track, name, ts)                           \
+  ::tfx::obs::end_at(::tfx::obs::domain::dom,                          \
+                     static_cast<std::uint16_t>(track), name, ts)
+#define TFX_OBS_COUNTER_AT(dom, track, name, ts, value, ...)           \
+  ::tfx::obs::counter_at(::tfx::obs::domain::dom,                      \
+                         static_cast<std::uint16_t>(track), name, ts,  \
+                         value __VA_OPT__(, ) __VA_ARGS__)
+
+#else  // TFX_OBS_ENABLED == 0: macros expand to nothing.
+
+#define TFX_OBS_SPAN(...) ((void)0)
+#define TFX_OBS_INSTANT(...) ((void)0)
+#define TFX_OBS_COUNTER(...) ((void)0)
+#define TFX_OBS_INSTANT_AT(...) ((void)0)
+#define TFX_OBS_BEGIN_AT(...) ((void)0)
+#define TFX_OBS_END_AT(...) ((void)0)
+#define TFX_OBS_COUNTER_AT(...) ((void)0)
+
+#endif  // TFX_OBS_ENABLED

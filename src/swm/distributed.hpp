@@ -23,6 +23,8 @@
 #include "core/contracts.hpp"
 #include "mpisim/collectives.hpp"
 #include "mpisim/runtime.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "swm/diagnostics.hpp"
 #include "swm/field.hpp"
 #include "swm/health.hpp"
@@ -236,8 +238,17 @@ class distributed_model {
     return out;
   }
 
-  /// One RK4 step (collective: every rank must call it).
+  /// One RK4 step (collective: every rank must call it). Traced as a
+  /// swm.step span on the rank's *virtual* clock (track = rank), so a
+  /// threaded run and its DES twin produce identical step timelines;
+  /// the span closes during unwinding too, keeping B/E pairs balanced
+  /// when a fault plane kills the step mid-exchange.
   void step() {
+    obs_halo_bytes_ = 0;
+    const obs::scoped_vspan span(
+        obs::domain::swm, static_cast<std::uint16_t>(comm_.rank()),
+        "swm.step", [this] { return comm_.now(); },
+        static_cast<std::uint64_t>(steps_));
     const T half = T(0.5);
     const T one = T(1);
     eval_rhs(prog_, k1_);
@@ -263,6 +274,7 @@ class distributed_model {
     }
     ++steps_;
     if (health_every_ > 0 && steps_ % health_every_ == 0) check_health();
+    emit_step_obs();
   }
 
   void run(int steps) {
@@ -358,9 +370,15 @@ class distributed_model {
     auto& V = st.v;
     auto& H = st.eta;
 
-    detail::exchange_halo(comm_, U, 1000);
-    detail::exchange_halo(comm_, V, 1010);
-    detail::exchange_halo(comm_, H, 1020);
+    {
+      const obs::scoped_vspan halo_span(
+          obs::domain::swm, static_cast<std::uint16_t>(comm_.rank()),
+          "halo.prognostic", [this] { return comm_.now(); });
+      detail::exchange_halo(comm_, U, 1000);
+      detail::exchange_halo(comm_, V, 1010);
+      detail::exchange_halo(comm_, H, 1020);
+    }
+    count_halo_bytes(3);
 
     for (int j = 0; j < nyl; ++j) {
       for (int i = 0; i < nx; ++i) {
@@ -385,10 +403,16 @@ class distributed_model {
       }
     }
 
-    detail::exchange_halo(comm_, zeta_, 1030);
-    detail::exchange_halo(comm_, ke_, 1040);
-    detail::exchange_halo(comm_, lap_u_, 1050);
-    detail::exchange_halo(comm_, lap_v_, 1060);
+    {
+      const obs::scoped_vspan halo_span(
+          obs::domain::swm, static_cast<std::uint16_t>(comm_.rank()),
+          "halo.derived", [this] { return comm_.now(); });
+      detail::exchange_halo(comm_, zeta_, 1030);
+      detail::exchange_halo(comm_, ke_, 1040);
+      detail::exchange_halo(comm_, lap_u_, 1050);
+      detail::exchange_halo(comm_, lap_v_, 1060);
+    }
+    count_halo_bytes(4);
 
     for (int j = 0; j < nyl; ++j) {
       const T dtf = dt_cor_u_[static_cast<std::size_t>(j)];
@@ -475,6 +499,32 @@ class distributed_model {
     for (std::size_t idx = 0; idx < yv.size(); ++idx) yv[idx] += iv[idx];
   }
 
+  /// Bytes one rank ships per halo exchange: two interior rows of nx
+  /// elements (no sends at all on a single rank - the wrap is local).
+  [[nodiscard]] std::uint64_t bytes_per_exchange() const {
+    if (comm_.size() == 1) return 0;
+    return 2ull * static_cast<std::uint64_t>(params_.nx) * sizeof(T);
+  }
+
+  /// Accumulate the traffic of `exchanges` just-completed halo phases
+  /// into this step's measured counter (tracing on only).
+  void count_halo_bytes(std::uint64_t exchanges) {
+    if (obs::active()) obs_halo_bytes_ += exchanges * bytes_per_exchange();
+  }
+
+  /// Per-step halo-traffic sample: value = bytes this rank measurably
+  /// sent (accumulated exchange by exchange), aux = the static
+  /// prediction of 4 RK stages x 7 exchanged slabs - the distributed
+  /// counterpart of the serial model's swm.update_bytes counter.
+  void emit_step_obs() {
+    if (!obs::active()) return;
+    const std::uint64_t predicted = 4ull * 7ull * bytes_per_exchange();
+    obs::counter_at(obs::domain::swm, static_cast<std::uint16_t>(comm_.rank()),
+                    "swm.halo_bytes", comm_.now(), obs_halo_bytes_, predicted);
+    obs::metric_add("swm.halo_bytes", obs_halo_bytes_);
+    obs::metric_add("swm.dist_steps");
+  }
+
   void apply_comp(slab<T>& y, slab<T>& inc, slab<T>& comp) {
     auto yv = y.interior();
     auto iv = inc.interior();
@@ -495,6 +545,7 @@ class distributed_model {
   int j0_ = 0;
   int steps_ = 0;
   int health_every_ = 0;  ///< 0: sentinel off (default)
+  std::uint64_t obs_halo_bytes_ = 0;  ///< this step's measured traffic
 
   slab_state<T> prog_, comp_, stage_, inc_;
   slab_state<T> k1_, k2_, k3_, k4_;

@@ -19,10 +19,13 @@
 #include <cstdint>
 
 #include "core/rng.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "swm/diagnostics.hpp"
 #include "swm/field.hpp"
 #include "swm/health.hpp"
 #include "swm/params.hpp"
+#include "swm/perfmodel.hpp"
 #include "swm/rhs.hpp"
 #include "swm/timestep.hpp"
 
@@ -184,8 +187,30 @@ class model {
     comp_.fill(Tprog{});
   }
 
-  /// Advance one RK4 step.
+  /// Advance one RK4 step. When the observability plane is live the
+  /// step is bracketed by a swm.step span and followed by a
+  /// swm.update_bytes counter sample that carries the step's *measured*
+  /// update-sweep traffic (value) against the perfmodel's prediction
+  /// for the same configuration (aux) - the trace-level version of the
+  /// docs/MODEL.md byte accounting. Tracing off (or compiled out):
+  /// exactly the three statements of the tail branch, nothing else.
   void step() {
+    if constexpr (obs::compiled) {
+      if (obs::active()) {
+        const double t0 = obs::host_now();
+        obs::begin_at(obs::domain::swm, 0, "swm.step", t0,
+                      static_cast<std::uint64_t>(steps_));
+        if (pipeline_ == update_pipeline::fused) {
+          step_fused();
+        } else {
+          step_unfused();
+        }
+        ++steps_;
+        if (health_every_ > 0 && steps_ % health_every_ == 0) check_health();
+        emit_step_obs(t0);
+        return;
+      }
+    }
     if (pipeline_ == update_pipeline::fused) {
       step_fused();
     } else {
@@ -215,10 +240,23 @@ class model {
   void step_fused() {
     const Tprog half = Tprog(0.5);
     const Tprog one = Tprog(1);
-    fused_stage(nullptr, Tprog{}, k1_);  // k1 = F(y)
-    fused_stage(&k1_, half, k2_);        // k2 = F(y + k1/2)
-    fused_stage(&k2_, half, k3_);        // k3 = F(y + k2/2)
-    fused_stage(&k3_, one, k4_);         // k4 = F(y + k3)
+    {
+      TFX_OBS_SPAN(swm, 0, "rk4.stage", 1);
+      fused_stage(nullptr, Tprog{}, k1_);  // k1 = F(y)
+    }
+    {
+      TFX_OBS_SPAN(swm, 0, "rk4.stage", 2);
+      fused_stage(&k1_, half, k2_);  // k2 = F(y + k1/2)
+    }
+    {
+      TFX_OBS_SPAN(swm, 0, "rk4.stage", 3);
+      fused_stage(&k2_, half, k3_);  // k3 = F(y + k2/2)
+    }
+    {
+      TFX_OBS_SPAN(swm, 0, "rk4.stage", 4);
+      fused_stage(&k3_, one, k4_);  // k4 = F(y + k3)
+    }
+    TFX_OBS_SPAN(swm, 0, "rk4.apply");
     fused_apply();
   }
 
@@ -229,13 +267,26 @@ class model {
     const Tprog half = Tprog(0.5);
     const Tprog one = Tprog(1);
 
-    eval_stage(prog_, k1_);
-    combine_stage(prog_, k1_, half);
-    eval_stage(stage_, k2_);
-    combine_stage(prog_, k2_, half);
-    eval_stage(stage_, k3_);
-    combine_stage(prog_, k3_, one);
-    eval_stage(stage_, k4_);
+    {
+      TFX_OBS_SPAN(swm, 0, "rk4.stage", 1);
+      eval_stage(prog_, k1_);
+    }
+    {
+      TFX_OBS_SPAN(swm, 0, "rk4.stage", 2);
+      combine_stage(prog_, k1_, half);
+      eval_stage(stage_, k2_);
+    }
+    {
+      TFX_OBS_SPAN(swm, 0, "rk4.stage", 3);
+      combine_stage(prog_, k2_, half);
+      eval_stage(stage_, k3_);
+    }
+    {
+      TFX_OBS_SPAN(swm, 0, "rk4.stage", 4);
+      combine_stage(prog_, k3_, one);
+      eval_stage(stage_, k4_);
+    }
+    TFX_OBS_SPAN(swm, 0, "rk4.apply");
 
     rk4_increment(inc_u_, k1_.du, k2_.du, k3_.du, k4_.du);
     rk4_increment(inc_v_, k1_.dv, k2_.dv, k3_.dv, k4_.dv);
@@ -374,6 +425,66 @@ class model {
     stage_combine(stage_.u, y.u, k.du, a);
     stage_combine(stage_.v, y.v, k.dv, a);
     stage_combine(stage_.eta, y.eta, k.deta, a);
+  }
+
+  /// Bytes the update sweeps of ONE step just moved, counted from the
+  /// pipeline this model actually ran (the measurement half of the
+  /// swm.update_bytes counter; perfmodel.cpp derives the same sweep
+  /// counts independently from the source, so predicted == measured is
+  /// a live cross-check of the docs/MODEL.md accounting):
+  ///   combines:  3 stages x 3 fields x (y read + stage write in Tprog,
+  ///              k read in T)
+  ///   increment: 3 fields x 4 k reads in T; the unfused pipeline also
+  ///              writes (and re-reads in apply) an increment array
+  ///   apply:     fused 2 Tprog/field (4 compensated), unfused 3 (5)
+  ///   mixed:     4 down-casts x 3 fields x (Tprog read + T write)
+  [[nodiscard]] std::uint64_t measured_update_bytes() const {
+    const double e = static_cast<double>(sizeof(T));
+    const double p = static_cast<double>(sizeof(Tprog));
+    const bool comp = scheme_ == integration_scheme::compensated;
+    const double sweeps_T = 3.0 * 3.0 * 1.0 + 3.0 * 4.0;
+    double sweeps_Tprog = 3.0 * 3.0 * 2.0;
+    if (pipeline_ == update_pipeline::fused) {
+      sweeps_Tprog += comp ? 3.0 * 4.0 : 3.0 * 2.0;
+    } else {
+      sweeps_Tprog += 3.0 * 1.0 + (comp ? 3.0 * 5.0 : 3.0 * 3.0);
+    }
+    double per_cell = sweeps_T * e + sweeps_Tprog * p;
+    if constexpr (!std::is_same_v<T, Tprog>) {
+      per_cell += 4.0 * 3.0 * (e + p);
+    }
+    const double cells = static_cast<double>(params_.nx) *
+                         static_cast<double>(params_.ny);
+    return static_cast<std::uint64_t>(per_cell * cells);
+  }
+
+  /// The perfmodel's precision_config for this instantiation.
+  [[nodiscard]] precision_config obs_config() const {
+    precision_config cfg;
+    cfg.elem_bytes = sizeof(T);
+    cfg.prog_elem_bytes = sizeof(Tprog);
+    cfg.compensated = scheme_ == integration_scheme::compensated;
+    cfg.fused = pipeline_ == update_pipeline::fused;
+    return cfg;
+  }
+
+  /// Close the swm.step span: emit the measured-vs-predicted update
+  /// traffic counter, feed the step-latency histogram and counters,
+  /// then end the span. Only called while tracing is on.
+  void emit_step_obs(double t0) {
+    static constexpr double step_seconds_uppers[] = {
+        1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1};
+    const double t1 = obs::host_now();
+    const std::uint64_t measured = measured_update_bytes();
+    const std::uint64_t predicted =
+        predict_step(arch::fugaku_node, params_.nx, params_.ny, obs_config())
+            .update_bytes;
+    obs::counter_at(obs::domain::swm, 0, "swm.update_bytes", t1, measured,
+                    predicted);
+    obs::metric_add("swm.steps");
+    obs::metric_add("swm.update_bytes", measured);
+    obs::metric_observe("swm.step_seconds", step_seconds_uppers, t1 - t0);
+    obs::end_at(obs::domain::swm, 0, "swm.step", t1);
   }
 
   swm_params params_;

@@ -60,6 +60,8 @@
 #include "mpisim/patterns.hpp"
 #include "mpisim/runtime.hpp"
 #include "mpisim/subcomm.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "swm/distributed.hpp"
 #include "swm/health.hpp"
 
@@ -210,6 +212,14 @@ class resilient_session {
   /// collective. Public so the DES cross-pin test can drive a bare
   /// commit and compare virtual clocks with make_checkpoint_program.
   void checkpoint_commit() {
+    // The two-phase commit as a resil-domain span on the virtual
+    // clock: a = the epoch being committed, b = the model step it
+    // snapshots. Closes during unwinding too, so a commit a casualty
+    // dies inside still leaves balanced B/E pairs in the trace.
+    const obs::scoped_vspan commit_span(
+        obs::domain::resil, static_cast<std::uint16_t>(comm_.rank()),
+        "ckpt.commit", [this] { return comm_.now(); }, next_epoch_,
+        static_cast<std::uint64_t>(model_.steps_taken()));
     trace("commit:enter", next_epoch_, comm_.sends_posted());
     report_.commit_marks.push_back(comm_.sends_posted());
     snapshot snap;
@@ -260,9 +270,19 @@ class resilient_session {
 
   [[nodiscard]] mpisim::recovery_board& board() { return comm_.board(); }
 
-  /// Protocol trace for debugging hangs: TFX_RECOVERY_TRACE=1 streams
-  /// every session-level protocol step to stderr.
+  /// Protocol trace: every session-level protocol step becomes a
+  /// resil-domain instant on the rank's virtual clock when the
+  /// observability plane is live (the `what` strings double as event
+  /// names - all string literals, so the no-ownership contract of
+  /// obs::event holds), and TFX_RECOVERY_TRACE=1 additionally streams
+  /// it to stderr for debugging hangs.
   void trace(const char* what, std::uint64_t a = 0, std::uint64_t b = 0) {
+    if (obs::active()) {
+      obs::instant_at(obs::domain::resil,
+                      static_cast<std::uint16_t>(comm_.rank()), what,
+                      comm_.now(), a, b);
+      obs::metric_add("resil.events");
+    }
     static const bool on = std::getenv("TFX_RECOVERY_TRACE") != nullptr;
     if (!on) return;
     std::fprintf(stderr, "[rank %d] %s %llu %llu\n", comm_.rank(), what,
@@ -314,6 +334,8 @@ class resilient_session {
     TFX_EXPECTS(committed_local_.valid);
     const int back = static_cast<int>(committed_local_.steps);
     const int cur = model_.steps_taken();
+    trace("rollback", static_cast<std::uint64_t>(back),
+          static_cast<std::uint64_t>(cur > back ? cur - back : 0));
     if (cur > back) report_.replayed_steps += cur - back;
     model_.restore_packed(std::span<const T>(committed_local_.data), back);
   }

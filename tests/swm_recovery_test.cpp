@@ -36,6 +36,8 @@
 #include "mpisim/des.hpp"
 #include "mpisim/faultplane.hpp"
 #include "mpisim/runtime.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "swm/distributed.hpp"
 #include "swm/health.hpp"
 #include "swm/model.hpp"
@@ -434,6 +436,93 @@ TEST(Recovery, PlainStepLoopStaysAllocationIdentical) {
   const std::uint64_t touched = measure(true);
   (void)warm;
   EXPECT_EQ(plain, touched);
+}
+
+// ---------------------------------------------------------------------------
+// Observability cross-check: a traced recovery run records exactly the
+// injected crash, the recovery-round generations, and the replayed
+// steps - and tracing does not perturb the recovered trajectory.
+// ---------------------------------------------------------------------------
+
+TEST(Recovery, TraceRecordsCrashRoundsAndReplay) {
+  if (!obs::compiled) GTEST_SKIP() << "TFX_OBS=OFF";
+  const swm_params params = small_params();
+  const int p = 4, steps = 12;
+
+  mpisim::fault_config cfg;
+  cfg.seed = 40;
+  cfg.crashes.push_back({1, 120});  // one mid-run crash on rank 1
+  resilience_options opt;
+  opt.checkpoint_interval = 4;
+
+  const auto want = oracle_run(params, p, steps);
+  tfx::obs::metrics_registry::instance().clear();
+  tfx::obs::start();
+  const auto got = resilient_run(params, p, steps, cfg, opt);
+  tfx::obs::stop();
+  const auto events = tfx::obs::collect();
+  EXPECT_EQ(tfx::obs::dropped(), 0u);
+
+  // Tracing is an observer: the recovered state still matches the
+  // fault-free oracle bit for bit.
+  expect_bitwise_match(got, want);
+
+  // Exactly the injected crash: one self-implicated net.casualty on
+  // rank 1 (a = dying rank = track, b = a for a scheduled crash), and
+  // no self-implicated casualty anywhere else.
+  int scheduled = 0;
+  for (const auto& e : events) {
+    if (e.dom != tfx::obs::domain::net) continue;
+    if (std::strcmp(e.name, "net.casualty") != 0) continue;
+    if (e.a == e.b) {
+      EXPECT_EQ(e.track, 1u) << "self-implicated casualty on a rank the "
+                                "schedule never crashed";
+      ++scheduled;
+    }
+  }
+  EXPECT_EQ(scheduled, 1) << "the scheduled crash must appear exactly once";
+
+  // Recovery rounds: every rank logged round:begin with nondecreasing
+  // generations, and at least one round completed (round:done).
+  std::vector<std::uint64_t> last_gen(static_cast<std::size_t>(p), 0);
+  int begins = 0, dones = 0;
+  for (const auto& e : events) {
+    if (e.dom != tfx::obs::domain::resil) continue;
+    if (std::strcmp(e.name, "round:begin") == 0) {
+      const auto r = static_cast<std::size_t>(e.track);
+      EXPECT_GE(e.a, last_gen[r]) << "generation went backwards on rank "
+                                  << e.track;
+      last_gen[r] = e.a;
+      ++begins;
+    } else if (std::strcmp(e.name, "round:done") == 0) {
+      ++dones;
+    }
+  }
+  EXPECT_GE(begins, p) << "every rank must enter the recovery round";
+  EXPECT_GE(dones, p) << "every rank must complete the recovery round";
+
+  // Replayed steps: the rollback events' replay counts (payload b)
+  // sum to exactly what each rank's report claims it re-executed.
+  for (int r = 0; r < p; ++r) {
+    std::uint64_t replayed = 0;
+    std::size_t commit_spans = 0;
+    for (const auto& e : events) {
+      if (e.track != static_cast<std::uint16_t>(r)) continue;
+      if (e.dom == tfx::obs::domain::resil &&
+          std::strcmp(e.name, "rollback") == 0) {
+        replayed += e.b;
+      }
+      if (e.dom == tfx::obs::domain::resil &&
+          e.what == tfx::obs::kind::begin &&
+          std::strcmp(e.name, "ckpt.commit") == 0) {
+        ++commit_spans;
+      }
+    }
+    const auto& report = got[static_cast<std::size_t>(r)].report;
+    EXPECT_EQ(replayed, static_cast<std::uint64_t>(report.replayed_steps))
+        << "rank " << r;
+    EXPECT_GE(commit_spans, report.commits) << "rank " << r;
+  }
 }
 
 // ---------------------------------------------------------------------------
