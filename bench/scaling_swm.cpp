@@ -43,10 +43,12 @@ double step_seconds(int ranks, int nx, int ny,
     dm.set_from_global(seeder.prognostic());
     const double compute_per_step =
         predict_step(arch::fugaku_node, nx, ny / ranks, config).seconds;
-    for (int s = 0; s < steps; ++s) {
-      comm.advance(compute_per_step);
-      dm.step();
-    }
+    // Charge the modeled compute through the model itself (a quarter
+    // per RHS evaluation): the default overlapped halo engine then
+    // hides the interior share of each evaluation under the exchange,
+    // exactly as a production code would.
+    dm.set_modeled_rhs_seconds(compute_per_step / 4.0);
+    dm.run(steps);
   });
   double max_clock = 0;
   for (const double c : w.final_clocks()) max_clock = std::max(max_clock, c);

@@ -73,6 +73,15 @@ class communicator;
 /// two pending irecvs with identical (source, tag) complete in wait
 /// order rather than post order - the one deviation from MPI
 /// semantics, which deterministic programs do not observe.
+///
+/// Overlap semantics: posting costs no virtual time (post_vtime merely
+/// records the clock), and wait() charges
+/// `clock = max(clock, arrival) + o_recv` - so when compute is charged
+/// between post and wait (communicator::advance), completion lands at
+/// max(post_time + compute, arrival): the message transfer genuinely
+/// hides under the computation instead of adding to it. The DES
+/// applies the identical rule to a compute-then-recv op sequence, and
+/// tests pin the two engines against each other.
 class request {
  public:
   request() = default;
@@ -84,14 +93,19 @@ class request {
   /// True once the operation has completed (sends: immediately).
   [[nodiscard]] bool done() const { return kind_ == kind::none; }
 
+  /// The rank's virtual clock when the operation was posted.
+  [[nodiscard]] double post_vtime() const { return post_vtime_; }
+
  private:
   friend class communicator;
   enum class kind : std::uint8_t { none, recv };
 
-  request(communicator* comm, std::span<std::byte> buffer, int src, int tag)
+  request(communicator* comm, std::span<std::byte> buffer, int src, int tag,
+          double posted)
       : comm_(comm), buffer_(buffer), src_(src), tag_(tag),
-        kind_(kind::recv) {}
-  explicit request(recv_status immediate) : status_(immediate) {}
+        kind_(kind::recv), post_vtime_(posted) {}
+  explicit request(recv_status immediate)
+      : status_(immediate), post_vtime_(immediate.arrival_vtime) {}
 
   communicator* comm_ = nullptr;
   std::span<std::byte> buffer_{};
@@ -99,6 +113,7 @@ class request {
   int tag_ = 0;
   kind kind_ = kind::none;
   recv_status status_{};
+  double post_vtime_ = 0;
 };
 
 /// Wait on a batch of requests (MPI_Waitall).
@@ -226,8 +241,13 @@ class communicator {
   /// Nonblocking receive: matching and the clock update happen at
   /// wait() time.
   request irecv_bytes(std::span<std::byte> out, int src, int tag) {
-    return request(this, out, src, tag);
+    return request(this, out, src, tag, clock_);
   }
+
+  /// Member form of waitall (MPI_Waitall): complete a batch in order.
+  /// Each completion charges max(clock, arrival) + o_recv, so work
+  /// advanced between the posts and this call overlaps every transfer.
+  void wait_all(std::span<request> requests) { waitall(requests); }
 
   template <typename T>
   request isend(std::span<const T> data, int dst, int tag = 0) {

@@ -14,8 +14,18 @@
 /// tests/swm_distributed_test pins the two trajectories bit-for-bit at
 /// Float64.
 ///
-/// Restrictions: ny must divide evenly by the rank count and each slab
-/// must be at least 2 rows tall; standard or compensated integration
+/// Halo engines (swm/halo.hpp, selected by set_halo_mode): the default
+/// aggregated_overlap path packs all fields of a phase into one
+/// message per neighbour and computes the halo-independent interior
+/// rows while the payloads are in flight; halo_mode::per_field keeps
+/// the legacy one-message-per-row-per-field exchange as the
+/// bit-equality oracle. All modes produce bit-identical trajectories
+/// (tests/swm_halo_test pins this); they differ only in message count
+/// and virtual time. docs/COMM.md has the full story.
+///
+/// Restrictions: every rank's slab must be at least 2 rows tall
+/// (ny / ranks >= 2; uneven decompositions spread the remainder over
+/// the first ny % ranks ranks); standard or compensated integration
 /// (mixed precision is a single-rank feature).
 
 #include <vector>
@@ -27,127 +37,29 @@
 #include "obs/trace.hpp"
 #include "swm/diagnostics.hpp"
 #include "swm/field.hpp"
+#include "swm/halo.hpp"
 #include "swm/health.hpp"
 #include "swm/params.hpp"
+#include "swm/perfmodel.hpp"
 #include "swm/rhs.hpp"
+#include "swm/tags.hpp"
 #include "swm/timestep.hpp"
 
 namespace tfx::swm {
 
-/// nx x local_ny slab with one halo row below (j = -1) and above
-/// (j = local_ny). Periodic in x only; y neighbours come from MPI.
-template <typename T>
-class slab {
- public:
-  slab() = default;
-  slab(int nx, int local_ny)
-      : nx_(nx), local_ny_(local_ny),
-        data_(static_cast<std::size_t>(nx) *
-              static_cast<std::size_t>(local_ny + 2)) {
-    TFX_EXPECTS(nx > 0 && local_ny >= 2);
-  }
-
-  [[nodiscard]] int nx() const { return nx_; }
-  [[nodiscard]] int local_ny() const { return local_ny_; }
-
-  /// j in [-1, local_ny] (halo rows included).
-  T& operator()(int i, int j) {
-    return data_[static_cast<std::size_t>(j + 1) *
-                     static_cast<std::size_t>(nx_) +
-                 static_cast<std::size_t>(i)];
-  }
-  const T& operator()(int i, int j) const {
-    return data_[static_cast<std::size_t>(j + 1) *
-                     static_cast<std::size_t>(nx_) +
-                 static_cast<std::size_t>(i)];
-  }
-
-  [[nodiscard]] int ip(int i) const { return i + 1 == nx_ ? 0 : i + 1; }
-  [[nodiscard]] int im(int i) const { return i == 0 ? nx_ - 1 : i - 1; }
-
-  /// Interior row j as a span (for sends and bulk updates).
-  [[nodiscard]] std::span<T> row(int j) {
-    return {&(*this)(0, j), static_cast<std::size_t>(nx_)};
-  }
-  [[nodiscard]] std::span<const T> row(int j) const {
-    return {&(*this)(0, j), static_cast<std::size_t>(nx_)};
-  }
-
-  /// All interior elements, row-major (halo rows excluded).
-  [[nodiscard]] std::span<T> interior() {
-    return {&(*this)(0, 0), static_cast<std::size_t>(nx_) *
-                                static_cast<std::size_t>(local_ny_)};
-  }
-  [[nodiscard]] std::span<const T> interior() const {
-    return {&(*this)(0, 0), static_cast<std::size_t>(nx_) *
-                                static_cast<std::size_t>(local_ny_)};
-  }
-
-  void fill(T v) {
-    for (auto& x : data_) x = v;
-  }
-
- private:
-  int nx_ = 0, local_ny_ = 0;
-  std::vector<T> data_;
-};
-
-/// The three prognostic slabs of one rank.
-template <typename T>
-struct slab_state {
-  slab<T> u, v, eta;
-
-  slab_state() = default;
-  slab_state(int nx, int local_ny)
-      : u(nx, local_ny), v(nx, local_ny), eta(nx, local_ny) {}
-
-  void fill(T value) {
-    u.fill(value);
-    v.fill(value);
-    eta.fill(value);
-  }
-};
-
-namespace detail {
-
-/// Exchange one slab's halo rows with the y-neighbours (periodic).
-template <typename T>
-void exchange_halo(mpisim::communicator& comm, slab<T>& f, int tag) {
-  const int p = comm.size();
-  const int r = comm.rank();
-  const int up = (r + 1) % p;          // owns rows above mine
-  const int down = (r - 1 + p) % p;    // owns rows below mine
-  if (p == 1) {
-    // Periodic wrap within the single rank.
-    const int top = f.local_ny() - 1;
-    for (int i = 0; i < f.nx(); ++i) {
-      f(i, -1) = f(i, top);
-      f(i, f.local_ny()) = f(i, 0);
-    }
-    return;
-  }
-  // Send my top row up and my bottom row down; receive symmetric.
-  // Under a fault plane (mpisim/faultplane.hpp) a crashed neighbour or
-  // an exhausted retry budget raises comm_error; annotate it with the
-  // exchange context so the step loop fails loudly and debuggably
-  // instead of hanging on a halo row that will never arrive.
-  try {
-    comm.send(std::span<const T>(f.row(f.local_ny() - 1)), up, tag);
-    comm.send(std::span<const T>(f.row(0)), down, tag + 1);
-    comm.recv(std::span<T>(&f(0, -1), static_cast<std::size_t>(f.nx())), down,
-              tag);
-    comm.recv(
-        std::span<T>(&f(0, f.local_ny()), static_cast<std::size_t>(f.nx())),
-        up, tag + 1);
-  } catch (const mpisim::comm_error& e) {
-    throw mpisim::comm_error(
-        e.why(), e.peer(),
-        "halo exchange (rank " + std::to_string(comm.rank()) + ", tag " +
-            std::to_string(tag) + "): " + e.what());
-  }
+/// Rows of the y-slab owned by `rank` when `ny` rows are split over
+/// `p` ranks: ny/p everywhere, plus one extra row on each of the first
+/// ny % p ranks.
+[[nodiscard]] constexpr int slab_rows(int ny, int p, int rank) {
+  return ny / p + (rank < ny % p ? 1 : 0);
 }
 
-}  // namespace detail
+/// Global index of the first row of `rank`'s slab (prefix sum of
+/// slab_rows).
+[[nodiscard]] constexpr int slab_offset(int ny, int p, int rank) {
+  const int rem = ny % p;
+  return rank * (ny / p) + (rank < rem ? rank : rem);
+}
 
 /// The distributed model: same template discipline as swm::model, with
 /// an mpisim::communicator driving the halo exchanges.
@@ -160,10 +72,10 @@ class distributed_model {
         coeffs_(coefficients<T>::make(params)) {
     TFX_EXPECTS(params.bc == boundary::periodic &&
                 "distributed_model supports periodic boundaries");
-    TFX_EXPECTS(params.ny % comm.size() == 0);
-    local_ny_ = params.ny / comm.size();
-    TFX_EXPECTS(local_ny_ >= 2);
-    j0_ = comm.rank() * local_ny_;
+    TFX_EXPECTS(params.ny / comm.size() >= 2 &&
+                "every rank needs a slab at least 2 rows tall");
+    local_ny_ = slab_rows(params.ny, comm.size(), comm.rank());
+    j0_ = slab_offset(params.ny, comm.size(), comm.rank());
 
     const int nx = params.nx;
     prog_ = slab_state<T>(nx, local_ny_);
@@ -181,6 +93,7 @@ class distributed_model {
     inc_ = slab_state<T>(nx, local_ny_);
     prog_.fill(T{});
     comp_.fill(T{});
+    halo_ = halo_exchanger<T>(comm, nx);
 
     const double dt = params.dt();
     const double dy = params.dy();
@@ -206,6 +119,24 @@ class distributed_model {
   [[nodiscard]] int global_j0() const { return j0_; }
   [[nodiscard]] const swm_params& params() const { return params_; }
 
+  /// Select the halo engine for subsequent steps (not mid-step). All
+  /// modes are bit-identical in the produced trajectory; per_field is
+  /// the legacy oracle, aggregated_overlap (the default) the fast one.
+  void set_halo_mode(halo_mode mode) { mode_ = mode; }
+  [[nodiscard]] halo_mode mode() const { return mode_; }
+
+  /// Charge `seconds` of modeled compute per RHS evaluation onto the
+  /// rank's virtual clock, split across the two exchange windows by
+  /// split_rhs_compute. 0 (the default) keeps the step loop's virtual
+  /// time comm-only, exactly as before. With a charge set, the
+  /// aggregated_overlap engine pays the interior share while the halo
+  /// payloads are in flight - which is what makes overlap visible in
+  /// virtual time (bench/ablation_halo prices it).
+  void set_modeled_rhs_seconds(double seconds) {
+    modeled_rhs_seconds_ = seconds;
+    rhs_split_ = split_rhs_compute(seconds, local_ny_);
+  }
+
   /// Adopt the rank's slab of a global state (e.g. produced by the
   /// serial model's seeding, for reproducible comparisons).
   void set_from_global(const state<T>& global) {
@@ -220,16 +151,38 @@ class distributed_model {
     comp_.fill(T{});
   }
 
-  /// Gather the full state to every rank (allgather by rows).
+  /// Gather the full state to every rank: the historical ring
+  /// allgather when the decomposition is uniform (preserving that
+  /// path's virtual clocks bit-for-bit), gatherv to rank 0 plus a
+  /// bcast when slab heights differ.
   [[nodiscard]] state<T> gather_global() {
     state<T> out(params_.nx, params_.ny);
+    const int p = comm_.size();
     const std::size_t chunk = static_cast<std::size_t>(params_.nx) *
                               static_cast<std::size_t>(local_ny_);
     std::vector<T> mine(chunk);
+    const bool uniform = params_.ny % p == 0;
+    std::vector<std::size_t> counts;
+    if (!uniform) {
+      counts.resize(static_cast<std::size_t>(p));
+      for (int r = 0; r < p; ++r) {
+        counts[static_cast<std::size_t>(r)] =
+            static_cast<std::size_t>(params_.nx) *
+            static_cast<std::size_t>(slab_rows(params_.ny, p, r));
+      }
+    }
     auto pack = [&](slab<T>& s, field2d<T>& dst) {
       std::copy(s.interior().begin(), s.interior().end(), mine.begin());
-      std::vector<T> all(chunk * static_cast<std::size_t>(comm_.size()));
-      mpisim::allgather(comm_, std::span<const T>(mine), std::span<T>(all));
+      std::vector<T> all(static_cast<std::size_t>(params_.nx) *
+                         static_cast<std::size_t>(params_.ny));
+      if (uniform) {
+        mpisim::allgather(comm_, std::span<const T>(mine), std::span<T>(all));
+      } else {
+        mpisim::gatherv(comm_, std::span<const T>(mine),
+                        std::span<const std::size_t>(counts),
+                        std::span<T>(all), 0);
+        mpisim::bcast(comm_, std::span<T>(all), 0);
+      }
       std::copy(all.begin(), all.end(), dst.flat().begin());
     };
     pack(prog_.u, out.u);
@@ -245,6 +198,7 @@ class distributed_model {
   /// when a fault plane kills the step mid-exchange.
   void step() {
     obs_halo_bytes_ = 0;
+    obs_halo_msgs_ = 0;
     const obs::scoped_vspan span(
         obs::domain::swm, static_cast<std::uint16_t>(comm_.rank()),
         "swm.step", [this] { return comm_.now(); },
@@ -298,11 +252,19 @@ class distributed_model {
 
   // -- checkpoint/rollback surface (swm/resilience.hpp) ---------------
 
-  /// Elements in a packed state image: prognostic u,v,eta plus the
-  /// Kahan compensation slabs, interiors only (halos are re-exchanged).
-  [[nodiscard]] std::size_t packed_size() const {
+  /// Elements in `rank`'s packed state image (slab heights differ
+  /// under an uneven decomposition, so snapshot buffers must be sized
+  /// by the image's *owner*, not the receiving rank).
+  [[nodiscard]] std::size_t packed_size_of(int rank) const {
     return 6ull * static_cast<std::size_t>(params_.nx) *
-           static_cast<std::size_t>(local_ny_);
+           static_cast<std::size_t>(slab_rows(params_.ny, comm_.size(), rank));
+  }
+
+  /// Elements in this rank's packed state image: prognostic u,v,eta
+  /// plus the Kahan compensation slabs, interiors only (halos are
+  /// re-exchanged).
+  [[nodiscard]] std::size_t packed_size() const {
+    return packed_size_of(comm_.rank());
   }
 
   /// Serialize this rank's full integration state into `out`
@@ -359,28 +321,99 @@ class distributed_model {
   }
 
  private:
+  using engine_phase = typename halo_exchanger<T>::phase;
+
   /// The same five passes as rhs_evaluator::operator(), on slabs, with
-  /// two halo-exchange phases. Formulas must stay textually in sync
-  /// with rhs.hpp (the bit-equality test enforces it).
+  /// two halo-exchange phases. Formulas live in the rhs_*_rows helpers
+  /// and must stay textually in sync with rhs.hpp (the bit-equality
+  /// test enforces it). Under aggregated_overlap the interior rows
+  /// (1..local_ny-2) of each window run while the packed halos are in
+  /// flight and the boundary rows (0 and local_ny-1) after finish();
+  /// per-point arithmetic and inputs are unchanged, so the reordering
+  /// is bit-invisible.
   void eval_rhs(slab_state<T>& st, slab_state<T>& out) {
-    const int nx = params_.nx;
     const int nyl = local_ny_;
-    const coefficients<T>& c = coeffs_;
     auto& U = st.u;
     auto& V = st.v;
     auto& H = st.eta;
+    const bool overlap = mode_ == halo_mode::aggregated_overlap;
 
-    {
+    // -- phase 1: prognostic halos, vorticity/KE and Laplacian passes.
+    if (mode_ == halo_mode::per_field) {
       const obs::scoped_vspan halo_span(
           obs::domain::swm, static_cast<std::uint16_t>(comm_.rank()),
           "halo.prognostic", [this] { return comm_.now(); });
-      detail::exchange_halo(comm_, U, 1000);
-      detail::exchange_halo(comm_, V, 1010);
-      detail::exchange_halo(comm_, H, 1020);
+      detail::exchange_halo(comm_, U, tags::halo_u);
+      detail::exchange_halo(comm_, V, tags::halo_v);
+      detail::exchange_halo(comm_, H, tags::halo_eta);
+    } else {
+      halo_.start(engine_phase::prognostic, {&U, &V, &H});
+      if (!overlap) halo_.finish();
     }
-    count_halo_bytes(3);
+    count_halo_traffic(3);
 
-    for (int j = 0; j < nyl; ++j) {
+    if (overlap) {
+      rhs_vorticity_rows(st, 1, nyl - 1);
+      rhs_laplacian_rows(st, 1, nyl - 1);
+      charge(rhs_split_.interior_prognostic);
+      halo_.finish();
+      rhs_vorticity_rows(st, 0, 1);
+      rhs_vorticity_rows(st, nyl - 1, nyl);
+      rhs_laplacian_rows(st, 0, 1);
+      rhs_laplacian_rows(st, nyl - 1, nyl);
+      charge(rhs_split_.boundary_prognostic);
+    } else {
+      rhs_vorticity_rows(st, 0, nyl);
+      rhs_laplacian_rows(st, 0, nyl);
+      charge(rhs_split_.interior_prognostic);
+      charge(rhs_split_.boundary_prognostic);
+    }
+
+    // -- phase 2: derived halos, tendency passes.
+    if (mode_ == halo_mode::per_field) {
+      const obs::scoped_vspan halo_span(
+          obs::domain::swm, static_cast<std::uint16_t>(comm_.rank()),
+          "halo.derived", [this] { return comm_.now(); });
+      detail::exchange_halo(comm_, zeta_, tags::halo_zeta);
+      detail::exchange_halo(comm_, ke_, tags::halo_ke);
+      detail::exchange_halo(comm_, lap_u_, tags::halo_lap_u);
+      detail::exchange_halo(comm_, lap_v_, tags::halo_lap_v);
+    } else {
+      halo_.start(engine_phase::derived, {&zeta_, &ke_, &lap_u_, &lap_v_});
+      if (!overlap) halo_.finish();
+    }
+    count_halo_traffic(4);
+
+    if (overlap) {
+      rhs_tendency_u_rows(st, out, 1, nyl - 1);
+      rhs_tendency_v_rows(st, out, 1, nyl - 1);
+      rhs_continuity_rows(st, out, 1, nyl - 1);
+      charge(rhs_split_.interior_derived);
+      halo_.finish();
+      rhs_tendency_u_rows(st, out, 0, 1);
+      rhs_tendency_u_rows(st, out, nyl - 1, nyl);
+      rhs_tendency_v_rows(st, out, 0, 1);
+      rhs_tendency_v_rows(st, out, nyl - 1, nyl);
+      rhs_continuity_rows(st, out, 0, 1);
+      rhs_continuity_rows(st, out, nyl - 1, nyl);
+      charge(rhs_split_.boundary_derived);
+    } else {
+      rhs_tendency_u_rows(st, out, 0, nyl);
+      rhs_tendency_v_rows(st, out, 0, nyl);
+      rhs_continuity_rows(st, out, 0, nyl);
+      charge(rhs_split_.interior_derived);
+      charge(rhs_split_.boundary_derived);
+    }
+  }
+
+  /// Vorticity + kinetic-energy pass over rows [jb, je). Reads U,V
+  /// rows j-1..j+1, so rows 0 and local_ny-1 need prognostic halos.
+  void rhs_vorticity_rows(slab_state<T>& st, int jb, int je) {
+    const int nx = params_.nx;
+    const coefficients<T>& c = coeffs_;
+    auto& U = st.u;
+    auto& V = st.v;
+    for (int j = jb; j < je; ++j) {
       for (int i = 0; i < nx; ++i) {
         const int im = U.im(i);
         const int ip = U.ip(i);
@@ -391,7 +424,14 @@ class distributed_model {
                               vbar * (c.inv_s * vbar));
       }
     }
-    for (int j = 0; j < nyl; ++j) {
+  }
+
+  /// Laplacian pass over rows [jb, je) (same halo needs as above).
+  void rhs_laplacian_rows(slab_state<T>& st, int jb, int je) {
+    const int nx = params_.nx;
+    auto& U = st.u;
+    auto& V = st.v;
+    for (int j = jb; j < je; ++j) {
       for (int i = 0; i < nx; ++i) {
         const int im = U.im(i);
         const int ip = U.ip(i);
@@ -402,19 +442,18 @@ class distributed_model {
                        four * V(i, j);
       }
     }
+  }
 
-    {
-      const obs::scoped_vspan halo_span(
-          obs::domain::swm, static_cast<std::uint16_t>(comm_.rank()),
-          "halo.derived", [this] { return comm_.now(); });
-      detail::exchange_halo(comm_, zeta_, 1030);
-      detail::exchange_halo(comm_, ke_, 1040);
-      detail::exchange_halo(comm_, lap_u_, 1050);
-      detail::exchange_halo(comm_, lap_v_, 1060);
-    }
-    count_halo_bytes(4);
-
-    for (int j = 0; j < nyl; ++j) {
+  /// u-tendency pass over rows [jb, je); rows 0 and local_ny-1 read
+  /// the derived halos (zeta, lap_u at j±1).
+  void rhs_tendency_u_rows(slab_state<T>& st, slab_state<T>& out, int jb,
+                           int je) {
+    const int nx = params_.nx;
+    const coefficients<T>& c = coeffs_;
+    auto& U = st.u;
+    auto& V = st.v;
+    auto& H = st.eta;
+    for (int j = jb; j < je; ++j) {
       const T dtf = dt_cor_u_[static_cast<std::size_t>(j)];
       const T wind = wind_u_[static_cast<std::size_t>(j)];
       for (int i = 0; i < nx; ++i) {
@@ -431,7 +470,17 @@ class distributed_model {
                       c.dt_drag * U(i, j) - c.dt_visc * biharm;
       }
     }
-    for (int j = 0; j < nyl; ++j) {
+  }
+
+  /// v-tendency pass over rows [jb, je).
+  void rhs_tendency_v_rows(slab_state<T>& st, slab_state<T>& out, int jb,
+                           int je) {
+    const int nx = params_.nx;
+    const coefficients<T>& c = coeffs_;
+    auto& U = st.u;
+    auto& V = st.v;
+    auto& H = st.eta;
+    for (int j = jb; j < je; ++j) {
       const T dtf = dt_cor_v_[static_cast<std::size_t>(j)];
       for (int i = 0; i < nx; ++i) {
         const int im = V.im(i);
@@ -447,7 +496,19 @@ class distributed_model {
                       c.dt_drag * V(i, j) - c.dt_visc * biharm;
       }
     }
-    for (int j = 0; j < nyl; ++j) {
+  }
+
+  /// Continuity (eta-tendency) pass over rows [jb, je); needs only
+  /// prognostic halos, but runs in the derived window to keep the
+  /// serial pass order.
+  void rhs_continuity_rows(slab_state<T>& st, slab_state<T>& out, int jb,
+                           int je) {
+    const int nx = params_.nx;
+    const coefficients<T>& c = coeffs_;
+    auto& U = st.u;
+    auto& V = st.v;
+    auto& H = st.eta;
+    for (int j = jb; j < je; ++j) {
       for (int i = 0; i < nx; ++i) {
         const int im = H.im(i);
         const int ip = H.ip(i);
@@ -463,6 +524,12 @@ class distributed_model {
                         c.dtdy * (fy_n - fy_s);
       }
     }
+  }
+
+  /// Modeled compute charge (set_modeled_rhs_seconds); mirrors the
+  /// DES program's `if (s > 0)` guard so the engines stay pinned.
+  void charge(double seconds) {
+    if (seconds > 0) comm_.advance(seconds);
   }
 
   void combine_stage(slab_state<T>& y, slab_state<T>& k, T a) {
@@ -499,29 +566,44 @@ class distributed_model {
     for (std::size_t idx = 0; idx < yv.size(); ++idx) yv[idx] += iv[idx];
   }
 
-  /// Bytes one rank ships per halo exchange: two interior rows of nx
-  /// elements (no sends at all on a single rank - the wrap is local).
+  /// Bytes one rank ships per halo exchange of one slab: two interior
+  /// rows of nx elements (no sends at all on a single rank - the wrap
+  /// is local). Identical across engines; aggregation repackages the
+  /// same rows, it does not change their volume.
   [[nodiscard]] std::uint64_t bytes_per_exchange() const {
     if (comm_.size() == 1) return 0;
     return 2ull * static_cast<std::uint64_t>(params_.nx) * sizeof(T);
   }
 
-  /// Accumulate the traffic of `exchanges` just-completed halo phases
-  /// into this step's measured counter (tracing on only).
-  void count_halo_bytes(std::uint64_t exchanges) {
-    if (obs::active()) obs_halo_bytes_ += exchanges * bytes_per_exchange();
+  /// Accumulate one just-completed halo phase of `fields` slabs into
+  /// this step's measured counters (tracing on only). Bytes are
+  /// mode-independent; the message count is what aggregation changes:
+  /// 2 sends per field legacy, 2 packed sends per phase aggregated.
+  void count_halo_traffic(std::uint64_t fields) {
+    if (!obs::active()) return;
+    obs_halo_bytes_ += fields * bytes_per_exchange();
+    if (comm_.size() > 1) {
+      obs_halo_msgs_ += mode_ == halo_mode::per_field ? 2 * fields : 2;
+    }
   }
 
-  /// Per-step halo-traffic sample: value = bytes this rank measurably
-  /// sent (accumulated exchange by exchange), aux = the static
-  /// prediction of 4 RK stages x 7 exchanged slabs - the distributed
-  /// counterpart of the serial model's swm.update_bytes counter.
+  /// Per-step halo-traffic samples: value = what this rank measurably
+  /// sent this step (accumulated phase by phase), aux = the perfmodel
+  /// prediction (predict_halo) - the distributed counterpart of the
+  /// serial model's swm.update_bytes counter. Measured and predicted
+  /// agree exactly; tests/swm_halo_test pins it.
   void emit_step_obs() {
     if (!obs::active()) return;
-    const std::uint64_t predicted = 4ull * 7ull * bytes_per_exchange();
+    const halo_cost predicted =
+        predict_halo(comm_.net(), params_.nx, sizeof(T), comm_.size(), mode_);
     obs::counter_at(obs::domain::swm, static_cast<std::uint16_t>(comm_.rank()),
-                    "swm.halo_bytes", comm_.now(), obs_halo_bytes_, predicted);
+                    "swm.halo_bytes", comm_.now(), obs_halo_bytes_,
+                    predicted.bytes);
+    obs::counter_at(obs::domain::swm, static_cast<std::uint16_t>(comm_.rank()),
+                    "swm.halo_messages", comm_.now(), obs_halo_msgs_,
+                    predicted.messages);
     obs::metric_add("swm.halo_bytes", obs_halo_bytes_);
+    obs::metric_add("swm.halo_messages", obs_halo_msgs_);
     obs::metric_add("swm.dist_steps");
   }
 
@@ -545,8 +627,13 @@ class distributed_model {
   int j0_ = 0;
   int steps_ = 0;
   int health_every_ = 0;  ///< 0: sentinel off (default)
+  halo_mode mode_ = halo_mode::aggregated_overlap;
+  double modeled_rhs_seconds_ = 0;    ///< 0: virtual time is comm-only
+  rhs_compute_split rhs_split_{};
   std::uint64_t obs_halo_bytes_ = 0;  ///< this step's measured traffic
+  std::uint64_t obs_halo_msgs_ = 0;   ///< this step's measured sends
 
+  halo_exchanger<T> halo_;
   slab_state<T> prog_, comp_, stage_, inc_;
   slab_state<T> k1_, k2_, k3_, k4_;
   slab<T> zeta_, ke_, lap_u_, lap_v_;

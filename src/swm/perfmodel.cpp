@@ -131,4 +131,39 @@ double speedup_vs_float64(const arch::a64fx_params& machine, int nx, int ny,
   return base / predict_step(machine, nx, ny, config).seconds;
 }
 
+halo_cost predict_halo(const mpisim::tofud_params& net, int nx,
+                       std::size_t elem_bytes, int ranks, halo_mode mode) {
+  halo_cost out;
+  if (ranks <= 1) return out;  // the periodic wrap is local: no traffic
+  const std::size_t row = static_cast<std::size_t>(nx) * elem_bytes;
+  auto message = [&](std::size_t bytes) {
+    out.messages += 1;
+    out.bytes += bytes;
+    double latency = net.alpha_s + net.per_hop_s;
+    if (bytes > net.eager_threshold) latency += net.rendezvous_extra_s;
+    out.seconds += net.send_overhead_s + net.recv_overhead_s + latency +
+                   static_cast<double>(bytes) / net.link_bandwidth_Bps;
+  };
+  // Per RK4 stage: a 3-field prognostic phase and a 4-field derived
+  // phase, each shipping one up and one down message per rank -
+  // packed under aggregation, per-field otherwise. Overlap changes
+  // *when* the time is paid, not how much traffic exists, so the
+  // aggregated modes share one prediction.
+  constexpr std::size_t phase_fields[2] = {3, 4};
+  for (int stage = 0; stage < 4; ++stage) {
+    for (const std::size_t fields : phase_fields) {
+      if (mode == halo_mode::per_field) {
+        for (std::size_t f = 0; f < fields; ++f) {
+          message(row);  // up
+          message(row);  // down
+        }
+      } else {
+        message(fields * row);
+        message(fields * row);
+      }
+    }
+  }
+  return out;
+}
+
 }  // namespace tfx::swm

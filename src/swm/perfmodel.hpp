@@ -21,6 +21,7 @@
 #include <cstdint>
 
 #include "arch/a64fx.hpp"
+#include "mpisim/network.hpp"
 
 namespace tfx::swm {
 
@@ -65,5 +66,33 @@ step_cost predict_step(const arch::a64fx_params& machine, int nx, int ny,
 /// Convenience: modeled speedup of `config` over Float64 at a size.
 double speedup_vs_float64(const arch::a64fx_params& machine, int nx, int ny,
                           const precision_config& config);
+
+/// How the distributed model moves its halo rows (docs/COMM.md).
+enum class halo_mode : std::uint8_t {
+  per_field,           ///< 7 blocking per-field exchanges per RHS eval
+                       ///< (the bit-equality oracle)
+  aggregated,          ///< one packed message per neighbour per phase
+  aggregated_overlap,  ///< packed + interior compute under the exchange
+};
+
+/// Alpha-beta prediction of one rank's halo communication per RK4
+/// step. `messages` and `bytes` are exact mirrors of what the model
+/// sends (the obs counters swm.halo_messages / swm.halo_bytes measure
+/// the same quantities and the comm tests assert equality); `seconds`
+/// is the uncontended Hockney bound - per message one
+/// o_send + o_recv + alpha + per-hop latency (ring neighbours sit one
+/// torus hop apart on the default line placement, plus the rendezvous
+/// surcharge past the eager threshold) plus bytes over the link
+/// bandwidth - ignoring port contention and cross-message pipelining.
+struct halo_cost {
+  std::uint64_t messages = 0;  ///< sends this rank posts per step
+  std::uint64_t bytes = 0;     ///< payload bytes this rank sends per step
+  double seconds = 0;          ///< uncontended alpha-beta time per step
+};
+
+/// Predict one rank's per-step halo traffic for an nx-wide slab of
+/// sizeof-`elem_bytes` elements split over `ranks` ranks under `mode`.
+halo_cost predict_halo(const mpisim::tofud_params& net, int nx,
+                       std::size_t elem_bytes, int ranks, halo_mode mode);
 
 }  // namespace tfx::swm

@@ -64,14 +64,15 @@
 #include "obs/trace.hpp"
 #include "swm/distributed.hpp"
 #include "swm/health.hpp"
+#include "swm/tags.hpp"
 
 namespace tfx::swm {
 
-/// Tag space of the resilience layer (below the collectives' 1<<20,
-/// above the model's halo tags).
-inline constexpr int checkpoint_tag = 1 << 18;      ///< buddy prepare
-inline constexpr int transfer_tag = (1 << 18) + 1;  ///< buddy re-seed
-inline constexpr int recovery_tag_offset = (1 << 18) + (1 << 14);
+/// Tag space of the resilience layer (swm/tags.hpp band table: below
+/// the collectives' 1<<20, above the model's halo tags).
+inline constexpr int checkpoint_tag = tags::checkpoint;    ///< buddy prepare
+inline constexpr int transfer_tag = tags::transfer;        ///< buddy re-seed
+inline constexpr int recovery_tag_offset = tags::recovery;
 
 /// Transient-corruption injection for tests: right after completing
 /// `step`, rank `rank` has a NaN written into its surface height -
@@ -140,8 +141,16 @@ class resilient_session {
   }
 
   /// Wire size of one snapshot message (header + packed slab image).
+  /// Snapshots travel between ranks whose slab heights can differ
+  /// under an uneven decomposition, so the size follows the image's
+  /// *owner* - the rank whose state the snapshot captures.
+  [[nodiscard]] std::size_t message_bytes_of(int owner) const {
+    return header_bytes + model_.packed_size_of(owner) * sizeof(T);
+  }
+
+  /// Wire size of this rank's own snapshot message.
   [[nodiscard]] std::size_t message_bytes() const {
-    return header_bytes + model_.packed_size() * sizeof(T);
+    return message_bytes_of(comm_.rank());
   }
 
   /// Run to `total_steps`, recovering as needed; collective.
@@ -241,7 +250,8 @@ class resilient_session {
     // left neighbour's snapshot to me.
     pending_local_ = std::move(snap);
     send_snapshot(pending_local_, (r + 1) % p, checkpoint_tag);
-    pending_remote_ = recv_snapshot((r - 1 + p) % p, checkpoint_tag);
+    pending_remote_ =
+        recv_snapshot((r - 1 + p) % p, checkpoint_tag, (r - 1 + p) % p);
     TFX_EXPECTS(pending_remote_.epoch == next_epoch_);
     // Phase 2 (vote): the allreduce doubles as the commit decision. It
     // cannot complete on any rank until every rank contributed, and a
@@ -296,27 +306,28 @@ class resilient_session {
                               "recovery: " + what);
   }
 
-  [[nodiscard]] std::size_t payload_bytes() const {
-    return model_.packed_size() * sizeof(T);
-  }
-
   void send_snapshot(const snapshot& s, int dst, int tag) {
-    std::vector<std::byte> buf(message_bytes());
+    const std::size_t payload = s.data.size() * sizeof(T);
+    std::vector<std::byte> buf(header_bytes + payload);
     std::memcpy(buf.data(), &s.epoch, 8);
     std::memcpy(buf.data() + 8, &s.steps, 8);
-    std::memcpy(buf.data() + header_bytes, s.data.data(), payload_bytes());
+    std::memcpy(buf.data() + header_bytes, s.data.data(), payload);
     comm_.send_bytes(buf, dst, tag);
   }
 
-  [[nodiscard]] snapshot recv_snapshot(int src, int tag) {
-    std::vector<std::byte> buf(message_bytes());
+  /// Receive `owner`'s snapshot from `src` (owner != src during a
+  /// recovery transfer, where the buddy returns MY snapshot to me).
+  [[nodiscard]] snapshot recv_snapshot(int src, int tag, int owner) {
+    const std::size_t elems = model_.packed_size_of(owner);
+    std::vector<std::byte> buf(header_bytes + elems * sizeof(T));
     comm_.recv_bytes(buf, src, tag);
     snapshot s;
     s.valid = true;
     std::memcpy(&s.epoch, buf.data(), 8);
     std::memcpy(&s.steps, buf.data() + 8, 8);
-    s.data.resize(model_.packed_size());
-    std::memcpy(s.data.data(), buf.data() + header_bytes, payload_bytes());
+    s.data.resize(elems);
+    std::memcpy(s.data.data(), buf.data() + header_bytes,
+                elems * sizeof(T));
     return s;
   }
 
@@ -484,7 +495,7 @@ class resilient_session {
         send_snapshot(committed_remote_, d, transfer_tag);
       } else if (comm_.rank() == d) {
         trace("xfer:wait", static_cast<std::uint64_t>(buddy));
-        committed_local_ = recv_snapshot(buddy, transfer_tag);
+        committed_local_ = recv_snapshot(buddy, transfer_tag, comm_.rank());
         target = committed_local_.epoch;
         trace("xfer:got", target);
       }

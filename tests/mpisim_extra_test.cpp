@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <numeric>
 #include <vector>
 
@@ -68,6 +69,31 @@ TEST(Nonblocking, IrecvDefersClockUpdate) {
       req.wait();
       EXPECT_GT(comm.now(), 50e-6);  // the wait absorbed the arrival
       EXPECT_EQ(v, 1);
+    }
+  });
+}
+
+TEST(Nonblocking, WaitAllMemberOverlapsComputeWithTransfers) {
+  // The member form comm.wait_all + the overlap clock rule: compute
+  // advanced between the posts and the wait hides the transfer, so the
+  // receiver's clock lands at max(compute_end, arrival) + o_recv - not
+  // at compute_end + transfer.
+  world w(2);
+  w.run([&w](communicator& comm) {
+    const auto& net = w.net();
+    if (comm.rank() == 0) {
+      comm.advance(50e-6);
+      comm.send_value(7, 1, 3);
+    } else {
+      int v = 0;
+      std::array<request, 1> reqs{
+          comm.irecv(std::span<int>(&v, 1), 0, 3)};
+      EXPECT_EQ(reqs[0].post_vtime(), 0.0);
+      comm.advance(100e-6);  // arrival (~50.9us) lands inside this
+      comm.wait_all(std::span<request>(reqs));
+      EXPECT_DOUBLE_EQ(comm.now(), 100e-6 + net.recv_overhead_s);
+      EXPECT_EQ(v, 7);
+      EXPECT_TRUE(reqs[0].done());
     }
   });
 }

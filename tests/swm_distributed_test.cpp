@@ -7,6 +7,8 @@
 #include <algorithm>
 #include <cmath>
 #include <string>
+#include <tuple>
+#include <utility>
 
 #include "fp/float16.hpp"
 #include "fp/fpenv.hpp"
@@ -205,3 +207,64 @@ TEST(Distributed, DecompositionArithmetic) {
     EXPECT_EQ(dm.global_j0(), comm.rank() * 4);
   });
 }
+
+TEST(Distributed, UnevenDecompositionArithmetic) {
+  // 18 rows over 4 ranks: heights 5,5,4,4 at offsets 0,5,10,14; the
+  // heights sum to ny and the offsets are their prefix sums.
+  EXPECT_EQ(slab_rows(18, 4, 0), 5);
+  EXPECT_EQ(slab_rows(18, 4, 1), 5);
+  EXPECT_EQ(slab_rows(18, 4, 2), 4);
+  EXPECT_EQ(slab_rows(18, 4, 3), 4);
+  EXPECT_EQ(slab_offset(18, 4, 0), 0);
+  EXPECT_EQ(slab_offset(18, 4, 1), 5);
+  EXPECT_EQ(slab_offset(18, 4, 2), 10);
+  EXPECT_EQ(slab_offset(18, 4, 3), 14);
+  for (const auto& [ny, p] : {std::pair{17, 5}, {11, 3}, {16, 4}}) {
+    int sum = 0;
+    for (int r = 0; r < p; ++r) {
+      EXPECT_EQ(slab_offset(ny, p, r), sum) << ny << "/" << p << "@" << r;
+      sum += slab_rows(ny, p, r);
+    }
+    EXPECT_EQ(sum, ny) << ny << "/" << p;
+  }
+}
+
+// (nx, ny, p): ny % p != 0 and odd nx - decompositions the historical
+// model rejected outright.
+class DistributedUneven
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(DistributedUneven, BitEqualToSerialBothSchemes) {
+  const auto [nx, ny, p] = GetParam();
+  swm_params params;
+  params.nx = nx;
+  params.ny = ny;
+  params.Ly = params.Lx * ny / nx;  // keep the cells square (dx == dy)
+  const int steps = 8;
+  for (const auto scheme :
+       {integration_scheme::standard, integration_scheme::compensated}) {
+    const auto init = initial_state<double>(params);
+    const auto serial = serial_trajectory<double>(params, steps, scheme);
+    mpisim::world w(p);
+    w.run([&](mpisim::communicator& comm) {
+      distributed_model<double> dm(comm, params, scheme);
+      EXPECT_EQ(dm.local_ny(), slab_rows(ny, p, comm.rank()));
+      EXPECT_EQ(dm.global_j0(), slab_offset(ny, p, comm.rank()));
+      dm.set_from_global(init);
+      dm.run(steps);
+      const auto global = dm.gather_global();
+      for (int j = 0; j < params.ny; ++j) {
+        for (int i = 0; i < params.nx; ++i) {
+          ASSERT_EQ(global.u(i, j), serial.u(i, j)) << i << "," << j;
+          ASSERT_EQ(global.v(i, j), serial.v(i, j)) << i << "," << j;
+          ASSERT_EQ(global.eta(i, j), serial.eta(i, j)) << i << "," << j;
+        }
+      }
+    });
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grids, DistributedUneven,
+                         ::testing::Values(std::make_tuple(31, 18, 4),
+                                           std::make_tuple(33, 11, 3),
+                                           std::make_tuple(32, 17, 5)));
