@@ -3,11 +3,20 @@
 // routines invoked". Measure our registry's forwarding cost (atomic
 // load + shared_ptr copy + virtual call) against a direct call, with
 // google-benchmark, across vector lengths.
+//
+// Extended for the vectorized kernel layer: the same sweep through
+// each fixed-width Vec backend (what does explicit vectorization buy
+// per width on this host?), and the batched small-problem path vs a
+// loop of per-problem dispatched calls (what does amortizing the
+// trampoline hop buy at M,N,K <= 32?).
 
 #include <benchmark/benchmark.h>
 
+#include <string>
 #include <vector>
 
+#include "kernels/batched.hpp"
+#include "kernels/dispatch.hpp"
 #include "kernels/generic.hpp"
 #include "kernels/registry.hpp"
 
@@ -39,9 +48,130 @@ void bench_trampoline(benchmark::State& state) {
                           static_cast<std::int64_t>(n));
 }
 
+/// axpy through a named backend (the Vec* fixed-width kernels or any
+/// paper personality), double lanes.
+template <typename T>
+void bench_backend(benchmark::State& state, const std::string& name) {
+  auto& reg = kernels::blas_registry::instance();
+  const auto backend = reg.find(name);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<T> x(n, T(1.5)), y(n, T(0.5));
+  for (auto _ : state) {
+    backend->axpy(T(1.0001), std::span<const T>(x), std::span<T>(y));
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+
+void bench_backend_f64(benchmark::State& state, const std::string& name) {
+  bench_backend<double>(state, name);
+}
+void bench_backend_f32(benchmark::State& state, const std::string& name) {
+  bench_backend<float>(state, name);
+}
+
+/// One batched gemm dispatch for `count` small problems...
+void bench_gemm_batched(benchmark::State& state) {
+  kernels::blas_registry::instance().select_preferred_vectorized();
+  const auto mnk = static_cast<std::size_t>(state.range(0));
+  const kernels::gemm_batch_shape s{256, mnk, mnk, mnk};
+  std::vector<double> a(s.count * s.a_elems(), 1.01);
+  std::vector<double> b(s.count * s.b_elems(), 0.99);
+  std::vector<double> c(s.count * s.c_elems(), 0.5);
+  for (auto _ : state) {
+    kernels::gemm_batched_dispatch<double>(s, 1.0, a, b, 0.0, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  kernels::blas_registry::instance().set_current("Julia");
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(2 * s.count * mnk * mnk * mnk));
+}
+
+/// ...vs a dispatch per problem (the cost the batched API removes).
+void bench_gemm_looped(benchmark::State& state) {
+  kernels::blas_registry::instance().select_preferred_vectorized();
+  const auto mnk = static_cast<std::size_t>(state.range(0));
+  const kernels::gemm_batch_shape s{256, mnk, mnk, mnk};
+  const kernels::gemm_batch_shape one{1, mnk, mnk, mnk};
+  std::vector<double> a(s.count * s.a_elems(), 1.01);
+  std::vector<double> b(s.count * s.b_elems(), 0.99);
+  std::vector<double> c(s.count * s.c_elems(), 0.5);
+  for (auto _ : state) {
+    for (std::size_t p = 0; p < s.count; ++p) {
+      kernels::gemm_batched_dispatch<double>(
+          one, 1.0,
+          std::span<const double>(a).subspan(p * s.a_elems(), s.a_elems()),
+          std::span<const double>(b).subspan(p * s.b_elems(), s.b_elems()),
+          0.0, std::span<double>(c).subspan(p * s.c_elems(), s.c_elems()));
+    }
+    benchmark::DoNotOptimize(c.data());
+  }
+  kernels::blas_registry::instance().set_current("Julia");
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(2 * s.count * mnk * mnk * mnk));
+}
+
+void bench_axpy_batched(benchmark::State& state) {
+  kernels::blas_registry::instance().select_preferred_vectorized();
+  const std::size_t count = 256;
+  const auto len = static_cast<std::size_t>(state.range(0));
+  std::vector<double> a(count, 0.999);
+  std::vector<double> x(count * len, 1.5), y(count * len, 0.25);
+  for (auto _ : state) {
+    kernels::axpy_batched_dispatch<double>(a, x, y, len);
+    benchmark::DoNotOptimize(y.data());
+  }
+  kernels::blas_registry::instance().set_current("Julia");
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(count * len));
+}
+
+void bench_axpy_looped(benchmark::State& state) {
+  kernels::blas_registry::instance().select_preferred_vectorized();
+  const std::size_t count = 256;
+  const auto len = static_cast<std::size_t>(state.range(0));
+  std::vector<double> a(count, 0.999);
+  std::vector<double> x(count * len, 1.5), y(count * len, 0.25);
+  for (auto _ : state) {
+    for (std::size_t p = 0; p < count; ++p) {
+      kernels::axpy_dispatch(a[p],
+                             std::span<const double>(x).subspan(p * len, len),
+                             std::span<double>(y).subspan(p * len, len));
+    }
+    benchmark::DoNotOptimize(y.data());
+  }
+  kernels::blas_registry::instance().set_current("Julia");
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(count * len));
+}
+
 }  // namespace
 
 BENCHMARK(bench_direct)->RangeMultiplier(8)->Range(8, 1 << 18);
 BENCHMARK(bench_trampoline)->RangeMultiplier(8)->Range(8, 1 << 18);
+
+BENCHMARK_CAPTURE(bench_backend_f64, Julia, "Julia")
+    ->RangeMultiplier(8)
+    ->Range(8, 1 << 18);
+BENCHMARK_CAPTURE(bench_backend_f64, Vec128, "Vec128")
+    ->RangeMultiplier(8)
+    ->Range(8, 1 << 18);
+BENCHMARK_CAPTURE(bench_backend_f64, Vec256, "Vec256")
+    ->RangeMultiplier(8)
+    ->Range(8, 1 << 18);
+BENCHMARK_CAPTURE(bench_backend_f64, Vec512, "Vec512")
+    ->RangeMultiplier(8)
+    ->Range(8, 1 << 18);
+BENCHMARK_CAPTURE(bench_backend_f32, Vec512, "Vec512")
+    ->RangeMultiplier(8)
+    ->Range(8, 1 << 18);
+
+BENCHMARK(bench_gemm_batched)->DenseRange(4, 16, 4);
+BENCHMARK(bench_gemm_looped)->DenseRange(4, 16, 4);
+BENCHMARK(bench_axpy_batched)->RangeMultiplier(4)->Range(8, 128);
+BENCHMARK(bench_axpy_looped)->RangeMultiplier(4)->Range(8, 128);
 
 BENCHMARK_MAIN();

@@ -1,17 +1,27 @@
 // Figure 1: axpy GFLOPS vs vector length for Float16/Float32/Float64,
 // Julia's generic kernel vs Fujitsu BLAS, BLIS, OpenBLAS and ARMPL on
-// one A64FX core.
+// one A64FX core — now also sweeping the explicitly vectorized Vec*
+// backends (kernels/simd.hpp).
 //
-// The modeled machine (arch::) supplies the A64FX numbers; a host
-// wall-clock column for the generic kernel at Float32/Float64 is
-// printed as a sanity check of the *shape* (it shows the same
-// cache-cliff structure on the build machine). Per the paper, only the
-// generic kernel has a Float16 implementation at all.
+// Two instruments, as everywhere in this repo:
+//  * the modeled machine (arch::) supplies the A64FX numbers for every
+//    backend personality (the paper's figure);
+//  * host wall-clock sweeps the real backends on the build machine —
+//    including a genuinely scalar (vectorization-disabled) reference —
+//    plus the dispatch overhead, the batched small-GEMM/axpy path vs
+//    looped single calls, and a host memory-roofline consistency check
+//    (docs/KERNELS.md#roofline-tolerance).
+//
+// Results go to a machine-readable JSON file (--json, default
+// BENCH_kernels.json) for the CI trend line.
 
+#include <cmath>
 #include <cstdio>
 #include <iostream>
+#include <string>
 #include <vector>
 
+#include "arch/features.hpp"
 #include "arch/roofline.hpp"
 #include "core/cli.hpp"
 #include "core/table.hpp"
@@ -19,13 +29,243 @@
 #include "core/units.hpp"
 #include "fp/float16.hpp"
 #include "fp/traits.hpp"
+#include "kernels/batched.hpp"
+#include "kernels/dispatch.hpp"
 #include "kernels/generic.hpp"
 #include "kernels/registry.hpp"
+#include "kernels/stream.hpp"
 
 using namespace tfx;
 using tfx::fp::float16;
 
 namespace {
+
+// ---------------------------------------------------------------------------
+// Host instruments
+// ---------------------------------------------------------------------------
+
+/// A genuinely scalar axpy: vectorization disabled, so this is what
+/// "one element per instruction" costs on the host — the baseline the
+/// explicitly vectorized backends must beat.
+template <typename T>
+#if defined(__GNUC__) && !defined(__clang__)
+__attribute__((optimize("no-tree-vectorize,no-tree-slp-vectorize")))
+#endif
+void axpy_scalar_ref(T a, const T* x, T* y, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) y[i] = a * x[i] + y[i];
+}
+
+/// Host wall-clock GFLOPS of `fn` performing one axpy pass of length n.
+template <typename Fn>
+double host_axpy_gflops(std::size_t n, Fn&& fn) {
+  const auto t = measure(fn);
+  return gflops(2.0 * static_cast<double>(n), t.min());
+}
+
+struct host_point {
+  std::string backend;
+  std::string type;
+  std::size_t n = 0;
+  double host_gflops = 0;
+  double modeled_gflops = 0;  ///< A64FX prediction for the same backend
+};
+
+/// Sweep the real backends (plus the scalar reference) at type T over
+/// fig1-style sizes; returns the measured+modeled points.
+template <typename T>
+std::vector<host_point> host_sweep(const std::vector<std::size_t>& sizes) {
+  auto& reg = kernels::blas_registry::instance();
+  const auto& machine = arch::fugaku_node;
+  std::vector<host_point> out;
+  const char* const backends[] = {"Julia",  "FujitsuBLAS", "Vec128",
+                                  "Vec256", "Vec512"};
+
+  for (const std::size_t n : sizes) {
+    std::vector<T> x(n, T(1.5)), y(n, T(0.25));
+    const T a = T(0.999);
+
+    host_point scalar;
+    scalar.backend = "scalar";
+    scalar.type = std::string(fp::precision_traits<T>::name);
+    scalar.n = n;
+    scalar.host_gflops = host_axpy_gflops(
+        n, [&] { axpy_scalar_ref(a, x.data(), y.data(), n); });
+    scalar.modeled_gflops = 0;  // no personality models a scalar loop
+    out.push_back(scalar);
+
+    for (const char* name : backends) {
+      const auto backend = reg.find(name);
+      host_point p;
+      p.backend = name;
+      p.type = scalar.type;
+      p.n = n;
+      p.host_gflops = host_axpy_gflops(n, [&] {
+        backend->axpy(a, std::span<const T>(x), std::span<T>(y));
+      });
+      const auto profile = backend->axpy_profile(sizeof(T));
+      p.modeled_gflops =
+          arch::predict(machine, profile, n, sizeof(T), 2 * n * sizeof(T))
+              .gflops;
+      out.push_back(p);
+    }
+  }
+  return out;
+}
+
+void print_host_sweep(const char* type_name,
+                      const std::vector<host_point>& points) {
+  table t({"backend", "n", "host GF/s", "modeled A64FX GF/s"});
+  for (const auto& p : points) {
+    t.add_row({p.backend, std::to_string(p.n), format_fixed(p.host_gflops, 2),
+               p.modeled_gflops > 0 ? format_fixed(p.modeled_gflops, 2)
+                                    : std::string("-")});
+  }
+  std::printf("\n== Host wall-clock sweep: %s axpy per backend ==\n",
+              type_name);
+  t.print(std::cout);
+}
+
+/// Forwarding cost of the trampoline: dispatched vs direct call at a
+/// size where the loop itself is trivial.
+double dispatch_overhead_ns() {
+  kernels::blas_registry::instance().set_current("Julia");
+  const std::size_t n = 16;
+  std::vector<double> x(n, 1.5), y(n, 0.25);
+  const auto direct = measure([&] {
+    kernels::axpy(0.999, std::span<const double>(x), std::span<double>(y));
+  });
+  const auto dispatched = measure([&] {
+    kernels::axpy_dispatch(0.999, std::span<const double>(x),
+                           std::span<double>(y));
+  });
+  return (dispatched.min() - direct.min()) * 1e9;
+}
+
+// ---------------------------------------------------------------------------
+// Batched small problems vs looped single calls
+// ---------------------------------------------------------------------------
+
+struct batched_result {
+  double batched_gflops = 0;
+  double looped_gflops = 0;
+  [[nodiscard]] double speedup() const {
+    return batched_gflops / looped_gflops;
+  }
+};
+
+batched_result bench_batched_gemm(const kernels::gemm_batch_shape& s) {
+  std::vector<double> a(s.count * s.a_elems(), 1.01);
+  std::vector<double> b(s.count * s.b_elems(), 0.99);
+  std::vector<double> c(s.count * s.c_elems(), 0.5);
+  const double flops = 2.0 * static_cast<double>(s.count) *
+                       static_cast<double>(s.m * s.n * s.k);
+
+  batched_result r;
+  const auto tb = measure([&] {
+    kernels::gemm_batched_dispatch<double>(s, 1.0, a, b, 0.0, c);
+  });
+  r.batched_gflops = gflops(flops, tb.min());
+
+  // Looped single calls: one trampoline hop and one shape per problem.
+  const kernels::gemm_batch_shape one{1, s.m, s.n, s.k};
+  const auto tl = measure([&] {
+    for (std::size_t p = 0; p < s.count; ++p) {
+      kernels::gemm_batched_dispatch<double>(
+          one, 1.0,
+          std::span<const double>(a).subspan(p * s.a_elems(), s.a_elems()),
+          std::span<const double>(b).subspan(p * s.b_elems(), s.b_elems()),
+          0.0, std::span<double>(c).subspan(p * s.c_elems(), s.c_elems()));
+    }
+  });
+  r.looped_gflops = gflops(flops, tl.min());
+  return r;
+}
+
+batched_result bench_batched_axpy() {
+  const std::size_t count = 512, len = 32;
+  std::vector<double> a(count, 0.999);
+  std::vector<double> x(count * len, 1.5), y(count * len, 0.25);
+  const double flops = 2.0 * static_cast<double>(count * len);
+
+  batched_result r;
+  const auto tb = measure([&] {
+    kernels::axpy_batched_dispatch<double>(a, x, y, len);
+  });
+  r.batched_gflops = gflops(flops, tb.min());
+
+  const auto tl = measure([&] {
+    for (std::size_t p = 0; p < count; ++p) {
+      kernels::axpy_dispatch(a[p],
+                             std::span<const double>(x).subspan(p * len, len),
+                             std::span<double>(y).subspan(p * len, len));
+    }
+  });
+  r.looped_gflops = gflops(flops, tl.min());
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Host memory-roofline consistency (docs/KERNELS.md#roofline-tolerance)
+// ---------------------------------------------------------------------------
+
+struct roofline_check {
+  double triad_gbs = 0;        ///< host triad bandwidth (3 streams)
+  double scalar_gbs = 0;       ///< bandwidth implied by the scalar axpy
+  double bound_gflops = 0;     ///< axpy roofline from the best probe
+  double measured_gflops = 0;  ///< Vec backend at the DRAM-resident size
+  double ratio = 0;
+  bool within = false;
+};
+
+/// At DRAM-resident sizes axpy is bandwidth-bound (2 flops per 24
+/// bytes of traffic), so the vectorized backend must land on the
+/// memory roofline — no higher, and not below it either, or the
+/// vector path is leaving bandwidth unused. The bound is derived from
+/// two probes with the identical traffic pattern — the scalar
+/// reference axpy and stream triad — taking the larger (either can be
+/// depressed by page placement on a shared host). Documented
+/// tolerance band: ratio in [0.5, 1.3] (docs/KERNELS.md).
+roofline_check host_roofline() {
+  const std::size_t n = std::size_t{1} << 23;  // 64 MiB/array: DRAM
+  roofline_check r;
+  {
+    std::vector<double> a(n, 0.1), b(n, 0.2), c(n, 0.3);
+    const auto t = measure(
+        [&] {
+          kernels::stream_triad(0.999, std::span<const double>(b),
+                                std::span<const double>(c),
+                                std::span<double>(a));
+        },
+        5);
+    r.triad_gbs = static_cast<double>(3 * sizeof(double) * n) / t.min() / 1e9;
+  }
+  std::vector<double> x(n, 1.5), y(n, 0.25);
+  {
+    const auto t = measure(
+        [&] { axpy_scalar_ref(0.999, x.data(), y.data(), n); }, 5);
+    r.scalar_gbs = static_cast<double>(3 * sizeof(double) * n) / t.min() / 1e9;
+  }
+  const double bw = r.triad_gbs > r.scalar_gbs ? r.triad_gbs : r.scalar_gbs;
+  r.bound_gflops = bw / 12.0;  // 2 flops per 24 bytes
+  {
+    auto& reg = kernels::blas_registry::instance();
+    const auto backend = reg.find(reg.preferred_vectorized());
+    const auto t = measure(
+        [&] {
+          backend->axpy(0.999, std::span<const double>(x),
+                        std::span<double>(y));
+        },
+        5);
+    r.measured_gflops = gflops(2.0 * static_cast<double>(n), t.min());
+  }
+  r.ratio = r.measured_gflops / r.bound_gflops;
+  r.within = r.ratio >= 0.5 && r.ratio <= 1.3;
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Modeled Fig. 1 panels (unchanged instrument, now with Vec* columns)
+// ---------------------------------------------------------------------------
 
 /// Host wall-clock GFLOPS of the generic axpy at type T.
 template <typename T>
@@ -82,12 +322,79 @@ void panel(bool with_host, std::size_t max_log2) {
   t.print(std::cout);
 }
 
+// ---------------------------------------------------------------------------
+// JSON
+// ---------------------------------------------------------------------------
+
+void write_json(const std::string& path,
+                const std::vector<host_point>& points, double overhead_ns,
+                const batched_result& bgemm4, const batched_result& bgemm8,
+                const batched_result& baxpy, const roofline_check& roof) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"kernels\",\n");
+  std::fprintf(f, "  \"host_isa\": \"%s\",\n",
+               std::string(arch::host_features().isa).c_str());
+  std::fprintf(f, "  \"default_simd_width\": %zu,\n",
+               kernels::default_simd_width());
+  std::fprintf(
+      f, "  \"preferred_backend\": \"%s\",\n",
+      std::string(
+          kernels::blas_registry::instance().preferred_vectorized())
+          .c_str());
+  std::fprintf(f, "  \"dispatch_overhead_ns\": %.2f,\n", overhead_ns);
+  std::fprintf(f, "  \"axpy\": [\n");
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto& p = points[i];
+    std::fprintf(f,
+                 "    {\"backend\": \"%s\", \"type\": \"%s\", \"n\": %zu, "
+                 "\"host_gflops\": %.3f, \"modeled_a64fx_gflops\": %.3f}%s\n",
+                 p.backend.c_str(), p.type.c_str(), p.n, p.host_gflops,
+                 p.modeled_gflops, i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f,
+               "  \"batched_gemm_4x4x4\": {\"count\": 512, "
+               "\"batched_gflops\": %.3f, \"looped_gflops\": %.3f, "
+               "\"speedup\": %.3f},\n",
+               bgemm4.batched_gflops, bgemm4.looped_gflops,
+               bgemm4.speedup());
+  std::fprintf(f,
+               "  \"batched_gemm_8x8x8\": {\"count\": 512, "
+               "\"batched_gflops\": %.3f, \"looped_gflops\": %.3f, "
+               "\"speedup\": %.3f},\n",
+               bgemm8.batched_gflops, bgemm8.looped_gflops,
+               bgemm8.speedup());
+  std::fprintf(f,
+               "  \"batched_axpy\": {\"count\": 512, \"len\": 32, "
+               "\"batched_gflops\": %.3f, \"looped_gflops\": %.3f, "
+               "\"speedup\": %.3f},\n",
+               baxpy.batched_gflops, baxpy.looped_gflops, baxpy.speedup());
+  std::fprintf(f,
+               "  \"roofline\": {\"host_triad_gbs\": %.2f, "
+               "\"host_scalar_axpy_gbs\": %.2f, "
+               "\"axpy_bound_gflops\": %.3f, \"measured_gflops\": %.3f, "
+               "\"ratio\": %.3f, \"tolerance\": [0.5, 1.3], "
+               "\"within_tolerance\": %s}\n",
+               roof.triad_gbs, roof.scalar_gbs, roof.bound_gflops,
+               roof.measured_gflops, roof.ratio,
+               roof.within ? "true" : "false");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path.c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   cli args(argc, argv,
            {{"host", "also measure host wall-clock for the generic kernel"},
-            {"max-log2", "largest vector length exponent (default 22)"}});
+            {"max-log2", "largest vector length exponent (default 22)"},
+            {"json", "output path (default BENCH_kernels.json)"},
+            {"no-sweep", "skip the host backend sweep + batched/roofline"}});
   if (args.wants_help()) {
     std::fputs(args.help().c_str(), stderr);
     return 1;
@@ -95,11 +402,17 @@ int main(int argc, char** argv) {
   const bool host = !args.has("no-host");
   const auto max_log2 =
       static_cast<std::size_t>(args.get_int("max-log2", 22));
+  const std::string json = args.get_string("json", "BENCH_kernels.json");
 
   std::puts("Reproduction of Fig. 1 (axpy on one A64FX core).");
   std::puts("Expected shape: Julia best peak everywhere; Fujitsu BLAS");
   std::puts("competitive; BLIS behind; OpenBLAS/ARMPL (NEON path) last;");
   std::puts("Float16 only exists for Julia; cache cliffs at L1/L2.");
+  std::printf("Host: %s, preferred vectorized backend %s.\n",
+              std::string(arch::host_features().isa).c_str(),
+              std::string(
+                  kernels::blas_registry::instance().preferred_vectorized())
+                  .c_str());
 
   panel<float16>(false, max_log2);
   panel<float>(host, max_log2);
@@ -117,5 +430,47 @@ int main(int argc, char** argv) {
       1 << 12, 8, 2 * (1 << 12) * 8);
   std::printf("\nIn-cache Float16/Float64 throughput ratio (Julia): %.2fx\n",
               julia16.gflops / julia64.gflops);
+
+  if (args.has("no-sweep")) return 0;
+
+  // ---- host backend sweep, dispatch overhead, batched, roofline ----
+  const std::vector<std::size_t> sizes{1u << 10, 1u << 14, 1u << 18,
+                                       1u << 21};
+  auto points64 = host_sweep<double>(sizes);
+  auto points32 = host_sweep<float>(sizes);
+  print_host_sweep("Float64", points64);
+  print_host_sweep("Float32", points32);
+
+  const double overhead = dispatch_overhead_ns();
+  std::printf("\ntrampoline dispatch overhead: %.1f ns/call\n", overhead);
+
+  kernels::blas_registry::instance().select_preferred_vectorized();
+  const auto bgemm4 = bench_batched_gemm({512, 4, 4, 4});
+  const auto bgemm8 = bench_batched_gemm({512, 8, 8, 8});
+  const auto baxpy = bench_batched_axpy();
+  std::printf(
+      "batched gemm 512x(4x4x4): %.2f GF/s batched vs %.2f GF/s looped "
+      "(%.2fx)\n",
+      bgemm4.batched_gflops, bgemm4.looped_gflops, bgemm4.speedup());
+  std::printf(
+      "batched gemm 512x(8x8x8): %.2f GF/s batched vs %.2f GF/s looped "
+      "(%.2fx)\n",
+      bgemm8.batched_gflops, bgemm8.looped_gflops, bgemm8.speedup());
+  std::printf(
+      "batched axpy 512x32: %.2f GF/s batched vs %.2f GF/s looped (%.2fx)\n",
+      baxpy.batched_gflops, baxpy.looped_gflops, baxpy.speedup());
+
+  const auto roof = host_roofline();
+  std::printf(
+      "host roofline: triad %.1f GB/s, scalar axpy %.1f GB/s -> bound "
+      "%.2f GF/s, measured %.2f GF/s (ratio %.2f, %s)\n",
+      roof.triad_gbs, roof.scalar_gbs, roof.bound_gflops,
+      roof.measured_gflops, roof.ratio,
+      roof.within ? "within tolerance" : "OUT OF TOLERANCE");
+  kernels::blas_registry::instance().set_current("Julia");
+
+  std::vector<host_point> all = points64;
+  all.insert(all.end(), points32.begin(), points32.end());
+  write_json(json, all, overhead, bgemm4, bgemm8, baxpy, roof);
   return 0;
 }

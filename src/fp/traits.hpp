@@ -59,6 +59,59 @@ struct precision_traits<bfloat16> {
   static constexpr hardware_support a64fx = hardware_support::software;
 };
 
+/// How the *host* vector layer (kernels/simd.hpp) may execute element
+/// type T. Orthogonal to `hardware_support` above, which describes the
+/// modeled A64FX: e.g. float16 is `native` on the modeled machine but
+/// only `widened` on an x86 build host.
+enum class vectorizability {
+  native,   ///< lanes of T itself (double, float)
+  widened,  ///< lanes of a wider type; every widen is exact and every
+            ///< narrowing re-round matches the type's scalar operator
+            ///< semantics, so the widened path is bit-identical to the
+            ///< scalar soft-float loop (float16, bfloat16)
+  scalar,   ///< per-type fallback: side effects (sherlog's logging),
+            ///< non-power-of-two semantics (minifloat saturation modes)
+            ///< or carried state (compensated accumulators) make lane
+            ///< execution either unfaithful or unprofitable
+};
+
+template <typename T>
+struct vec_traits {
+  static constexpr vectorizability kind = vectorizability::scalar;
+  /// The type the lanes hold when kind != scalar.
+  using lane_type = T;
+};
+
+template <>
+struct vec_traits<double> {
+  static constexpr vectorizability kind = vectorizability::native;
+  using lane_type = double;
+};
+
+template <>
+struct vec_traits<float> {
+  static constexpr vectorizability kind = vectorizability::native;
+  using lane_type = float;
+};
+
+/// float16 arithmetic is *defined* (float16.hpp) as exact widening to
+/// binary32, a binary32 op, and a rounding narrow with FTZ/counter
+/// canonicalization. The widened vector path performs exactly those
+/// steps - binary32 lanes for the op, per-lane re-round - so it is
+/// bit-identical to the scalar loop, subnormal counters included.
+template <>
+struct vec_traits<float16> {
+  static constexpr vectorizability kind = vectorizability::widened;
+  using lane_type = float;
+};
+
+/// Same operational definition as float16 (bfloat16.hpp).
+template <>
+struct vec_traits<bfloat16> {
+  static constexpr vectorizability kind = vectorizability::widened;
+  using lane_type = float;
+};
+
 /// Widest-compute helper: the type arithmetic actually runs in on the
 /// host for each storage format.
 template <typename T>

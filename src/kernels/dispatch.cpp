@@ -1,0 +1,39 @@
+#include "kernels/dispatch.hpp"
+
+namespace tfx::kernels {
+
+namespace {
+
+std::atomic<std::size_t>& width_policy() {
+  static std::atomic<std::size_t> width{default_simd_width()};
+  return width;
+}
+
+}  // namespace
+
+std::size_t default_simd_width() {
+#ifdef TFX_SIMD_WIDTH
+  static_assert(TFX_SIMD_WIDTH == 0 || TFX_SIMD_WIDTH == 128 ||
+                    TFX_SIMD_WIDTH == 256 || TFX_SIMD_WIDTH == 512,
+                "TFX_SIMD_WIDTH must be 0, 128, 256 or 512");
+  return TFX_SIMD_WIDTH;
+#else
+  return arch::preferred_vector_bits();
+#endif
+}
+
+std::size_t simd_width() {
+  return width_policy().load(std::memory_order_relaxed);
+}
+
+bool set_simd_width(std::size_t bits) {
+  if (bits != 0 && !simd::valid_width(bits)) return false;
+  width_policy().store(bits, std::memory_order_relaxed);
+  return true;
+}
+
+void reset_simd_width() {
+  width_policy().store(default_simd_width(), std::memory_order_relaxed);
+}
+
+}  // namespace tfx::kernels

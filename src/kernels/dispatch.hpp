@@ -1,0 +1,116 @@
+#pragma once
+
+/// \file dispatch.hpp
+/// Runtime width policy and the dispatched entry points that tie the
+/// fixed-width SIMD layer (simd.hpp, batched.hpp) to callers.
+///
+/// Two independent runtime choices exist:
+///
+///  * which *backend* the trampoline forwards to (registry.hpp — the
+///    libblastrampoline analogue, selectable by name), and
+///  * which *vector width* the width-generic entry points below run at
+///    (this file). The policy is a single atomic: initialized once from
+///    the host's CPU features (arch::preferred_vector_bits(), or the
+///    TFX_SIMD_WIDTH build override), readable from any thread, and
+///    hot-swappable under load — concurrent sweeps simply pick up the
+///    new width on their next call, exactly like a trampoline retarget.
+///
+/// Width 0 means "scalar": the generic kernels run unvectorized. Every
+/// nonzero width produces bit-identical results for element-wise
+/// kernels (docs/KERNELS.md), so swapping mid-run never changes a
+/// trajectory; reductions are deterministic *per width*.
+
+#include <atomic>
+#include <cstddef>
+#include <span>
+#include <type_traits>
+
+#include "arch/features.hpp"
+#include "fp/traits.hpp"
+#include "kernels/batched.hpp"
+#include "kernels/registry.hpp"
+
+namespace tfx::kernels {
+
+/// The width (bits) the dispatched kernels currently run at: 0
+/// (scalar) or 128/256/512.
+[[nodiscard]] std::size_t simd_width();
+
+/// Retarget the width policy; false (and no change) unless bits is one
+/// of 0/128/256/512. Safe under load from any thread.
+bool set_simd_width(std::size_t bits);
+
+/// The width the policy starts at: the TFX_SIMD_WIDTH build override
+/// if set, else the widest the host executes natively.
+[[nodiscard]] std::size_t default_simd_width();
+
+/// Reset the policy to default_simd_width().
+void reset_simd_width();
+
+/// Run `f` with the compile-time width matching runtime `bits`
+/// (which must be nonzero; callers handle scalar before switching).
+template <typename F>
+decltype(auto) with_simd_width(std::size_t bits, F&& f) {
+  switch (bits) {
+    case 512:
+      return f(std::integral_constant<std::size_t, 512>{});
+    case 256:
+      return f(std::integral_constant<std::size_t, 256>{});
+    default:
+      return f(std::integral_constant<std::size_t, 128>{});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Batched trampolines. double/float forward to the *selected backend*
+// (registry), so the batched path hot-swaps with set_current like the
+// single-call path; soft-float and analysis types route by
+// fp::vec_traits — widened types vectorize at the policy width, scalar
+// types run the generic oracle.
+// ---------------------------------------------------------------------------
+
+template <typename T>
+void axpy_batched_dispatch(std::span<const T> a, std::span<const T> x,
+                           std::span<T> y, std::size_t n) {
+  if constexpr (std::is_same_v<T, double> || std::is_same_v<T, float>) {
+    blas_registry::instance().current()->axpy_batched(a, x, y, n);
+  } else if constexpr (fp::vec_traits<T>::kind ==
+                       fp::vectorizability::widened) {
+    const std::size_t w = simd_width();
+    if (w == 0) {
+      axpy_batched_generic(a, x, y, n);
+    } else {
+      with_simd_width(w, [&](auto bits) {
+        for (std::size_t b = 0; b < a.size(); ++b) {
+          simd::axpy_widened<bits(), T>(a[b], x.subspan(b * n, n),
+                                        y.subspan(b * n, n));
+        }
+      });
+    }
+  } else {
+    axpy_batched_generic(a, x, y, n);
+  }
+}
+
+template <typename T>
+void dot_batched_dispatch(std::span<const T> x, std::span<const T> y,
+                          std::span<T> out, std::size_t n) {
+  if constexpr (std::is_same_v<T, double> || std::is_same_v<T, float>) {
+    blas_registry::instance().current()->dot_batched(x, y, out, n);
+  } else {
+    dot_batched_generic(x, y, out, n);
+  }
+}
+
+template <typename T>
+void gemm_batched_dispatch(const gemm_batch_shape& s, T alpha,
+                           std::span<const T> a, std::span<const T> b, T beta,
+                           std::span<T> c) {
+  if constexpr (std::is_same_v<T, double> || std::is_same_v<T, float>) {
+    blas_registry::instance().current()->gemm_batched(s, alpha, a, b, beta, c);
+  } else {
+    gemm_batched_generic(s, alpha, a, b, beta, c);
+  }
+}
+
+}  // namespace tfx::kernels

@@ -26,10 +26,29 @@
 
 namespace tfx::kernels {
 
-/// muladd for the built-in types: contraction-friendly a*b + c, exactly
-/// Julia's `muladd` contract (the compiler may or may not fuse).
+/// muladd for the built-in types. Julia's `muladd` documents "may fuse,
+/// may not — whichever is faster", which makes results depend on the
+/// compiler's contraction mood (-ffp-contract, FMA availability). That
+/// nondeterminism is exactly what the swappable-backend contract cannot
+/// tolerate: the fixed-width vector kernels (kernels/simd.hpp) must be
+/// bit-identical to this scalar definition on every target. So the
+/// library pins ONE semantics: muladd(a, b, c) is round(round(a*b) + c)
+/// — multiply rounded, then add rounded, never contracted into a single
+/// fused step. The assoc barrier blocks the compiler from combining the
+/// two (GCC >= 12 / clang); tests/kernels_simd_test pins the contract
+/// with a case where fma and mul-then-add differ
+/// (docs/KERNELS.md#muladd-contract).
+#if defined(__GNUC__) && (__GNUC__ >= 12 || defined(__clang__))
+constexpr double muladd(double a, double b, double c) {
+  return __builtin_assoc_barrier(a * b) + c;
+}
+constexpr float muladd(float a, float b, float c) {
+  return __builtin_assoc_barrier(a * b) + c;
+}
+#else
 constexpr double muladd(double a, double b, double c) { return a * b + c; }
 constexpr float muladd(float a, float b, float c) { return a * b + c; }
+#endif
 // float16/bfloat16/sherlog pick up their own muladd via ADL from tfx::fp.
 
 /// y <- a*x + y. The headline kernel of the paper's Fig. 1.

@@ -1,5 +1,6 @@
 #include "kernels/registry.hpp"
 
+#include "arch/features.hpp"
 #include "core/contracts.hpp"
 
 namespace tfx::kernels {
@@ -8,7 +9,10 @@ blas_registry::blas_registry() {
   for (auto& backend : make_all_backends()) {
     backends_.emplace_back(std::move(backend));
   }
-  current_ = backends_.front();  // generic ("Julia") by default
+  // The paper's default remains the generic kernel ("Julia"); the
+  // host's preferred Vec* backend is probed here (preferred_vectorized)
+  // and one select_preferred_vectorized() away.
+  current_.store(backends_.front().get(), std::memory_order_release);
 }
 
 blas_registry& blas_registry::instance() {
@@ -31,7 +35,7 @@ bool blas_registry::set_current(std::string_view name) {
   const std::scoped_lock lock(mutex_);
   for (const auto& backend : backends_) {
     if (backend->name() == name) {
-      current_ = backend;
+      current_.store(backend.get(), std::memory_order_release);
       return true;
     }
   }
@@ -39,8 +43,28 @@ bool blas_registry::set_current(std::string_view name) {
 }
 
 std::shared_ptr<const blas_backend> blas_registry::current() const {
-  const std::scoped_lock lock(mutex_);
-  return current_;
+  // Non-owning alias: backends_ never shrinks, so the raw pointer is
+  // valid for the registry's lifetime and the hot path stays a single
+  // lock-free atomic load (std::atomic<shared_ptr> would be the
+  // natural fit, but libstdc++'s implementation is a spinlock protocol
+  // TSan cannot see through).
+  return {std::shared_ptr<const blas_backend>{},
+          current_.load(std::memory_order_acquire)};
+}
+
+std::string_view blas_registry::preferred_vectorized() const {
+  switch (arch::preferred_vector_bits()) {
+    case 512:
+      return "Vec512";
+    case 256:
+      return "Vec256";
+    default:
+      return "Vec128";
+  }
+}
+
+bool blas_registry::select_preferred_vectorized() {
+  return set_current(preferred_vectorized());
 }
 
 std::shared_ptr<const blas_backend> blas_registry::find(

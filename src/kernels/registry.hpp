@@ -10,9 +10,22 @@
 /// `blas_registry` provides the same contract: register backends once,
 /// point `set_current` at one of them, and every call through the
 /// forwarding functions lands in the selected library. The forwarding
-/// cost is one atomic load + one virtual call; `bench/ablation_trampoline`
-/// measures that it is negligible against the routine itself.
+/// cost is one atomic pointer load + one virtual call — backends are
+/// never destroyed while the registry lives (backends_ only grows), so
+/// the current selection is a plain `std::atomic<const blas_backend*>`:
+/// genuinely lock-free, and retargeting under load
+/// (tests/kernels_hotswap_test runs it under TSan) never stalls the
+/// hot path;
+/// `bench/ablation_trampoline` measures that it is negligible against
+/// the routine itself.
+///
+/// Besides the five paper personalities the registry carries the
+/// explicitly vectorized fixed-width backends (Vec128/Vec256/Vec512,
+/// kernels/simd.hpp); `preferred_vectorized()` names the widest one the
+/// host CPU executes natively (arch::host_features(), probed once at
+/// startup), and `select_preferred_vectorized()` retargets to it.
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <span>
@@ -36,8 +49,19 @@ class blas_registry {
   /// Select the forwarding target by name; false if unknown.
   bool set_current(std::string_view name);
 
-  /// The currently selected backend (never null).
+  /// The currently selected backend (never null). Lock-free: one
+  /// atomic pointer load. The returned shared_ptr is non-owning
+  /// (aliased to the registry, which keeps every registered backend
+  /// alive for its whole lifetime).
   [[nodiscard]] std::shared_ptr<const blas_backend> current() const;
+
+  /// The widest Vec* backend the host executes natively — the backend
+  /// runtime CPU-feature dispatch would pick ("Vec512" on AVX-512 or
+  /// 512-bit SVE hosts, "Vec128" on baseline).
+  [[nodiscard]] std::string_view preferred_vectorized() const;
+
+  /// set_current(preferred_vectorized()).
+  bool select_preferred_vectorized();
 
   /// Look a backend up by name without selecting it; null if unknown.
   [[nodiscard]] std::shared_ptr<const blas_backend> find(
@@ -49,9 +73,9 @@ class blas_registry {
  private:
   blas_registry();
 
-  mutable std::mutex mutex_;
+  mutable std::mutex mutex_;  ///< guards backends_ only
   std::vector<std::shared_ptr<const blas_backend>> backends_;
-  std::shared_ptr<const blas_backend> current_;
+  std::atomic<const blas_backend*> current_{nullptr};
 };
 
 /// Forwarding entry points ("the trampoline"): call whatever backend is

@@ -323,6 +323,14 @@ class model {
     const state<Tprog>& src = *ctx.cast_src;
     state<T>& dst = ctx.self->compute_state_;
     auto cast = [lo, hi](std::span<T> d, std::span<const Tprog> s) {
+      if constexpr (fp::vec_traits<T>::kind == fp::vectorizability::native &&
+                    fp::vec_traits<Tprog>::kind ==
+                        fp::vectorizability::native) {
+        // float <-> double down/up-cast through the dispatched vector
+        // convert (per-lane rounding identical to the scalar cast).
+        kernels::sweeps::convert<T, Tprog>(d, s, lo, hi);
+        return;
+      }
       for (std::size_t idx = lo; idx < hi; ++idx) {
         d[idx] = T(static_cast<double>(s[idx]));
       }

@@ -17,6 +17,8 @@
 #include <type_traits>
 
 #include "core/contracts.hpp"
+#include "fp/traits.hpp"
+#include "kernels/sweeps.hpp"
 #include "swm/field.hpp"
 #include "swm/rhs.hpp"
 
@@ -32,6 +34,13 @@ enum class integration_scheme {
 /// bit-identical trajectories (tests/swm_fused_test); `unfused` keeps
 /// the reference element-wise kernels alive for the fusion ablation
 /// (bench/ablation_fusion) and as the comparison oracle.
+///
+/// The fused sweeps route native element types (double / float with
+/// T == Tprog, per fp::vec_traits) through the dispatched vector
+/// kernels in kernels/sweeps.hpp — explicitly vectorized at the runtime
+/// width policy, bit-identical to the scalar loops at every width
+/// (docs/KERNELS.md). Soft-float and analysis types keep the scalar
+/// loops below.
 enum class update_pipeline {
   fused,    ///< combine/down-cast/RHS as one region per stage; one
             ///< increment+apply sweep per field, no increment arrays
@@ -129,6 +138,11 @@ void fused_rk4_update_range(std::span<Tprog> y, std::span<const T> k1,
                             std::span<const T> k2, std::span<const T> k3,
                             std::span<const T> k4, std::size_t lo,
                             std::size_t hi) {
+  if constexpr (std::is_same_v<T, Tprog> &&
+                fp::vec_traits<Tprog>::kind == fp::vectorizability::native) {
+    kernels::sweeps::rk4_update<Tprog>(y, k1, k2, k3, k4, lo, hi);
+    return;
+  }
   const Tprog two{2};
   const Tprog sixth = Tprog(1.0 / 6.0);
   for (std::size_t idx = lo; idx < hi; ++idx) {
@@ -149,6 +163,11 @@ void fused_rk4_update_compensated_range(std::span<Tprog> y,
                                         std::span<const T> k3,
                                         std::span<const T> k4, std::size_t lo,
                                         std::size_t hi) {
+  if constexpr (std::is_same_v<T, Tprog> &&
+                fp::vec_traits<Tprog>::kind == fp::vectorizability::native) {
+    kernels::sweeps::rk4_update_kahan<Tprog>(y, comp, k1, k2, k3, k4, lo, hi);
+    return;
+  }
   const Tprog two{2};
   const Tprog sixth = Tprog(1.0 / 6.0);
   for (std::size_t idx = lo; idx < hi; ++idx) {
@@ -200,6 +219,16 @@ void fused_stage_combine_range(state<Tprog>& out, const state<Tprog>& y,
   auto ku = k.du.flat();
   auto kv = k.dv.flat();
   auto ke = k.deta.flat();
+  if constexpr (std::is_same_v<T, Tprog> &&
+                fp::vec_traits<Tprog>::kind == fp::vectorizability::native) {
+    // Elements are independent, so the interleaved three-field loop and
+    // three per-field sweeps compute identical values; the per-field
+    // form is what the vector kernel wants.
+    kernels::sweeps::combine<Tprog>(ou, yu, ku, a, lo, hi);
+    kernels::sweeps::combine<Tprog>(ov, yv, kv, a, lo, hi);
+    kernels::sweeps::combine<Tprog>(oe, ye, ke, a, lo, hi);
+    return;
+  }
   for (std::size_t idx = lo; idx < hi; ++idx) {
     ou[idx] = yu[idx] + a * fpcast<Tprog>(ku[idx]);
     ov[idx] = yv[idx] + a * fpcast<Tprog>(kv[idx]);
