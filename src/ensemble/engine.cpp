@@ -1,0 +1,756 @@
+/// \file engine.cpp
+/// Batch-grouped member stepping behind the async submit/poll API —
+/// see engine.hpp for the scheduling model and docs/ENSEMBLE.md for
+/// the contracts. Layout of this file:
+///
+///   group_impl<T, Tprog>  one batch group: members of one
+///                         (personality, nx, ny, ftz) key, stepped
+///                         tile-by-tile with the batched apply
+///   engine::impl          the service: job table, admission, rounds
+///                         over the thread pool, tenant obs plane
+///
+/// Concurrency shape. All client-facing state (job table, groups map,
+/// admission gauges) lives under one mutex. Stepping happens in
+/// *rounds*: between regions the driving thread — alone, under the
+/// mutex — compacts finished members, splices admissions and builds a
+/// claim list of (group, member-range) tiles; during the region,
+/// workers grab claims off an atomic cursor and step disjoint member
+/// ranges with no shared mutable state (per-worker scratch for the
+/// batch items and the tenant tallies). Determinism needs no more
+/// than that: members never read each other, so claim interleaving
+/// cannot reach the arithmetic.
+
+#include "ensemble/engine.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/contracts.hpp"
+#include "core/rng.hpp"
+#include "core/threadpool.hpp"
+#include "fp/bfloat16.hpp"
+#include "fp/float16.hpp"
+#include "fp/fpenv.hpp"
+#include "kernels/batched.hpp"
+#include "kernels/sweeps.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "swm/health.hpp"
+#include "swm/model.hpp"
+#include "swm/params.hpp"
+#include "swm/perfmodel.hpp"
+
+namespace tfx::ensemble {
+
+namespace {
+
+/// One admitted member run. Owned by the job table for the engine's
+/// lifetime (poll/result pointers stay valid); the stepping side holds
+/// a raw pointer. Atomics are the poll-plane: workers publish, client
+/// threads read without taking the round into account.
+struct job_record {
+  job_id id = invalid_job;
+  tenant_id tenant = default_tenant;
+  member_config cfg;
+  std::atomic<job_state> state{job_state::queued};
+  std::atomic<int> steps_done{0};
+  std::atomic<int> failed_step{-1};
+  std::atomic<bool> cancel_requested{false};
+  job_result result;
+};
+
+constexpr bool is_terminal(job_state s) {
+  return s == job_state::done || s == job_state::cancelled ||
+         s == job_state::failed;
+}
+
+/// What one tile claim reports back to the round accounting.
+struct advance_stats {
+  std::size_t member_steps = 0;
+  std::size_t finished = 0;
+  double finished_seconds = 0;  ///< modeled backlog released
+};
+
+class group_base {
+ public:
+  virtual ~group_base() = default;
+
+  /// Build + initialize a member for `job` (model construction,
+  /// seeding/restore, perturbation — under the member's ftz mode) and
+  /// queue it for the next round. Caller holds the engine mutex.
+  virtual void admit(job_record* job) = 0;
+
+  /// Between-rounds maintenance under the engine mutex: compact
+  /// finished members out, splice admissions in, size the per-worker
+  /// scratch. Returns the steppable member count.
+  virtual std::size_t prepare_round() = 0;
+
+  /// Advance members [begin, end) by up to `stride` steps. Ranges of
+  /// concurrent calls never overlap, so the only shared state is the
+  /// per-worker scratch selected by `worker` and each member's own
+  /// job_record atomics. Called without the engine mutex.
+  virtual advance_stats advance(int worker, int stride, std::size_t begin,
+                                std::size_t end,
+                                std::span<std::uint64_t> tenant_steps,
+                                std::span<std::uint64_t> tenant_jobs) = 0;
+
+  [[nodiscard]] virtual std::size_t tile() const = 0;
+  [[nodiscard]] virtual std::size_t active() const = 0;
+};
+
+template <typename T, typename Tprog>
+class group_impl final : public group_base {
+ public:
+  group_impl(swm::integration_scheme scheme, fp::ftz_mode ftz,
+             std::size_t tile, bool batched_apply, int workers)
+      : scheme_(scheme),
+        ftz_(ftz),
+        tile_(tile),
+        batched_(batched_apply),
+        items_(static_cast<std::size_t>(workers)) {}
+
+  void admit(job_record* job) override {
+    const member_config& cfg = job->cfg;
+    swm::swm_params p;
+    p.nx = cfg.nx;
+    p.ny = cfg.ny;
+    p.log2_scale = cfg.log2_scale;
+    // Initialization runs under the member's ftz mode, exactly like a
+    // standalone run constructed inside an ftz_guard (the oracle).
+    fp::ftz_guard guard(ftz_);
+    auto m = std::make_unique<member>(job, p, scheme_);
+    if (cfg.health_every > 0) m->model.set_health_interval(cfg.health_every);
+    if (cfg.initial != nullptr) {
+      m->model.restore(swm::convert_state<Tprog>(*cfg.initial),
+                       cfg.initial_steps);
+    } else {
+      m->model.seed_random_eddies(cfg.seed, cfg.velocity_amplitude);
+    }
+    if (cfg.perturb_seed != 0) {
+      // The bench/ensemble_error recipe: ONE stream across u, v, eta.
+      xoshiro256 rng(cfg.perturb_seed);
+      auto& st = m->model.prognostic();
+      for (auto* f : {&st.u, &st.v, &st.eta}) {
+        for (auto& v : f->flat()) {
+          v = Tprog(static_cast<double>(v) *
+                    (1.0 + cfg.perturb_amplitude * rng.uniform(-1.0, 1.0)));
+        }
+      }
+    }
+    pending_.push_back(std::move(m));
+  }
+
+  std::size_t prepare_round() override {
+    compact();
+    for (auto& m : pending_) members_.push_back(std::move(m));
+    pending_.clear();
+    const std::size_t batch = 3 * std::min(tile_, members_.size());
+    for (auto& scratch : items_) {
+      if (scratch.capacity() < batch) scratch.reserve(batch);
+    }
+    return members_.size();
+  }
+
+  advance_stats advance(int worker, int stride, std::size_t begin,
+                        std::size_t end,
+                        std::span<std::uint64_t> tenant_steps,
+                        std::span<std::uint64_t> tenant_jobs) override {
+    advance_stats st{};
+    fp::ftz_guard guard(ftz_);
+    end = std::min(end, members_.size());
+    auto& scratch = items_[static_cast<std::size_t>(worker)];
+    for (int s = 0; s < stride; ++s) {
+      if (!step_range_once(begin, end, scratch, st, tenant_steps,
+                           tenant_jobs)) {
+        break;
+      }
+    }
+    return st;
+  }
+
+  [[nodiscard]] std::size_t tile() const override { return tile_; }
+
+  [[nodiscard]] std::size_t active() const override {
+    return members_.size() + pending_.size();
+  }
+
+ private:
+  struct member {
+    job_record* job;
+    swm::model<T, Tprog> model;
+    int remaining;
+    int taken = 0;  ///< member-local steps completed
+    std::size_t snap_next = 0;
+    bool live = true;
+
+    member(job_record* j, const swm::swm_params& p,
+           swm::integration_scheme s)
+        : job(j), model(p, s), remaining(j->cfg.steps) {}
+  };
+
+  using batch_items = std::vector<kernels::sweeps::rk4_batch_item<Tprog>>;
+
+  /// One step of every live member in [lo, hi): stage-major stages,
+  /// one batched apply dispatch (native types), then the step close.
+  /// Returns false once the range has no live members left.
+  bool step_range_once(std::size_t lo, std::size_t hi, batch_items& scratch,
+                       advance_stats& st,
+                       std::span<std::uint64_t> tenant_steps,
+                       std::span<std::uint64_t> tenant_jobs) {
+    bool any = false;
+    for (std::size_t i = lo; i < hi; ++i) {
+      member& m = *members_[i];
+      if (!m.live) continue;
+      if (m.job->cancel_requested.load(std::memory_order_relaxed)) {
+        finalize(m, job_state::cancelled, st, tenant_jobs);
+        continue;
+      }
+      m.job->state.store(job_state::running, std::memory_order_relaxed);
+      m.model.step_stages();
+      any = true;
+    }
+    if (!any) return false;
+
+    if constexpr (swm::model<T, Tprog>::batchable_apply) {
+      if (batched_) {
+        scratch.clear();
+        for (std::size_t i = lo; i < hi; ++i) {
+          if (members_[i]->live) members_[i]->model.append_rk4_items(scratch);
+        }
+        if (scheme_ == swm::integration_scheme::compensated) {
+          kernels::sweeps::rk4_update_kahan_batched<Tprog>(scratch);
+        } else {
+          kernels::sweeps::rk4_update_batched<Tprog>(scratch);
+        }
+      } else {
+        for (std::size_t i = lo; i < hi; ++i) {
+          if (members_[i]->live) members_[i]->model.step_apply();
+        }
+      }
+    } else {
+      for (std::size_t i = lo; i < hi; ++i) {
+        if (members_[i]->live) members_[i]->model.step_apply();
+      }
+    }
+
+    for (std::size_t i = lo; i < hi; ++i) {
+      member& m = *members_[i];
+      if (!m.live) continue;
+      bool failed = false;
+      try {
+        m.model.finish_step();
+      } catch (const swm::numerical_error& err) {
+        m.job->failed_step.store(err.step(), std::memory_order_relaxed);
+        failed = true;
+      }
+      ++m.taken;
+      --m.remaining;
+      m.job->steps_done.store(m.taken, std::memory_order_relaxed);
+      ++st.member_steps;
+      tenant_steps[m.job->tenant] += 1;
+      if (failed) {
+        finalize(m, job_state::failed, st, tenant_jobs);
+        continue;
+      }
+      record_snapshot_if_due(m);
+      if (m.remaining == 0) finalize(m, job_state::done, st, tenant_jobs);
+    }
+    return true;
+  }
+
+  void record_snapshot_if_due(member& m) {
+    const member_config& cfg = m.job->cfg;
+    if (cfg.record_every <= 0 || m.taken % cfg.record_every != 0) return;
+    if (m.snap_next >= m.job->result.snapshots.size()) return;
+    swm::state<double>& out = m.job->result.snapshots[m.snap_next++];
+    swm::convert_state_into(out, m.model.prognostic());
+    // Same arithmetic as model::unscaled(): exact double conversion,
+    // then a power-of-two descale.
+    const double inv_s = 1.0 / std::ldexp(1.0, cfg.log2_scale);
+    for (auto& v : out.u.flat()) v *= inv_s;
+    for (auto& v : out.v.flat()) v *= inv_s;
+    for (auto& v : out.eta.flat()) v *= inv_s;
+  }
+
+  /// Publish the member's result and terminal state. The release
+  /// store on `state` is what poll()/result() acquire against.
+  void finalize(member& m, job_state final_state, advance_stats& st,
+                std::span<std::uint64_t> tenant_jobs) {
+    job_record& job = *m.job;
+    swm::convert_state_into(job.result.prognostic, m.model.prognostic());
+    swm::convert_state_into(job.result.compensation, m.model.compensation());
+    job.result.steps_done = m.taken;
+    if (job.result.snapshots.size() > m.snap_next) {
+      job.result.snapshots.resize(m.snap_next);
+    }
+    m.live = false;
+    ++st.finished;
+    st.finished_seconds += job.result.modeled_seconds;
+    tenant_jobs[job.tenant] += 1;
+    job.state.store(final_state, std::memory_order_release);
+    TFX_OBS_INSTANT(ens, job.tenant, "ens.job.done", job.id,
+                    static_cast<std::uint64_t>(m.taken));
+  }
+
+  /// Swap-free stable compaction (between rounds, under the engine
+  /// mutex): finished members release their model storage —
+  /// deallocation only, the steady state stays allocation-free.
+  void compact() {
+    std::size_t w = 0;
+    for (std::size_t i = 0; i < members_.size(); ++i) {
+      if (!members_[i]->live) continue;
+      if (w != i) members_[w] = std::move(members_[i]);
+      ++w;
+    }
+    members_.resize(w);
+  }
+
+  swm::integration_scheme scheme_;
+  fp::ftz_mode ftz_;
+  std::size_t tile_;
+  bool batched_;
+  std::vector<std::unique_ptr<member>> members_;
+  std::vector<std::unique_ptr<member>> pending_;  ///< engine mutex only
+  std::vector<batch_items> items_;  ///< per-worker apply scratch
+};
+
+/// Batch key: members stepping together must share model types,
+/// geometry and ftz mode (one guard per batch). Scheme is implied by
+/// the personality.
+using group_key = std::tuple<std::uint8_t, int, int, std::uint8_t>;
+
+group_key key_of(const member_config& cfg) {
+  return {static_cast<std::uint8_t>(cfg.prec), cfg.nx, cfg.ny,
+          static_cast<std::uint8_t>(cfg.ftz)};
+}
+
+}  // namespace
+
+struct engine::impl {
+  explicit impl(engine_options o)
+      : opts(o),
+        pool(o.threads),
+        worker_stats(static_cast<std::size_t>(o.threads)),
+        worker_tenant_steps(
+            static_cast<std::size_t>(o.threads),
+            std::vector<std::uint64_t>(
+                static_cast<std::size_t>(o.max_tenants), 0)),
+        worker_tenant_jobs(
+            static_cast<std::size_t>(o.threads),
+            std::vector<std::uint64_t>(
+                static_cast<std::size_t>(o.max_tenants), 0)),
+        tenants(new tenant_slot[static_cast<std::size_t>(o.max_tenants)]) {}
+
+  engine_options opts;
+  thread_pool pool;
+
+  mutable std::mutex mu;
+  std::condition_variable work_cv;  ///< wakes the scheduler thread
+  std::condition_variable done_cv;  ///< wakes wait()/wait_all()
+  std::atomic<bool> stop{false};
+
+  std::unordered_map<job_id, std::unique_ptr<job_record>> jobs;  // mu
+  std::map<group_key, std::unique_ptr<group_base>> groups;       // mu
+  job_id next_id = 1;                                            // mu
+  std::size_t active = 0;   ///< members queued+running (mu)
+  double backlog = 0;       ///< modeled seconds admitted (mu)
+
+  /// One claimable unit of a round: a tile of one group. Distinct
+  /// claims never share members, so a uniform ensemble (one big
+  /// group) still spreads across every worker.
+  struct claim {
+    group_base* group = nullptr;
+    std::size_t begin = 0;
+    std::size_t end = 0;
+  };
+
+  /// Round scratch: written by the driving thread between regions,
+  /// read by workers inside the region (the pool's dispatch/join
+  /// fences order the accesses).
+  std::vector<claim> round;
+  std::atomic<std::size_t> round_next{0};
+  std::vector<advance_stats> worker_stats;
+  std::vector<std::vector<std::uint64_t>> worker_tenant_steps;
+  std::vector<std::vector<std::uint64_t>> worker_tenant_jobs;
+
+  struct tenant_slot {
+    std::string name;
+    obs::metric_counter* steps = nullptr;
+    obs::metric_counter* jobs = nullptr;
+    std::atomic<std::uint64_t> cum_steps{0};
+  };
+  std::unique_ptr<tenant_slot[]> tenants;  ///< fixed array: no realloc
+  std::atomic<int> tenant_count{0};
+
+  std::thread scheduler;
+
+  // -- tenant obs plane ------------------------------------------------
+
+  tenant_id add_tenant(std::string name) {
+    std::lock_guard lock(mu);
+    const int idx = tenant_count.load(std::memory_order_relaxed);
+    TFX_EXPECTS(idx < opts.max_tenants && "tenant capacity exhausted");
+    tenant_slot& slot = tenants[static_cast<std::size_t>(idx)];
+    slot.name = std::move(name);
+    if constexpr (obs::compiled) {
+      auto& reg = obs::metrics_registry::instance();
+      slot.steps = &reg.get_counter("ens.steps." + slot.name);
+      slot.jobs = &reg.get_counter("ens.jobs." + slot.name);
+    }
+    tenant_count.store(idx + 1, std::memory_order_release);
+    return static_cast<tenant_id>(idx);
+  }
+
+  void note_tenant(tenant_id t, std::uint64_t steps,
+                   std::uint64_t jobs_done) {
+    tenant_slot& slot = tenants[t];
+    const std::uint64_t total =
+        slot.cum_steps.fetch_add(steps, std::memory_order_relaxed) + steps;
+    if (obs::active()) {
+      if (slot.steps != nullptr && steps != 0) slot.steps->add(steps);
+      if (slot.jobs != nullptr && jobs_done != 0) slot.jobs->add(jobs_done);
+      TFX_OBS_COUNTER(ens, t, "ens.tenant.steps", total);
+    }
+  }
+
+  // -- rounds ----------------------------------------------------------
+
+  static void run_worker(const void* ctx, int worker, std::size_t,
+                         std::size_t) {
+    auto& self = *static_cast<impl*>(const_cast<void*>(ctx));
+    const auto w = static_cast<std::size_t>(worker);
+    advance_stats& st = self.worker_stats[w];
+    for (;;) {
+      const std::size_t ci =
+          self.round_next.fetch_add(1, std::memory_order_relaxed);
+      if (ci >= self.round.size()) return;
+      const claim& c = self.round[ci];
+      TFX_OBS_SPAN(ens, static_cast<std::uint16_t>(worker), "ens.batch",
+                   static_cast<std::uint64_t>(c.end - c.begin));
+      const advance_stats got =
+          c.group->advance(worker, self.opts.stride, c.begin, c.end,
+                           self.worker_tenant_steps[w],
+                           self.worker_tenant_jobs[w]);
+      st.member_steps += got.member_steps;
+      st.finished += got.finished;
+      st.finished_seconds += got.finished_seconds;
+    }
+  }
+
+  /// One scheduling round: compact + splice every group, carve the
+  /// members into tile claims, fan the claims out over the pool,
+  /// account the results. Returns false (and does nothing) when no
+  /// member is active.
+  bool run_round() {
+    {
+      std::lock_guard lock(mu);
+      round.clear();
+      for (auto& [key, g] : groups) {
+        const std::size_t n = g->prepare_round();
+        const std::size_t tile = g->tile();
+        for (std::size_t lo = 0; lo < n; lo += tile) {
+          round.push_back({g.get(), lo, std::min(lo + tile, n)});
+        }
+      }
+    }
+    if (round.empty()) return false;
+
+    for (auto& st : worker_stats) st = advance_stats{};
+    for (auto& t : worker_tenant_steps) std::fill(t.begin(), t.end(), 0u);
+    for (auto& t : worker_tenant_jobs) std::fill(t.begin(), t.end(), 0u);
+    round_next.store(0, std::memory_order_relaxed);
+    {
+      TFX_OBS_SPAN(ens, 0, "ens.round", round.size());
+      const thread_pool::task t{static_cast<std::size_t>(pool.size()),
+                                &run_worker, this};
+      pool.parallel_region({&t, 1});
+    }
+
+    std::size_t steps = 0;
+    std::size_t finished = 0;
+    {
+      std::lock_guard lock(mu);
+      for (const advance_stats& st : worker_stats) {
+        steps += st.member_steps;
+        finished += st.finished;
+        backlog -= st.finished_seconds;
+      }
+      active -= finished;
+      // The gauge is a float sum updated in admission order and
+      // drained in completion order; pin it to exactly zero at idle
+      // so rounding residue never leaks into admission decisions.
+      if (backlog < 0 || active == 0) backlog = 0;
+    }
+    const int nt = tenant_count.load(std::memory_order_acquire);
+    for (std::size_t t = 0; t < static_cast<std::size_t>(nt); ++t) {
+      std::uint64_t ts = 0;
+      std::uint64_t tj = 0;
+      for (const auto& per : worker_tenant_steps) ts += per[t];
+      for (const auto& per : worker_tenant_jobs) tj += per[t];
+      if (ts != 0 || tj != 0) note_tenant(static_cast<tenant_id>(t), ts, tj);
+    }
+    if (obs::active()) {
+      obs::metric_add("ens.rounds");
+      obs::metric_add("ens.member_steps", steps);
+      if (finished != 0) obs::metric_add("ens.jobs_done", finished);
+    }
+    if (finished != 0) done_cv.notify_all();
+    return true;
+  }
+
+  void scheduler_loop() {
+    for (;;) {
+      {
+        std::unique_lock lock(mu);
+        work_cv.wait(lock, [&] {
+          return stop.load(std::memory_order_relaxed) || active > 0;
+        });
+        if (stop.load(std::memory_order_relaxed)) return;
+      }
+      while (!stop.load(std::memory_order_relaxed) && run_round()) {
+      }
+    }
+  }
+
+  // -- admission -------------------------------------------------------
+
+  std::size_t tile_for(const member_config& cfg) const {
+    if (opts.tile_members != 0) return opts.tile_members;
+    const std::uint64_t ws =
+        swm::predict_step(opts.machine, cfg.nx, cfg.ny,
+                          precision_of(cfg.prec))
+            .working_set_bytes;
+    return kernels::problems_per_tile(static_cast<std::size_t>(ws),
+                                      opts.machine.l2.size_bytes);
+  }
+
+  std::unique_ptr<group_base> make_group(const member_config& cfg) const {
+    using swm::integration_scheme;
+    const std::size_t tile = tile_for(cfg);
+    const bool batched = opts.batched_apply;
+    const int w = opts.threads;
+    switch (cfg.prec) {
+      case personality::float64:
+        return std::make_unique<group_impl<double, double>>(
+            integration_scheme::standard, cfg.ftz, tile, batched, w);
+      case personality::float64_comp:
+        return std::make_unique<group_impl<double, double>>(
+            integration_scheme::compensated, cfg.ftz, tile, batched, w);
+      case personality::float32:
+        return std::make_unique<group_impl<float, float>>(
+            integration_scheme::standard, cfg.ftz, tile, batched, w);
+      case personality::float16:
+        return std::make_unique<group_impl<fp::float16, fp::float16>>(
+            integration_scheme::compensated, cfg.ftz, tile, batched, w);
+      case personality::float16_mixed:
+        return std::make_unique<group_impl<fp::float16, float>>(
+            integration_scheme::standard, cfg.ftz, tile, batched, w);
+      case personality::bfloat16:
+        return std::make_unique<group_impl<fp::bfloat16, fp::bfloat16>>(
+            integration_scheme::compensated, cfg.ftz, tile, batched, w);
+    }
+    return nullptr;
+  }
+
+  submit_ticket admit(const member_config& cfg, tenant_id tenant) {
+    if (cfg.nx <= 0 || cfg.ny <= 0 || cfg.steps <= 0 ||
+        cfg.record_every < 0 || cfg.perturb_amplitude < 0 ||
+        (cfg.initial != nullptr &&
+         (cfg.initial->nx() != cfg.nx || cfg.initial->ny() != cfg.ny))) {
+      return {invalid_job, submit_error::invalid_config};
+    }
+    const double cost = swm::predict_time(opts.machine, cfg.nx, cfg.ny,
+                                          precision_of(cfg.prec), cfg.steps);
+
+    std::lock_guard lock(mu);
+    if (stop.load(std::memory_order_relaxed)) {
+      return {invalid_job, submit_error::shutdown};
+    }
+    if (tenant >= tenant_count.load(std::memory_order_relaxed)) {
+      return {invalid_job, submit_error::invalid_config};
+    }
+    if (active >= opts.max_members) {
+      return {invalid_job, submit_error::queue_full};
+    }
+    if (backlog + cost > opts.max_backlog_seconds) {
+      return {invalid_job, submit_error::backlog_exceeded};
+    }
+
+    auto& group = groups[key_of(cfg)];
+    if (!group) group = make_group(cfg);
+
+    auto job = std::make_unique<job_record>();
+    job->id = next_id++;
+    job->tenant = tenant;
+    job->cfg = cfg;
+    job->cfg.initial = nullptr;  // copied into the member below
+    job->result.modeled_seconds = cost;
+    job->result.prognostic = swm::state<double>(cfg.nx, cfg.ny);
+    job->result.compensation = swm::state<double>(cfg.nx, cfg.ny);
+    if (cfg.record_every > 0) {
+      const auto snaps =
+          static_cast<std::size_t>(cfg.steps / cfg.record_every);
+      job->result.snapshots.reserve(snaps);
+      for (std::size_t s = 0; s < snaps; ++s) {
+        job->result.snapshots.emplace_back(cfg.nx, cfg.ny);
+      }
+    }
+
+    job_record* raw = job.get();
+    const job_id id = raw->id;
+    jobs.emplace(id, std::move(job));
+    // admit() reads the caller's cfg (with `initial` still set).
+    raw->cfg.initial = cfg.initial;
+    group->admit(raw);
+    raw->cfg.initial = nullptr;
+    active += 1;
+    backlog += cost;
+    if (opts.async) work_cv.notify_one();
+    return {id, submit_error::none};
+  }
+};
+
+engine::engine(engine_options opts) {
+  TFX_EXPECTS(opts.threads >= 1);
+  TFX_EXPECTS(opts.stride >= 1);
+  TFX_EXPECTS(opts.max_tenants >= 1 && opts.max_tenants <= 65535);
+  impl_ = std::make_unique<impl>(opts);
+  impl_->add_tenant("default");
+  if (opts.async) {
+    impl_->scheduler = std::thread([e = impl_.get()] { e->scheduler_loop(); });
+  }
+}
+
+engine::~engine() {
+  {
+    std::lock_guard lock(impl_->mu);
+    impl_->stop.store(true, std::memory_order_relaxed);
+  }
+  impl_->work_cv.notify_all();
+  if (impl_->scheduler.joinable()) impl_->scheduler.join();
+  {
+    std::lock_guard lock(impl_->mu);
+    for (auto& [id, job] : impl_->jobs) {
+      const job_state s = job->state.load(std::memory_order_relaxed);
+      if (!is_terminal(s)) {
+        job->state.store(job_state::cancelled, std::memory_order_release);
+      }
+    }
+  }
+  impl_->done_cv.notify_all();
+}
+
+tenant_id engine::register_tenant(std::string name) {
+  return impl_->add_tenant(std::move(name));
+}
+
+submit_ticket engine::submit(const member_config& cfg, tenant_id tenant) {
+  return impl_->admit(cfg, tenant);
+}
+
+std::optional<job_status> engine::poll(job_id id) const {
+  std::lock_guard lock(impl_->mu);
+  const auto it = impl_->jobs.find(id);
+  if (it == impl_->jobs.end()) return std::nullopt;
+  const job_record& j = *it->second;
+  job_status s;
+  s.state = j.state.load(std::memory_order_acquire);
+  s.steps_done = j.steps_done.load(std::memory_order_relaxed);
+  s.failed_step = j.failed_step.load(std::memory_order_relaxed);
+  return s;
+}
+
+cancel_result engine::cancel(job_id id) {
+  std::lock_guard lock(impl_->mu);
+  const auto it = impl_->jobs.find(id);
+  if (it == impl_->jobs.end()) return cancel_result::unknown_job;
+  job_record& j = *it->second;
+  switch (j.state.load(std::memory_order_acquire)) {
+    case job_state::done: return cancel_result::already_done;
+    case job_state::cancelled: return cancel_result::already_cancelled;
+    case job_state::failed: return cancel_result::already_failed;
+    default: break;
+  }
+  j.cancel_requested.store(true, std::memory_order_relaxed);
+  return cancel_result::requested;
+}
+
+void engine::wait(job_id id) {
+  impl& e = *impl_;
+  if (!e.opts.async) {
+    for (;;) {
+      const auto st = poll(id);
+      if (!st || is_terminal(st->state)) return;
+      if (drive(1) == 0) return;  // nothing left to drive
+    }
+  }
+  std::unique_lock lock(e.mu);
+  e.done_cv.wait(lock, [&] {
+    if (e.stop.load(std::memory_order_relaxed)) return true;
+    const auto it = e.jobs.find(id);
+    if (it == e.jobs.end()) return true;
+    return is_terminal(it->second->state.load(std::memory_order_acquire));
+  });
+}
+
+void engine::wait_all() {
+  impl& e = *impl_;
+  if (!e.opts.async) {
+    while (e.run_round()) {
+    }
+    return;
+  }
+  std::unique_lock lock(e.mu);
+  e.done_cv.wait(lock, [&] {
+    return e.stop.load(std::memory_order_relaxed) || e.active == 0;
+  });
+}
+
+const job_result* engine::result(job_id id) const {
+  std::lock_guard lock(impl_->mu);
+  const auto it = impl_->jobs.find(id);
+  if (it == impl_->jobs.end()) return nullptr;
+  if (!is_terminal(it->second->state.load(std::memory_order_acquire))) {
+    return nullptr;
+  }
+  return &it->second->result;
+}
+
+int engine::drive(int max_rounds) {
+  TFX_EXPECTS(!impl_->opts.async &&
+              "drive() races the scheduler thread in async mode");
+  int rounds = 0;
+  while (rounds < max_rounds && impl_->run_round()) ++rounds;
+  return rounds;
+}
+
+std::size_t engine::active_members() const {
+  std::lock_guard lock(impl_->mu);
+  return impl_->active;
+}
+
+double engine::backlog_seconds() const {
+  std::lock_guard lock(impl_->mu);
+  return impl_->backlog;
+}
+
+std::size_t engine::tile_members_for(const member_config& cfg) const {
+  return impl_->tile_for(cfg);
+}
+
+const engine_options& engine::options() const { return impl_->opts; }
+
+}  // namespace tfx::ensemble

@@ -1,0 +1,145 @@
+#pragma once
+
+/// \file engine.hpp
+/// The ensemble scenario engine: thousands of concurrent SWM member
+/// runs behind an async submit/poll/cancel API, stepped in batches
+/// over the core thread pool (docs/ENSEMBLE.md).
+///
+/// Scheduling model. Members with the same (personality, nx, ny, ftz)
+/// form a *batch group*. Each scheduling round snapshots the non-empty
+/// groups and fans them out over the pool; the worker that claims a
+/// group advances it tile by tile — `tile_members_for()` members at a
+/// time, priced off the arch model's L2 capacity through
+/// kernels::problems_per_tile so a tile's working set stays cache
+/// resident — and each tile runs `stride` consecutive steps before
+/// the next tile is touched (temporal cache reuse; stride bounds the
+/// per-round unfairness between tiles). Within a step the tile runs
+/// stage-major: every member's four RHS stages, then ONE batched
+/// RK4-apply dispatch through kernels::sweeps::rk4_update[_kahan]_
+/// batched for native integration types (soft-float members fall back
+/// to per-member applies inside the same tile loop).
+///
+/// Determinism. Members never share mutable state and no cross-member
+/// reduction exists, so any claim order, pool size and tile split
+/// yields bit-identical per-member trajectories — equal to the same
+/// config run standalone through swm::model. That oracle equivalence
+/// (including Kahan compensation bits) is pinned by
+/// tests/ensemble_engine_test; tests/ensemble_stress_test pins that
+/// the batched steady state allocates nothing after warmup.
+///
+/// Admission control. Each job carries a modeled cost
+/// (swm::predict_time at its personality/size); submit() rejects with
+/// typed errors when member capacity or the modeled backlog bound
+/// would be exceeded — backpressure is a normal answer, not an error
+/// path.
+
+#include <cstddef>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "arch/a64fx.hpp"
+#include "ensemble/job.hpp"
+
+namespace tfx::ensemble {
+
+struct engine_options {
+  /// Stepping threads (including the scheduler/driver thread, which
+  /// participates as worker 0 of the pool).
+  int threads = 1;
+
+  /// true: a scheduler thread runs rounds whenever members are active
+  /// (submit/poll/wait from any thread). false: nothing advances until
+  /// the owner calls drive() — the deterministic harness the tests
+  /// use, and what wait() falls back to.
+  bool async = true;
+
+  /// Admission: maximum members queued + running.
+  std::size_t max_members = 4096;
+
+  /// Admission: reject once the modeled backlog (sum of
+  /// swm::predict_time over admitted, unfinished jobs) would pass this.
+  double max_backlog_seconds = std::numeric_limits<double>::infinity();
+
+  /// Steps a tile advances per claim before the worker moves to the
+  /// next tile (temporal reuse vs cross-member fairness).
+  int stride = 4;
+
+  /// Route native-type applies through the batched kernels. false is
+  /// the one-member-at-a-time ablation baseline
+  /// (bench/ablation_ensemble) — bit-identical, slower.
+  bool batched_apply = true;
+
+  /// Members per tile; 0 prices it from `machine`'s L2 via
+  /// kernels::problems_per_tile.
+  std::size_t tile_members = 0;
+
+  /// Tile stride = 1 and tile_members = 1 make scheduling round-robin
+  /// member-major — the cache-hostile fair baseline.
+
+  int max_tenants = 16;
+
+  /// Machine model used for tile pricing and admission costs.
+  arch::a64fx_params machine = arch::fugaku_node;
+};
+
+class engine {
+ public:
+  explicit engine(engine_options opts = {});
+  ~engine();
+  engine(const engine&) = delete;
+  engine& operator=(const engine&) = delete;
+
+  /// Register a tenant and pre-create its obs counters
+  /// (ens.steps.<name>, ens.jobs.<name>) so the stepping hot path only
+  /// touches resolved handles. Tenant `default_tenant` ("default")
+  /// always exists.
+  tenant_id register_tenant(std::string name);
+
+  /// Admit one member run; typed rejection instead of blocking.
+  [[nodiscard]] submit_ticket submit(const member_config& cfg,
+                                     tenant_id tenant = default_tenant);
+
+  /// Status snapshot; nullopt for an unknown id.
+  [[nodiscard]] std::optional<job_status> poll(job_id id) const;
+
+  /// Request cancellation; takes effect at the member's next step
+  /// boundary (its trajectory prefix stays oracle-exact).
+  cancel_result cancel(job_id id);
+
+  /// Block until the job reaches a terminal state. In manual mode
+  /// this drives rounds on the calling thread.
+  void wait(job_id id);
+
+  /// Block until every admitted job has settled.
+  void wait_all();
+
+  /// The job's final output once terminal (nullptr before that, or
+  /// for unknown ids). Stable for the engine's lifetime.
+  [[nodiscard]] const job_result* result(job_id id) const;
+
+  /// Manual mode: run up to `max_rounds` scheduling rounds on the
+  /// calling thread; returns how many actually ran (a round with no
+  /// active members does not run). Only valid when options().async is
+  /// false.
+  int drive(int max_rounds = std::numeric_limits<int>::max());
+
+  /// Members currently queued or running.
+  [[nodiscard]] std::size_t active_members() const;
+
+  /// Modeled seconds of admitted, unfinished work (the admission
+  /// gauge).
+  [[nodiscard]] double backlog_seconds() const;
+
+  /// The L2-priced tile size a member of this config batches at.
+  [[nodiscard]] std::size_t tile_members_for(const member_config& cfg) const;
+
+  [[nodiscard]] const engine_options& options() const;
+
+ private:
+  struct impl;
+  std::unique_ptr<impl> impl_;
+};
+
+}  // namespace tfx::ensemble

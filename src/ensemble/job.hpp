@@ -1,0 +1,206 @@
+#pragma once
+
+/// \file job.hpp
+/// Client-facing vocabulary of the ensemble scenario service
+/// (docs/ENSEMBLE.md): what a member run looks like to a tenant —
+/// precision personality, grid, seeds — and the typed results the
+/// async submit/poll API hands back. The engine itself lives in
+/// engine.hpp; nothing here depends on it, so result types can cross
+/// module boundaries freely.
+
+#include <cstdint>
+#include <vector>
+
+#include "fp/fpenv.hpp"
+#include "swm/field.hpp"
+#include "swm/perfmodel.hpp"
+
+namespace tfx::ensemble {
+
+/// The precision personalities a member can run at — the paper's
+/// Fig. 5 configurations plus the compensated-native pairs the batched
+/// Kahan kernels serve. Each maps to one model<T, Tprog>
+/// instantiation + integration scheme (engine.cpp's switch).
+enum class personality : std::uint8_t {
+  float64,        ///< model<double>, standard RK4 (the reference)
+  float64_comp,   ///< model<double>, Kahan-compensated
+  float32,        ///< model<float>, standard
+  float16,        ///< model<float16>, compensated (scaled, FTZ per cfg)
+  float16_mixed,  ///< model<float16, float>: F16 RHS, F32 integration
+  bfloat16,       ///< model<bfloat16>, compensated
+};
+
+inline constexpr personality all_personalities[] = {
+    personality::float64,       personality::float64_comp,
+    personality::float32,       personality::float16,
+    personality::float16_mixed, personality::bfloat16,
+};
+
+constexpr const char* personality_name(personality p) {
+  switch (p) {
+    case personality::float64: return "Float64";
+    case personality::float64_comp: return "Float64/comp";
+    case personality::float32: return "Float32";
+    case personality::float16: return "Float16";
+    case personality::float16_mixed: return "Float16/32";
+    case personality::bfloat16: return "BFloat16";
+  }
+  return "?";
+}
+
+/// The perfmodel configuration of a personality (what admission
+/// control prices with swm::predict_time).
+inline swm::precision_config precision_of(personality p) {
+  switch (p) {
+    case personality::float64: return swm::config_float64();
+    case personality::float64_comp: {
+      swm::precision_config c = swm::config_float64();
+      c.compensated = true;
+      c.name = "Float64/comp";
+      return c;
+    }
+    case personality::float32: return swm::config_float32();
+    case personality::float16: return swm::config_float16();
+    case personality::float16_mixed: return swm::config_float16_32();
+    case personality::bfloat16: {
+      swm::precision_config c;
+      c.elem_bytes = 2;
+      c.prog_elem_bytes = 2;
+      c.compensated = true;
+      c.name = "BFloat16";
+      return c;
+    }
+  }
+  return swm::config_float64();
+}
+
+using job_id = std::uint64_t;
+inline constexpr job_id invalid_job = 0;
+
+/// Tenants are registered up front (engine::register_tenant) so their
+/// obs counters exist before any member steps — the hot path then
+/// only touches pre-resolved handles.
+using tenant_id = std::uint16_t;
+inline constexpr tenant_id default_tenant = 0;
+
+/// One member run. The trajectory this produces through the engine is
+/// bit-identical to constructing the same model standalone, seeding /
+/// restoring / perturbing it in this order, and calling run(steps) —
+/// the engine's correctness oracle (tests/ensemble_engine_test).
+struct member_config {
+  personality prec = personality::float64;
+  int nx = 32;
+  int ny = 16;
+  int steps = 1;  ///< RK4 steps to integrate past the initial state
+
+  std::uint64_t seed = 42;          ///< seed_random_eddies stream
+  double velocity_amplitude = 0.5;  ///< eddy amplitude
+  int log2_scale = 0;               ///< Float16 scaling exponent (s = 2^k)
+
+  /// Multiplicative IC perturbation after seeding/restoring: one
+  /// xoshiro256(perturb_seed) stream across u, v, eta in that order,
+  /// each element scaled by 1 + amplitude * U(-1, 1) — exactly the
+  /// bench/ensemble_error recipe. perturb_seed == 0 disables it.
+  std::uint64_t perturb_seed = 0;
+  double perturb_amplitude = 0.0;
+
+  /// Soft-float FTZ mode the member's arithmetic (including its
+  /// submit-time initialization) runs under. Part of the batch key,
+  /// so a whole batch shares one ftz_guard.
+  fp::ftz_mode ftz = fp::ftz_mode::preserve;
+
+  int health_every = 0;  ///< model health-sentinel interval (0: off)
+
+  /// Record an unscaled double snapshot of the state every this many
+  /// member steps (0: none) — the exact values model::unscaled() would
+  /// produce at the same step.
+  int record_every = 0;
+
+  /// Optional restart: adopt this state (the exact double image of
+  /// the *scaled* prognostic fields) instead of seeding eddies, with
+  /// the step counter at `initial_steps`. Copied during submit; the
+  /// pointer need not outlive the call.
+  const swm::state<double>* initial = nullptr;
+  int initial_steps = 0;
+};
+
+enum class submit_error : std::uint8_t {
+  none,              ///< accepted
+  queue_full,        ///< member capacity (engine_options::max_members)
+  backlog_exceeded,  ///< modeled backlog past max_backlog_seconds
+  invalid_config,    ///< bad geometry/steps/tenant/initial-state shape
+  shutdown,          ///< engine is stopping
+};
+
+constexpr const char* submit_error_name(submit_error e) {
+  switch (e) {
+    case submit_error::none: return "none";
+    case submit_error::queue_full: return "queue_full";
+    case submit_error::backlog_exceeded: return "backlog_exceeded";
+    case submit_error::invalid_config: return "invalid_config";
+    case submit_error::shutdown: return "shutdown";
+  }
+  return "?";
+}
+
+/// What submit() returns: a handle on acceptance, a typed reason
+/// otherwise (never an exception — admission rejects are a normal
+/// operating regime under load).
+struct submit_ticket {
+  job_id id = invalid_job;
+  submit_error error = submit_error::none;
+
+  [[nodiscard]] bool ok() const { return error == submit_error::none; }
+  explicit operator bool() const { return ok(); }
+};
+
+enum class job_state : std::uint8_t {
+  queued,     ///< admitted, no step taken yet
+  running,    ///< being stepped
+  done,       ///< completed all cfg.steps
+  cancelled,  ///< cancel took effect at a step boundary
+  failed,     ///< health sentinel tripped (numerical_error)
+};
+
+constexpr const char* job_state_name(job_state s) {
+  switch (s) {
+    case job_state::queued: return "queued";
+    case job_state::running: return "running";
+    case job_state::done: return "done";
+    case job_state::cancelled: return "cancelled";
+    case job_state::failed: return "failed";
+  }
+  return "?";
+}
+
+enum class cancel_result : std::uint8_t {
+  requested,  ///< will take effect at the member's next step boundary
+  unknown_job,
+  already_done,
+  already_cancelled,
+  already_failed,
+};
+
+/// Poll snapshot of one job.
+struct job_status {
+  job_state state = job_state::queued;
+  int steps_done = 0;    ///< member-local steps completed so far
+  int failed_step = -1;  ///< failed only: model step the sentinel named
+};
+
+/// Final output of a member run, written before the job turns
+/// terminal. Float conversions to double are exact for every
+/// personality, so these are bit-exact images of the member's final
+/// prognostic and Kahan-compensation fields (the oracle comparison in
+/// the tests is EXPECT-on-bits).
+struct job_result {
+  swm::state<double> prognostic;    ///< scaled, in the Tprog domain
+  swm::state<double> compensation;  ///< Kahan residuals (zero if unused)
+  /// Unscaled double states every cfg.record_every steps, oldest
+  /// first; exactly model::unscaled() at those steps.
+  std::vector<swm::state<double>> snapshots;
+  int steps_done = 0;
+  double modeled_seconds = 0;  ///< the admission price this job carried
+};
+
+}  // namespace tfx::ensemble

@@ -219,4 +219,58 @@ void convert(std::span<To> d, std::span<const From> s, std::size_t lo,
   });
 }
 
+// ---------------------------------------------------------------------------
+// Batched forms (the ensemble engine's apply path, src/ensemble).
+// Each item is one member-field problem over that member's own storage;
+// members are independent, so batching amortizes the width-policy read
+// and dispatch across the whole batch while every element runs exactly
+// the per-element chain of the non-batched entry point above. A batch
+// is therefore bit-identical to looping rk4_update[_kahan] over the
+// items — at every width, including the compensation residuals.
+// ---------------------------------------------------------------------------
+
+/// One member-field apply problem of a batched RK4 update. `comp` is
+/// only read/written by the Kahan kernel and may be empty otherwise.
+template <typename T>
+struct rk4_batch_item {
+  std::span<T> y;
+  std::span<T> comp;
+  std::span<const T> k1, k2, k3, k4;
+};
+
+template <typename T>
+void rk4_update_batched(std::span<const rk4_batch_item<T>> items) {
+  const std::size_t w = simd_width();
+  if (w == 0) {
+    for (const auto& it : items) {
+      rk4_update_scalar(it.y, it.k1, it.k2, it.k3, it.k4, 0, it.y.size());
+    }
+    return;
+  }
+  with_simd_width(w, [&](auto bits) {
+    for (const auto& it : items) {
+      rk4_update_fixed<bits(), T>(it.y, it.k1, it.k2, it.k3, it.k4, 0,
+                                  it.y.size());
+    }
+  });
+}
+
+template <typename T>
+void rk4_update_kahan_batched(std::span<const rk4_batch_item<T>> items) {
+  const std::size_t w = simd_width();
+  if (w == 0) {
+    for (const auto& it : items) {
+      rk4_update_kahan_scalar(it.y, it.comp, it.k1, it.k2, it.k3, it.k4, 0,
+                              it.y.size());
+    }
+    return;
+  }
+  with_simd_width(w, [&](auto bits) {
+    for (const auto& it : items) {
+      rk4_update_kahan_fixed<bits(), T>(it.y, it.comp, it.k1, it.k2, it.k3,
+                                        it.k4, 0, it.y.size());
+    }
+  });
+}
+
 }  // namespace tfx::kernels::sweeps

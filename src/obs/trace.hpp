@@ -70,9 +70,13 @@ enum class domain : std::uint8_t {
   swm,    ///< shallow-water step loop (serial: host clock, track 0;
           ///< distributed: virtual clock, track = rank)
   resil,  ///< resilience protocol (virtual clock, track = rank)
+  ens,    ///< ensemble engine (host clock; spans: track = worker,
+          ///< tenant counters/instants: track = tenant id) — one
+          ///< domain per tenant-visible plane keeps a tenant's rows
+          ///< disjoint from every other tenant's (docs/ENSEMBLE.md)
 };
 
-inline constexpr int domain_count = 4;
+inline constexpr int domain_count = 5;
 
 /// Human-readable domain name (also the thread-name prefix in the
 /// Chrome export).
@@ -82,6 +86,7 @@ constexpr const char* domain_name(domain d) {
     case domain::net: return "net";
     case domain::swm: return "swm";
     case domain::resil: return "resil";
+    case domain::ens: return "ens";
   }
   return "?";
 }

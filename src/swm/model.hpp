@@ -17,6 +17,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <vector>
 
 #include "core/rng.hpp"
 #include "obs/metrics.hpp"
@@ -222,6 +223,61 @@ class model {
 
   void run(int steps) {
     for (int i = 0; i < steps; ++i) step();
+  }
+
+  // -- member-steppable facade (the ensemble engine, src/ensemble) ----
+  //
+  // The engine drives a member's step in parts so the apply sweep can
+  // be batched across members: step_stages() runs the four RHS stages
+  // of the *fused* pipeline, then either step_apply() finishes the
+  // step standalone or the engine collects append_rk4_items() from the
+  // whole batch and runs kernels::sweeps::rk4_update[_kahan]_batched —
+  // the same per-element chains, one dispatch for the batch. Either
+  // way finish_step() closes the step exactly like step()'s tail, so
+  //   step_stages(); step_apply(); finish_step();
+  // is the untraced step() verbatim, and the batched form is pinned
+  // bit-identical to it by tests/ensemble_engine_test.
+
+  /// True when the apply sweep can run through the batched kernels
+  /// (native integration type, no mixed-precision down-cast in apply).
+  static constexpr bool batchable_apply =
+      std::is_same_v<T, Tprog> &&
+      fp::vec_traits<Tprog>::kind == fp::vectorizability::native;
+
+  /// The four fused RHS stages of one step: k1..k4 become valid.
+  void step_stages() {
+    TFX_EXPECTS(pipeline_ == update_pipeline::fused);
+    const Tprog half = Tprog(0.5);
+    const Tprog one = Tprog(1);
+    fused_stage(nullptr, Tprog{}, k1_);
+    fused_stage(&k1_, half, k2_);
+    fused_stage(&k2_, half, k3_);
+    fused_stage(&k3_, one, k4_);
+  }
+
+  /// The fused increment+apply sweep (the standalone finish of
+  /// step_stages()).
+  void step_apply() { fused_apply(); }
+
+  /// Close the step: counter + health sentinel, identical to step().
+  /// Throws numerical_error like step() when the sentinel trips.
+  void finish_step() {
+    ++steps_;
+    if (health_every_ > 0 && steps_ % health_every_ == 0) check_health();
+  }
+
+  /// Append this member's three per-field apply problems for the
+  /// batched kernels (u, v, eta — the apply_range field order).
+  void append_rk4_items(
+      std::vector<kernels::sweeps::rk4_batch_item<Tprog>>& out)
+    requires(batchable_apply)
+  {
+    out.push_back({prog_.u.flat(), comp_.u.flat(), k1_.du.flat(),
+                   k2_.du.flat(), k3_.du.flat(), k4_.du.flat()});
+    out.push_back({prog_.v.flat(), comp_.v.flat(), k1_.dv.flat(),
+                   k2_.dv.flat(), k3_.dv.flat(), k4_.dv.flat()});
+    out.push_back({prog_.eta.flat(), comp_.eta.flat(), k1_.deta.flat(),
+                   k2_.deta.flat(), k3_.deta.flat(), k4_.deta.flat()});
   }
 
   /// Diagnostics on the unscaled double-precision state.

@@ -166,4 +166,16 @@ halo_cost predict_halo(const mpisim::tofud_params& net, int nx,
   return out;
 }
 
+double predict_time(const arch::a64fx_params& machine, int nx, int ny,
+                    const precision_config& config, int steps, int ranks,
+                    const mpisim::tofud_params& net) {
+  double per_step = predict_step(machine, nx, ny, config).seconds;
+  if (ranks > 1) {
+    per_step += predict_halo(net, nx, config.prog_elem_bytes, ranks,
+                             halo_mode::aggregated_overlap)
+                    .seconds;
+  }
+  return per_step * steps;
+}
+
 }  // namespace tfx::swm

@@ -95,4 +95,15 @@ struct halo_cost {
 halo_cost predict_halo(const mpisim::tofud_params& net, int nx,
                        std::size_t elem_bytes, int ranks, halo_mode mode);
 
+/// Modeled wall seconds to integrate `steps` RK4 steps of one nx x ny
+/// member at `config` — the admission-control price of an ensemble job
+/// (src/ensemble prices its backlog bound with this). For ranks > 1
+/// the per-step packed-overlapped halo term from predict_halo is added
+/// on top of the compute/memory step cost, so distributed members are
+/// priced with the same comm model the halo engine validates against
+/// obs counters.
+double predict_time(const arch::a64fx_params& machine, int nx, int ny,
+                    const precision_config& config, int steps, int ranks = 1,
+                    const mpisim::tofud_params& net = mpisim::tofud_params{});
+
 }  // namespace tfx::swm

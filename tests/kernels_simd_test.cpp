@@ -241,6 +241,38 @@ TEST_P(BatchedWidth, GemmBatchedBitIdenticalToReorderedOracle) {
   run(float{});
 }
 
+TEST_P(BatchedWidth, GemmBatchedRaggedFinalTileBitIdentical) {
+  auto run = [&](auto tag) {
+    using T = decltype(tag);
+    // A count that does NOT divide into the tile: every explicit tile
+    // here leaves a partial final tile (11 = 4+4+3, = 5+5+1, a
+    // sub-tile count for 16) — the tile loop's ragged-tail regime,
+    // which the default-tile shapes above never reach. Tiling only
+    // reorders whole problems, so every split must reproduce the
+    // generic oracle bit-for-bit.
+    const kernels::gemm_batch_shape s{11, 5, 6, 4};
+    const auto a = random_vec<T>(s.count * s.a_elems(), 71);
+    const auto b = random_vec<T>(s.count * s.b_elems(), 72);
+    const auto c0 = random_vec<T>(s.count * s.c_elems(), 73);
+    auto c_ref = c0;
+    kernels::gemm_batched_generic<T>(s, T(1.25), a, b, T(0.5), c_ref);
+    for (const std::size_t tile :
+         {std::size_t{1}, std::size_t{2}, std::size_t{4}, std::size_t{5},
+          std::size_t{16}}) {
+      auto c = c0;
+      at_width(GetParam(), [&](auto bits) {
+        kernels::simd::gemm_batched_fixed<bits(), T>(s, T(1.25), a, b, T(0.5),
+                                                     c, tile);
+      });
+      for (std::size_t i = 0; i < c.size(); ++i) {
+        ASSERT_EQ(c[i], c_ref[i]) << "tile=" << tile << " i=" << i;
+      }
+    }
+  };
+  run(double{});
+  run(float{});
+}
+
 INSTANTIATE_TEST_SUITE_P(Widths, BatchedWidth,
                          ::testing::Values(std::size_t{128}, std::size_t{256},
                                            std::size_t{512}));
@@ -320,6 +352,62 @@ TEST(Sweeps, KahanUpdatePreservesCompensationBits) {
     for (std::size_t i = 0; i < n; ++i) {
       EXPECT_EQ(y[i], y_ref[i]) << "w=" << w;
       EXPECT_EQ(c[i], c_ref[i]) << "w=" << w;  // the carried residual too
+    }
+  }
+  kernels::reset_simd_width();
+}
+
+TEST(Sweeps, Rk4UpdateBatchedMatchesPerItemDispatchBitwise) {
+  // The ensemble engine's one-dispatch-per-tile apply: a ragged item
+  // list (mixed lengths, incl. sub-lane) must produce exactly the
+  // bits of dispatching each item alone at the same width — batching
+  // is a loop-ordering change only, at every width and for the Kahan
+  // variant's carried residuals too.
+  constexpr std::size_t lens[] = {1, 17, 33, 64, 301};
+  constexpr std::size_t count = std::size(lens);
+  std::vector<std::vector<double>> y(count), c(count), y1(count), c1(count);
+  std::vector<std::vector<double>> k1(count), k2(count), k3(count), k4(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t n = lens[i];
+    y[i] = random_vec<double>(n, 90 + i);
+    c[i] = random_vec<double>(n, 95 + i, -1e-12, 1e-12);
+    k1[i] = random_vec<double>(n, 100 + i);
+    k2[i] = random_vec<double>(n, 105 + i);
+    k3[i] = random_vec<double>(n, 110 + i);
+    k4[i] = random_vec<double>(n, 115 + i);
+  }
+
+  for (const std::size_t w : {std::size_t{0}, std::size_t{128},
+                              std::size_t{256}, std::size_t{512}}) {
+    ASSERT_TRUE(kernels::set_simd_width(w));
+    auto yb = y, cb = c;       // batched
+    auto yr = y, cr = c;       // per-item reference
+    std::vector<kernels::sweeps::rk4_batch_item<double>> items;
+    for (std::size_t i = 0; i < count; ++i) {
+      items.push_back({yb[i], cb[i], k1[i], k2[i], k3[i], k4[i]});
+    }
+    kernels::sweeps::rk4_update_batched<double>(items);
+    for (std::size_t i = 0; i < count; ++i) {
+      kernels::sweeps::rk4_update<double>(yr[i], k1[i], k2[i], k3[i], k4[i],
+                                          0, lens[i]);
+      for (std::size_t j = 0; j < lens[i]; ++j) {
+        ASSERT_EQ(yb[i][j], yr[i][j]) << "w=" << w << " item=" << i;
+      }
+    }
+
+    auto ykb = y, ckb = c, ykr = y, ckr = c;
+    items.clear();
+    for (std::size_t i = 0; i < count; ++i) {
+      items.push_back({ykb[i], ckb[i], k1[i], k2[i], k3[i], k4[i]});
+    }
+    kernels::sweeps::rk4_update_kahan_batched<double>(items);
+    for (std::size_t i = 0; i < count; ++i) {
+      kernels::sweeps::rk4_update_kahan<double>(ykr[i], ckr[i], k1[i], k2[i],
+                                                k3[i], k4[i], 0, lens[i]);
+      for (std::size_t j = 0; j < lens[i]; ++j) {
+        ASSERT_EQ(ykb[i][j], ykr[i][j]) << "w=" << w << " item=" << i;
+        ASSERT_EQ(ckb[i][j], ckr[i][j]) << "w=" << w << " item=" << i;
+      }
     }
   }
   kernels::reset_simd_width();
