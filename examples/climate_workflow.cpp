@@ -12,7 +12,12 @@
 //      engine's per-step snapshots — bit-identical to advecting it
 //      inline, because snapshots are exact power-of-two descales,
 //   6. verify the physics: spectra, tracer conservation and the
-//      research ensemble's spread vs the Float64 control.
+//      research ensemble's spread vs the Float64 control,
+//   7. run the resilience drill: a second Float16 production member
+//      under the precision autopilot (docs/AUTOPILOT.md) with an
+//      injected range-drift fault — it completes by promoting itself
+//      one rung up the precision ladder while the control twin runs
+//      untouched.
 //
 // This is the § III-B development story of the paper stretched into
 // the deployment shape an operational centre would use: scenarios go
@@ -211,5 +216,45 @@ int main() {
               rmse(z64, z16) / spread,
               rmse(z64, z16) < spread ? "rounding < IC uncertainty"
                                       : "rounding visible");
+
+  // -- 7. resilience drill: autopilot under injected drift ---------------
+  // The same Float16 restart, this time monitored: the fault plane
+  // collapses the state by 2^-18 a third of the way in, the shadow
+  // stripe sees the subnormal drift at the next check, and with
+  // rescaling disabled the ladder promotes the member one rung (to
+  // bfloat16) in place. The run completes with every value finite;
+  // the Float64 control twin above finished with zero repairs.
+  ensemble::member_config drill = prod;
+  drill.record_every = 10;
+  drill.health_every = 1;
+  drill.autopilot.check_every = 4;
+  drill.autopilot.max_rescales = 0;  // drill the promotion rung
+  drill.faults.push_back(
+      {ensemble::fault_kind::scale_state, production_steps / 3, -18, 0});
+  const auto drill_ticket = eng.submit(drill, t_production);
+  if (!drill_ticket.ok()) {
+    std::fprintf(stderr, "engine rejected the drill member?!\n");
+    return 1;
+  }
+  eng.wait(drill_ticket.id);
+  const ensemble::job_result* rd = eng.result(drill_ticket.id);
+  std::printf("\nautopilot drill (injected 2^-18 drift at step %d):\n",
+              production_steps / 3);
+  for (const auto& ev : rd->repairs) {
+    std::printf("  step %-3d %-8s (%s) -> %s, scale 2^%d\n", ev.step,
+                ensemble::repair_kind_name(ev.kind),
+                autopilot_cause_name(ev.cause),
+                ensemble::personality_name(ev.prec), ev.log2_scale);
+  }
+  bool drill_finite = true;
+  for (const auto* f : {&rd->prognostic.u, &rd->prognostic.v,
+                        &rd->prognostic.eta}) {
+    for (const double v : f->flat()) drill_finite &= std::isfinite(v);
+  }
+  std::printf("  -> %d/%d steps, finished at %s, all finite: %s; "
+              "control repairs: %zu\n",
+              rd->steps_done, drill.steps,
+              ensemble::personality_name(rd->prec),
+              drill_finite ? "yes" : "NO", r64->repairs.size());
   return 0;
 }

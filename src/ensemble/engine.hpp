@@ -32,6 +32,18 @@
 /// typed errors when member capacity or the modeled backlog bound
 /// would be exceeded — backpressure is a normal answer, not an error
 /// path.
+///
+/// Member repair. With member_config::autopilot enabled, each member
+/// carries a swm::autopilot that samples a Sherlog shadow stripe every
+/// N steps and walks the rescale -> promote -> permfail ladder on
+/// range drift or a numerical_error: rescales restate the member in
+/// place (or from its last finite snapshot), promotions re-admit it
+/// into the next personality's batch group at the end of the round
+/// (re-priced through swm::predict_time), and every action lands on
+/// the obs plane (ens.autopilot.* counters and instants) and in
+/// job_result::repairs. Repair decisions are member-local, so the
+/// transcript is identical across pool sizes and submission orders
+/// (docs/AUTOPILOT.md).
 
 #include <cstddef>
 #include <limits>
@@ -94,8 +106,15 @@ class engine {
   /// Register a tenant and pre-create its obs counters
   /// (ens.steps.<name>, ens.jobs.<name>) so the stepping hot path only
   /// touches resolved handles. Tenant `default_tenant` ("default")
-  /// always exists.
-  tenant_id register_tenant(std::string name);
+  /// always exists (retry budget 2).
+  ///
+  /// `retry_budget` bounds the *reactive* repairs (rollback + retry /
+  /// rescale / promote after a numerical_error) each of this tenant's
+  /// members may consume over its lifetime; one more sentinel trip
+  /// past the budget is a typed permanent failure (retry_exhausted).
+  /// Proactive drift repairs — applied in place, no rollback — are
+  /// not metered: they are planned degradation, not failure recovery.
+  tenant_id register_tenant(std::string name, int retry_budget = 2);
 
   /// Admit one member run; typed rejection instead of blocking.
   [[nodiscard]] submit_ticket submit(const member_config& cfg,

@@ -8,10 +8,13 @@
 /// engine.hpp; nothing here depends on it, so result types can cross
 /// module boundaries freely.
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
 #include "fp/fpenv.hpp"
+#include "fp/scaling.hpp"
+#include "swm/autopilot.hpp"
 #include "swm/field.hpp"
 #include "swm/perfmodel.hpp"
 
@@ -74,6 +77,52 @@ inline swm::precision_config precision_of(personality p) {
   return swm::config_float64();
 }
 
+/// The precision-promotion ladder the autopilot escalates along:
+/// f16 -> bf16 -> f32 -> f64 (the mixed personality promotes into its
+/// own integration type, f32). The two Float64 personalities are the
+/// top rung.
+constexpr bool promotable(personality p) {
+  switch (p) {
+    case personality::float16:
+    case personality::float16_mixed:
+    case personality::bfloat16:
+    case personality::float32:
+      return true;
+    case personality::float64:
+    case personality::float64_comp:
+      return false;
+  }
+  return false;
+}
+
+constexpr personality promoted(personality p) {
+  switch (p) {
+    case personality::float16: return personality::bfloat16;
+    case personality::float16_mixed: return personality::float32;
+    case personality::bfloat16: return personality::float32;
+    case personality::float32: return personality::float64;
+    case personality::float64:
+    case personality::float64_comp:
+      return p;
+  }
+  return p;
+}
+
+/// Admitted exponent range of a personality's *integration* format —
+/// what the autopilot monitors the member's magnitudes against.
+constexpr fp::format_range format_range_of(personality p) {
+  switch (p) {
+    case personality::float16: return fp::float16_range;
+    case personality::float16_mixed: return fp::float16_range;
+    case personality::bfloat16: return fp::bfloat16_range;
+    case personality::float32: return fp::float32_range;
+    case personality::float64:
+    case personality::float64_comp:
+      return fp::float64_range;
+  }
+  return fp::float64_range;
+}
+
 using job_id = std::uint64_t;
 inline constexpr job_id invalid_job = 0;
 
@@ -82,6 +131,26 @@ inline constexpr job_id invalid_job = 0;
 /// only touches pre-resolved handles.
 using tenant_id = std::uint16_t;
 inline constexpr tenant_id default_tenant = 0;
+
+/// The ensemble fault plane (the chaos-harness idea of docs/FAULTS.md
+/// carried to members): deterministic, member-local faults tests use
+/// to exercise the repair ladder. Each fault fires exactly once, just
+/// before the member takes the step its counter names — and does NOT
+/// re-fire when a repair rolls the member back past it, so an injected
+/// upset costs one repair, not an infinite loop.
+enum class fault_kind : std::uint8_t {
+  scale_state,  ///< multiply the prognostic state by 2^log2_factor
+                ///< (exact: models a range regime shift)
+  poison_nan,   ///< write a quiet NaN into eta at flat `index`
+};
+
+struct member_fault {
+  fault_kind kind = fault_kind::scale_state;
+  int at_step = 0;      ///< fires before the member's step `at_step`
+                        ///< (member-local, 0-based)
+  int log2_factor = 0;  ///< scale_state only
+  std::ptrdiff_t index = 0;  ///< poison_nan only (wrapped into range)
+};
 
 /// One member run. The trajectory this produces through the engine is
 /// bit-identical to constructing the same model standalone, seeding /
@@ -122,6 +191,16 @@ struct member_config {
   /// pointer need not outlive the call.
   const swm::state<double>* initial = nullptr;
   int initial_steps = 0;
+
+  /// Precision autopilot (swm/autopilot.hpp). check_every == 0 (the
+  /// default) leaves the member exactly as before — no monitor, no
+  /// repair, numerical_error fail-stops. With it on, range drift and
+  /// sentinel trips walk the rescale -> promote -> permfail ladder
+  /// (docs/AUTOPILOT.md).
+  swm::autopilot_options autopilot;
+
+  /// Injected faults, in firing order by at_step (tests only).
+  std::vector<member_fault> faults;
 };
 
 enum class submit_error : std::uint8_t {
@@ -159,7 +238,7 @@ enum class job_state : std::uint8_t {
   running,    ///< being stepped
   done,       ///< completed all cfg.steps
   cancelled,  ///< cancel took effect at a step boundary
-  failed,     ///< health sentinel tripped (numerical_error)
+  failed,     ///< sentinel tripped with no repair left (see fail_reason)
 };
 
 constexpr const char* job_state_name(job_state s) {
@@ -181,11 +260,57 @@ enum class cancel_result : std::uint8_t {
   already_failed,
 };
 
+/// Why a job ended in job_state::failed (none for any other state).
+enum class fail_reason : std::uint8_t {
+  none,
+  numerical,           ///< sentinel tripped, no autopilot to repair it
+  ladder_exhausted,    ///< escalation wanted a rung above the ladder
+  retry_exhausted,     ///< tenant's per-member retry budget spent
+  range_unrecoverable, ///< drift with no rescale left and promotion off
+};
+
+constexpr const char* fail_reason_name(fail_reason r) {
+  switch (r) {
+    case fail_reason::none: return "none";
+    case fail_reason::numerical: return "numerical";
+    case fail_reason::ladder_exhausted: return "ladder_exhausted";
+    case fail_reason::retry_exhausted: return "retry_exhausted";
+    case fail_reason::range_unrecoverable: return "range_unrecoverable";
+  }
+  return "?";
+}
+
+/// One repair action the autopilot took on a member, in order — the
+/// deterministic repair transcript tests compare across pool sizes.
+enum class repair_kind : std::uint8_t { rescale, promote, retry, permfail };
+
+constexpr const char* repair_kind_name(repair_kind k) {
+  switch (k) {
+    case repair_kind::rescale: return "rescale";
+    case repair_kind::promote: return "promote";
+    case repair_kind::retry: return "retry";
+    case repair_kind::permfail: return "permfail";
+  }
+  return "?";
+}
+
+struct repair_event {
+  repair_kind kind = repair_kind::retry;
+  swm::autopilot_cause cause = swm::autopilot_cause::none;
+  int step = 0;          ///< member-local step count when decided
+  personality prec = personality::float64;  ///< personality afterwards
+  int log2_scale = 0;    ///< member scale afterwards
+  int rollback_to = -1;  ///< member-local step restored to; -1 in place
+  std::ptrdiff_t bad_index = -1;  ///< numerical_error's element, or -1
+};
+
 /// Poll snapshot of one job.
 struct job_status {
   job_state state = job_state::queued;
   int steps_done = 0;    ///< member-local steps completed so far
-  int failed_step = -1;  ///< failed only: model step the sentinel named
+  int failed_step = -1;  ///< last model step a sentinel named (-1: none)
+  fail_reason reason = fail_reason::none;  ///< failed only
+  int repairs = 0;       ///< autopilot actions taken so far
 };
 
 /// Final output of a member run, written before the job turns
@@ -201,6 +326,13 @@ struct job_result {
   std::vector<swm::state<double>> snapshots;
   int steps_done = 0;
   double modeled_seconds = 0;  ///< the admission price this job carried
+                               ///< (re-priced on promotion)
+  fail_reason reason = fail_reason::none;  ///< failed only
+  /// Every autopilot action, in the order taken. Identical across pool
+  /// sizes and submission orders (the determinism contract).
+  std::vector<repair_event> repairs;
+  personality prec = personality::float64;  ///< final personality
+  int log2_scale = 0;                       ///< final member scale
 };
 
 }  // namespace tfx::ensemble

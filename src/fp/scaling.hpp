@@ -32,6 +32,7 @@ struct format_range {
 inline constexpr format_range float16_range{-14, 15};
 inline constexpr format_range bfloat16_range{-126, 127};
 inline constexpr format_range float32_range{-126, 127};
+inline constexpr format_range float64_range{-1022, 1023};
 
 /// Result of the scaling search.
 struct scaling_choice {

@@ -29,7 +29,9 @@ int exponent_histogram::quantile(double q) const {
     seen += count(e);
     if (seen > target) return e;
   }
-  return max_exponent;
+  // q = 1 exactly: every sample lies at or below the largest observed
+  // exponent, so answer that, not the clamp ceiling.
+  return max_observed();
 }
 
 double exponent_histogram::fraction_below(int e) const {

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <limits>
+#include <type_traits>
 
 namespace tfx::fp {
 
@@ -103,7 +104,10 @@ class sherlog {
 
   [[nodiscard]] constexpr T value() const { return value_; }
   explicit operator T() const { return value_; }
-  explicit operator double() const { return static_cast<double>(value_); }
+  /// Suppressed for sherlog<double>, where operator T() already is it.
+  explicit operator double() const
+      requires(!std::is_same_v<T, double>)
+  { return static_cast<double>(value_); }
 
   friend sherlog operator+(sherlog a, sherlog b) {
     return logged(a.value_ + b.value_);
@@ -151,9 +155,14 @@ class sherlog {
 using sherlog32 = sherlog<float>;
 using sherlog64 = sherlog<double>;
 
+/// muladd contracts no rounding here (the soft formats have no FMA), so
+/// it produces two arithmetic results — the intermediate product and
+/// the sum — and logs both, one record per result. Routing through the
+/// logged operators guarantees that invariant.
 template <typename T>
 sherlog<T> muladd(sherlog<T> x, sherlog<T> y, sherlog<T> z) {
-  return x * y + z;
+  const sherlog<T> product = x * y;  // logs the intermediate product
+  return product + z;                // logs the final sum
 }
 template <typename T>
 sherlog<T> abs(sherlog<T> x) {
@@ -163,8 +172,9 @@ sherlog<T> abs(sherlog<T> x) {
 template <typename T>
 sherlog<T> sqrt(sherlog<T> x) {
   using std::sqrt;
-  sherlog_sink().record(static_cast<double>(sqrt(x.value())));
-  return sherlog<T>(sqrt(x.value()));
+  const T root = sqrt(x.value());
+  sherlog_sink().record(static_cast<double>(root));
+  return sherlog<T>(root);
 }
 template <typename T>
 sherlog<T> min(sherlog<T> a, sherlog<T> b) {

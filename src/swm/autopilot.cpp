@@ -1,0 +1,167 @@
+#include "swm/autopilot.hpp"
+
+#include <algorithm>
+
+#include "core/contracts.hpp"
+
+namespace tfx::swm {
+
+namespace {
+
+swm_params stripe_of(const swm_params& member, int stripe_rows) {
+  swm_params p = member;
+  const int rows = std::clamp(stripe_rows, 1, member.ny);
+  // Shrink Ly with the row count so dy (and therefore dt and every
+  // dt-folded coefficient) matches the member's grid exactly: the
+  // shadow arithmetic must see the member's magnitudes, not a
+  // different discretisation's.
+  p.Ly = member.dy() * rows;
+  p.ny = rows;
+  // The stripe rotates through the member's rows, so it is never a
+  // wall-adjacent subdomain: evaluate it periodically even when the
+  // member runs the channel configuration.
+  p.bc = boundary::periodic;
+  return p;
+}
+
+}  // namespace
+
+autopilot::autopilot(autopilot_options opt, fp::format_range target,
+                     const swm_params& member_params)
+    : opt_(opt),
+      target_(target),
+      stripe_params_(stripe_of(member_params, opt.stripe_rows)),
+      stripe_in_(stripe_params_.nx, stripe_params_.ny),
+      shadow_state_(stripe_params_.nx, stripe_params_.ny),
+      shadow_k_(stripe_params_.nx, stripe_params_.ny),
+      src_ny_(member_params.ny) {
+  TFX_EXPECTS(opt_.check_every >= 0);
+  rebuild_shadow();
+}
+
+autopilot::~autopilot() = default;
+
+void autopilot::sample_impl() {
+  ++checks_;
+  // The raw stripe values themselves are in-format magnitudes too:
+  // a state drifting toward the subnormal floor shows up here even
+  // when every *computed* increment still lands in range.
+  for (const auto* f : {&stripe_in_.u, &stripe_in_.v, &stripe_in_.eta}) {
+    for (const double v : f->flat()) window_.record(v);
+  }
+  convert_state_into(shadow_state_, stripe_in_);
+  // Borrow the thread's Sherlog sink for the shadow evaluation and
+  // hand it back untouched, so the autopilot composes with callers
+  // that run their own Sherlog analysis on this thread.
+  auto& sink = fp::sherlog_sink();
+  const fp::exponent_histogram saved = sink;
+  sink.reset();
+  shadow_rhs_->evaluate_serial(shadow_state_, shadow_k_);
+  window_.merge(sink);
+  sink = saved;
+}
+
+autopilot_verdict autopilot::assess(int current_log2_scale) {
+  autopilot_verdict v;
+  v.subnormal_fraction =
+      window_.fraction_below(target_.min_normal_exponent + opt_.subnormal_guard);
+  v.overflow_fraction = window_.fraction_at_or_above(
+      target_.max_exponent + 1 - opt_.overflow_guard);
+  const bool nonfinite = window_.nonfinite() > 0;
+  const bool sub = v.subnormal_fraction > opt_.max_subnormal_fraction;
+  const bool over = v.overflow_fraction > opt_.max_overflow_fraction;
+
+  // The window holds *scaled* magnitudes, so choose_scaling's answer
+  // is the additional shift to apply on top of the current scale.
+  // Remember it even on healthy windows: the reactive path uses the
+  // latest range picture when the sentinel trips between checks.
+  if (window_.total() > 0) {
+    last_choice_ = fp::choose_scaling(window_, target_, opt_.clip);
+    // Cap the lift so the unclipped window top keeps rescale_headroom
+    // binades below the admitted ceiling. A lift of zero is recorded
+    // as "no usable shift": the ladder escalates instead of restating
+    // into certain overflow.
+    const int lift_cap = target_.max_exponent - opt_.rescale_headroom -
+                         window_.max_observed();
+    if (last_choice_.log2_scale > lift_cap)
+      last_choice_.log2_scale = std::max(lift_cap, 0);
+    have_choice_ = true;
+  }
+  window_.reset();
+
+  if (!nonfinite && !sub && !over) return v;
+
+  v.cause = nonfinite ? autopilot_cause::nonfinite_shadow
+            : sub     ? autopilot_cause::subnormal_drift
+                      : autopilot_cause::overflow_drift;
+  // A non-finite shadow means the live state is already poisoned;
+  // drift alone means the state is still good and the action can be
+  // applied in place.
+  v.rollback = nonfinite;
+
+  const int delta = have_choice_ ? last_choice_.log2_scale : 0;
+  if (delta != 0 && rescales_ < opt_.max_rescales) {
+    v.action = autopilot_action::rescale;
+    v.log2_scale = current_log2_scale + delta;
+  } else if (opt_.allow_promote) {
+    v.action = autopilot_action::promote;
+  } else {
+    v.action = autopilot_action::fail;
+  }
+  return v;
+}
+
+autopilot_verdict autopilot::on_numerical_error(int current_log2_scale) {
+  ++failures_;
+  autopilot_verdict v;
+  v.cause = autopilot_cause::numerical_error;
+  v.rollback = true;
+  if (failures_ == 1) {
+    // First trip on this rung: when the latest range picture suggests
+    // a shift, restate and rerun; otherwise a plain retry (a one-shot
+    // upset — an injected fault, a freak rounding path — won't recur).
+    const int delta = have_choice_ ? last_choice_.log2_scale : 0;
+    if (delta != 0 && rescales_ < opt_.max_rescales) {
+      v.action = autopilot_action::rescale;
+      v.log2_scale = current_log2_scale + delta;
+    } else {
+      v.action = autopilot_action::retry;
+    }
+  } else if (opt_.allow_promote) {
+    v.action = autopilot_action::promote;
+  } else {
+    v.action = autopilot_action::fail;
+  }
+  window_.reset();
+  return v;
+}
+
+void autopilot::note_rescale(int new_log2_scale) {
+  ++rescales_;
+  stripe_params_.log2_scale = new_log2_scale;
+  rebuild_shadow();
+  window_.reset();
+  have_choice_ = false;
+}
+
+void autopilot::note_promotion(fp::format_range new_target,
+                               int new_log2_scale) {
+  ++promotions_;
+  // A fresh rung gets a fresh reactive ladder: the next sentinel trip
+  // retries before escalating again.
+  failures_ = 0;
+  target_ = new_target;
+  stripe_params_.log2_scale = new_log2_scale;
+  rebuild_shadow();
+  window_.reset();
+  have_choice_ = false;
+}
+
+void autopilot::rebuild_shadow() {
+  // coefficients<T>::make wraps doubles without arithmetic on the
+  // sherlog type, so rebuilding records nothing in the thread's sink.
+  shadow_rhs_ =
+      std::make_unique<rhs_evaluator<fp::sherlog64>>(stripe_params_);
+}
+
+}  // namespace tfx::swm

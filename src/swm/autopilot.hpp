@@ -1,0 +1,245 @@
+#pragma once
+
+/// \file autopilot.hpp
+/// Online precision autopilot: Sherlog range monitoring + a graceful
+/// escalation ladder for reduced-precision production runs.
+///
+/// The paper picks the Float16 scaling s = 2^k *offline* from Sherlog
+/// exponent histograms (fp/sherlog.hpp, fp/scaling.hpp, § III-B). That
+/// leaves every production f16 run one regime shift away from a
+/// subnormal flush-out or an overflow NaN that fail-stops the member.
+/// The autopilot closes the loop online:
+///
+///  * every `check_every` member steps it samples a **shadow stripe**:
+///    `stripe_rows` consecutive rows of the scaled prognostic state
+///    (rotating through the grid) are copied into a small
+///    `sherlog<double>` state and one RHS evaluation is run on them,
+///    recording the exponent of every arithmetic result — plus the raw
+///    stripe values themselves — into a per-member
+///    `fp::exponent_histogram` window. The shadow runs in double, so
+///    it sees the magnitudes *before* the production format flushes or
+///    overflows them: that is the early warning.
+///  * `assess()` compares the window against the member's admitted
+///    format range (the same fraction-below-subnormal /
+///    fraction-at-overflow quantities `fp::choose_scaling` reports)
+///    and answers with a deterministic escalation ladder:
+///      (1) **rescale**  — an exact power-of-two restate of the
+///          prognostic state and `log2_scale` (powers of two perturb
+///          no mantissa bits of in-range values);
+///      (2) **promote**  — move the member one rung up a declared
+///          precision ladder (the caller owns the ladder; the ensemble
+///          engine uses f16 -> bf16 -> f32 -> f64);
+///      (3) **fail**     — a typed permanent failure, only once both
+///          cheaper rungs are exhausted.
+///  * `on_numerical_error()` is the reactive entry: a health-sentinel
+///    trip (swm::numerical_error) maps to rollback + the same ladder.
+///
+/// Decisions depend only on member-local state (the window histogram
+/// and the member's own counters), never on scheduling, so a repair
+/// sequence is bit-reproducible across thread pools and submission
+/// orders — the property tests/ensemble_repair_test pins.
+///
+/// The monitor only *reads* the model state; with no action taken the
+/// member's trajectory is bit-identical to an unmonitored run. The
+/// current thread's `fp::sherlog_sink()` is saved and restored around
+/// every shadow evaluation, so the autopilot can ride inside code that
+/// itself uses Sherlogs.
+
+#include <cstdint>
+#include <memory>
+
+#include "fp/scaling.hpp"
+#include "fp/sherlog.hpp"
+#include "swm/field.hpp"
+#include "swm/params.hpp"
+#include "swm/rhs.hpp"
+
+namespace tfx::swm {
+
+/// Tuning knobs of the monitor and ladder. Defaults are conservative:
+/// a member showing more than 0.1% of its shadow samples inside the
+/// guard bands escalates.
+struct autopilot_options {
+  /// Sample + assess every this many member steps; 0 disables the
+  /// autopilot entirely (the member behaves exactly as before).
+  int check_every = 0;
+
+  /// Rows of the shadow stripe (clamped to the member's ny). The
+  /// stripe rotates through the grid, so successive checks see
+  /// different rows.
+  int stripe_rows = 4;
+
+  /// Escalate when more than this fraction of window samples lies
+  /// below the format's min normal exponent + subnormal_guard.
+  double max_subnormal_fraction = 1e-3;
+  int subnormal_guard = 0;
+
+  /// Escalate when more than this fraction of window samples lies at
+  /// or above the format's overflow exponent - overflow_guard.
+  double max_overflow_fraction = 1e-3;
+  int overflow_guard = 1;
+
+  /// Rescales a member may take over its lifetime before the ladder
+  /// moves on to promotion.
+  int max_rescales = 2;
+
+  /// Binades kept clear between the window's *unclipped* top and the
+  /// format ceiling when picking a rescale. choose_scaling centres the
+  /// clipped window, but the discarded tail (stencil intermediates, a
+  /// few large products) still has to fit after the shift: an
+  /// overshooting lift trades a subnormal flush for an overflow NaN.
+  int rescale_headroom = 2;
+
+  /// false: the ladder skips promotion and goes straight from rescale
+  /// exhaustion to typed failure (a member pinned to its format).
+  bool allow_promote = true;
+
+  /// Outlier clip handed to fp::choose_scaling.
+  double clip = 1e-4;
+};
+
+enum class autopilot_action : std::uint8_t {
+  none,     ///< range healthy, do nothing
+  rescale,  ///< exact power-of-two restate at verdict.log2_scale
+  promote,  ///< move one rung up the caller's precision ladder
+  retry,    ///< reactive only: roll back and re-run unchanged
+  fail,     ///< ladder exhausted: typed permanent failure
+};
+
+enum class autopilot_cause : std::uint8_t {
+  none,
+  subnormal_drift,   ///< window mass drifting below the normal range
+  overflow_drift,    ///< window mass drifting toward overflow
+  nonfinite_shadow,  ///< the shadow evaluation itself saw NaN/Inf
+  numerical_error,   ///< reactive: the health sentinel tripped
+};
+
+constexpr const char* autopilot_action_name(autopilot_action a) {
+  switch (a) {
+    case autopilot_action::none: return "none";
+    case autopilot_action::rescale: return "rescale";
+    case autopilot_action::promote: return "promote";
+    case autopilot_action::retry: return "retry";
+    case autopilot_action::fail: return "fail";
+  }
+  return "?";
+}
+
+constexpr const char* autopilot_cause_name(autopilot_cause c) {
+  switch (c) {
+    case autopilot_cause::none: return "none";
+    case autopilot_cause::subnormal_drift: return "subnormal_drift";
+    case autopilot_cause::overflow_drift: return "overflow_drift";
+    case autopilot_cause::nonfinite_shadow: return "nonfinite_shadow";
+    case autopilot_cause::numerical_error: return "numerical_error";
+  }
+  return "?";
+}
+
+/// What assess() / on_numerical_error() answer.
+struct autopilot_verdict {
+  autopilot_action action = autopilot_action::none;
+  autopilot_cause cause = autopilot_cause::none;
+  int log2_scale = 0;  ///< rescale only: the new member scale
+  /// true: the member's current state is suspect — the caller must
+  /// restart the action from its last good snapshot instead of the
+  /// live state (always set on the reactive path).
+  bool rollback = false;
+  double subnormal_fraction = 0;  ///< of the assessed window
+  double overflow_fraction = 0;
+};
+
+/// Per-member range monitor + escalation policy. Not thread-safe: the
+/// owner (one ensemble member, stepped by one worker at a time) calls
+/// sample/assess from whatever thread currently steps the member.
+class autopilot {
+ public:
+  /// `target` is the admitted exponent range of the member's format
+  /// (fp::float16_range for a Float16 member); `member_params` the
+  /// member's model parameters — the shadow stripe copies its grid
+  /// spacing, physics and current log2_scale so the shadow arithmetic
+  /// matches the member's scaled domain.
+  autopilot(autopilot_options opt, fp::format_range target,
+            const swm_params& member_params);
+  ~autopilot();
+  autopilot(const autopilot&) = delete;
+  autopilot& operator=(const autopilot&) = delete;
+
+  /// Record one shadow-stripe sample of the scaled prognostic state
+  /// into the window: the stripe's raw values plus every arithmetic
+  /// result of one sherlog<double> RHS evaluation on it. Reads the
+  /// state only; saves/restores the thread's sherlog_sink().
+  template <typename Tprog>
+  void sample(const state<Tprog>& prog) {
+    const int ny = prog.ny();
+    const int nx = stripe_params_.nx;
+    const int rows = stripe_params_.ny;
+    for (int jj = 0; jj < rows; ++jj) {
+      const int j = (row0_ + jj) % ny;
+      for (int i = 0; i < nx; ++i) {
+        stripe_in_.u(i, jj) = static_cast<double>(prog.u(i, j));
+        stripe_in_.v(i, jj) = static_cast<double>(prog.v(i, j));
+        stripe_in_.eta(i, jj) = static_cast<double>(prog.eta(i, j));
+      }
+    }
+    row0_ = (row0_ + rows) % ny;
+    sample_impl();
+  }
+
+  /// Inject one value into the window directly (tests, and callers
+  /// that fold extra observations in).
+  void observe(double value) { window_.record(value); }
+
+  /// Evaluate the window against the admitted range and pick the next
+  /// ladder action. Resets the window (each assessment judges the
+  /// samples since the previous one). `current_log2_scale` is the
+  /// member's scale now; a rescale verdict carries the replacement.
+  autopilot_verdict assess(int current_log2_scale);
+
+  /// Reactive entry: the member's health sentinel threw. Picks the
+  /// escalation for the rolled-back state: first failure retries (or
+  /// rescales when the last assessment saw a usable shift), repeated
+  /// failures promote.
+  autopilot_verdict on_numerical_error(int current_log2_scale);
+
+  /// The caller performed the rescale: track the new scale so the
+  /// shadow coefficients follow the member's.
+  void note_rescale(int new_log2_scale);
+
+  /// The caller promoted the member: new admitted range + scale, and
+  /// the window restarts (the old format's statistics are moot).
+  void note_promotion(fp::format_range new_target, int new_log2_scale);
+
+  [[nodiscard]] int rescales() const { return rescales_; }
+  [[nodiscard]] int promotions() const { return promotions_; }
+  [[nodiscard]] int failures() const { return failures_; }
+  [[nodiscard]] int checks() const { return checks_; }
+  [[nodiscard]] const fp::exponent_histogram& window() const {
+    return window_;
+  }
+  [[nodiscard]] const autopilot_options& options() const { return opt_; }
+  [[nodiscard]] fp::format_range target() const { return target_; }
+
+ private:
+  void sample_impl();
+  void rebuild_shadow();
+
+  autopilot_options opt_;
+  fp::format_range target_;
+  swm_params stripe_params_;  ///< ny = stripe rows, same dx/dy/physics
+  state<double> stripe_in_;   ///< stripe copy of the scaled state
+  state<fp::sherlog64> shadow_state_;
+  tendencies<fp::sherlog64> shadow_k_;
+  std::unique_ptr<rhs_evaluator<fp::sherlog64>> shadow_rhs_;
+  fp::exponent_histogram window_;
+  fp::scaling_choice last_choice_{};  ///< from the latest assess()
+  bool have_choice_ = false;
+  int row0_ = 0;    ///< rotating stripe anchor row
+  int src_ny_ = 0;  ///< member grid rows (rotation modulus)
+  int checks_ = 0;
+  int rescales_ = 0;
+  int promotions_ = 0;
+  int failures_ = 0;  ///< reactive repairs consumed
+};
+
+}  // namespace tfx::swm

@@ -14,6 +14,7 @@
 /// so a transient bit-flip costs a rollback instead of the campaign.
 
 #include <cmath>
+#include <cstddef>
 #include <span>
 #include <stdexcept>
 #include <string>
@@ -21,24 +22,31 @@
 namespace tfx::swm {
 
 /// Typed report of non-finite model state: which field went bad, at
-/// which step, on which rank (-1 for the serial model).
+/// which step, on which rank (-1 for the serial model), and — when the
+/// detector knows it — the flat index of the first bad element, so
+/// repair logs and traces can name the cell instead of just the field.
 class numerical_error : public std::runtime_error {
  public:
-  numerical_error(const char* field, int step, int rank)
+  numerical_error(const char* field, int step, int rank,
+                  std::ptrdiff_t index = -1)
       : std::runtime_error(
             std::string("non-finite value in field '") + field +
             "' at step " + std::to_string(step) +
-            (rank >= 0 ? " on rank " + std::to_string(rank) : "")),
-        field_(field), step_(step), rank_(rank) {}
+            (rank >= 0 ? " on rank " + std::to_string(rank) : "") +
+            (index >= 0 ? ", element " + std::to_string(index) : "")),
+        field_(field), step_(step), rank_(rank), index_(index) {}
 
   [[nodiscard]] const char* field() const { return field_; }
   [[nodiscard]] int step() const { return step_; }
   [[nodiscard]] int rank() const { return rank_; }
+  /// Flat index of the first non-finite element; -1 when unknown.
+  [[nodiscard]] std::ptrdiff_t index() const { return index_; }
 
  private:
   const char* field_;
   int step_;
   int rank_;
+  std::ptrdiff_t index_;
 };
 
 /// True when every element is finite. Works for every element type of
@@ -52,11 +60,24 @@ template <typename T>
   return true;
 }
 
-/// Scan one field and raise the typed error on the first bad value.
+/// Flat index of the first non-finite element, or -1 when all finite.
+template <typename T>
+[[nodiscard]] std::ptrdiff_t first_non_finite(std::span<const T> xs) {
+  for (std::size_t k = 0; k < xs.size(); ++k) {
+    if (!std::isfinite(static_cast<double>(xs[k]))) {
+      return static_cast<std::ptrdiff_t>(k);
+    }
+  }
+  return -1;
+}
+
+/// Scan one field and raise the typed error on the first bad value,
+/// naming its flat index.
 template <typename T>
 void require_finite(std::span<const T> xs, const char* field, int step,
                     int rank) {
-  if (!all_finite(xs)) throw numerical_error(field, step, rank);
+  const std::ptrdiff_t bad = first_non_finite(xs);
+  if (bad >= 0) throw numerical_error(field, step, rank, bad);
 }
 
 }  // namespace tfx::swm

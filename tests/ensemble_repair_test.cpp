@@ -1,0 +1,481 @@
+// Self-healing ensemble members (docs/AUTOPILOT.md): under injected
+// range-drift and NaN faults, autopiloted members must complete via
+// the rescale -> promote ladder (zero non-finite results), repair
+// transcripts must be identical across pool sizes and submission
+// orders, retry budgets must be typed, and — the zero-cost contract —
+// an autopilot that never fires must leave the member's bits exactly
+// equal to the unmonitored standalone oracle, Kahan compensation
+// included.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <span>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "ensemble/engine.hpp"
+#include "fp/float16.hpp"
+#include "fp/fpenv.hpp"
+#include "swm/health.hpp"
+#include "swm/model.hpp"
+
+using namespace tfx;
+using namespace tfx::ensemble;
+
+namespace {
+
+void expect_state_bits(const swm::state<double>& got,
+                       const swm::state<double>& want, const char* what) {
+  const auto cmp = [&](std::span<const double> g, std::span<const double> w,
+                       const char* field) {
+    ASSERT_EQ(g.size(), w.size());
+    int bad = 0;
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      if (std::bit_cast<std::uint64_t>(g[i]) !=
+          std::bit_cast<std::uint64_t>(w[i])) {
+        ++bad;
+      }
+    }
+    EXPECT_EQ(bad, 0) << what << "." << field;
+  };
+  cmp(got.u.flat(), want.u.flat(), "u");
+  cmp(got.v.flat(), want.v.flat(), "v");
+  cmp(got.eta.flat(), want.eta.flat(), "eta");
+}
+
+void expect_all_finite(const swm::state<double>& s, const char* what) {
+  EXPECT_TRUE(swm::all_finite(std::span<const double>(s.u.flat()))) << what;
+  EXPECT_TRUE(swm::all_finite(std::span<const double>(s.v.flat()))) << what;
+  EXPECT_TRUE(swm::all_finite(std::span<const double>(s.eta.flat())))
+      << what;
+}
+
+engine_options manual_opts(int threads) {
+  engine_options opts;
+  opts.threads = threads;
+  opts.async = false;
+  return opts;
+}
+
+/// A healthy Float16 production member with the autopilot riding
+/// along (the paper's scaled-f16 configuration).
+member_config f16_member() {
+  member_config cfg;
+  cfg.prec = personality::float16;
+  cfg.nx = 16;
+  cfg.ny = 8;
+  cfg.steps = 10;
+  cfg.seed = 7;
+  cfg.log2_scale = 8;
+  cfg.health_every = 1;
+  cfg.record_every = 2;
+  cfg.autopilot.check_every = 2;
+  return cfg;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// The zero-cost contract: an armed autopilot that never fires is
+// invisible in the bits.
+// ---------------------------------------------------------------------------
+
+TEST(EnsembleRepair, AutopilotOnNoDriftIsBitIdenticalToUnmonitoredRun) {
+  member_config cfg = f16_member();
+
+  engine eng(manual_opts(2));
+  const submit_ticket monitored = eng.submit(cfg);
+  ASSERT_TRUE(monitored.ok());
+  member_config plain = cfg;
+  plain.autopilot = swm::autopilot_options{};  // check_every = 0: off
+  const submit_ticket bare = eng.submit(plain);
+  ASSERT_TRUE(bare.ok());
+  eng.wait_all();
+
+  const job_result* got = eng.result(monitored.id);
+  const job_result* want = eng.result(bare.id);
+  ASSERT_NE(got, nullptr);
+  ASSERT_NE(want, nullptr);
+  EXPECT_TRUE(got->repairs.empty());
+  EXPECT_EQ(got->prec, personality::float16);
+  EXPECT_EQ(got->log2_scale, cfg.log2_scale);
+  // Bit-identical including the Kahan compensation residuals: the
+  // monitor only reads.
+  expect_state_bits(got->prognostic, want->prognostic, "prognostic");
+  expect_state_bits(got->compensation, want->compensation, "compensation");
+  const auto st = eng.poll(monitored.id);
+  ASSERT_TRUE(st.has_value());
+  EXPECT_EQ(st->repairs, 0);
+  EXPECT_EQ(st->reason, fail_reason::none);
+}
+
+// ---------------------------------------------------------------------------
+// The proactive ladder: injected range drift is repaired online.
+// ---------------------------------------------------------------------------
+
+TEST(EnsembleRepair, RangeDriftFaultRecoversViaOnlineRescale) {
+  member_config cfg = f16_member();
+  // Collapse the state by 2^-18 before step 3: the shadow stripe sees
+  // the subnormal drift at the next check and restates in place. The
+  // member tolerates a 5% tail (the SWM increment spectrum is wide),
+  // so the single recentring rescale settles the range.
+  cfg.autopilot.max_subnormal_fraction = 0.05;
+  cfg.autopilot.max_overflow_fraction = 0.05;
+  cfg.faults.push_back({fault_kind::scale_state, 3, -18, 0});
+
+  engine eng(manual_opts(2));
+  const submit_ticket t = eng.submit(cfg);
+  ASSERT_TRUE(t.ok());
+  eng.wait_all();
+
+  const auto st = eng.poll(t.id);
+  ASSERT_TRUE(st.has_value());
+  EXPECT_EQ(st->state, job_state::done);
+  EXPECT_EQ(st->steps_done, cfg.steps);
+  EXPECT_GE(st->repairs, 1);
+
+  const job_result* r = eng.result(t.id);
+  ASSERT_NE(r, nullptr);
+  expect_all_finite(r->prognostic, "prognostic");
+  ASSERT_FALSE(r->repairs.empty());
+  EXPECT_EQ(r->repairs.front().kind, repair_kind::rescale);
+  EXPECT_EQ(r->repairs.front().cause, swm::autopilot_cause::subnormal_drift);
+  EXPECT_EQ(r->repairs.front().rollback_to, -1);  // applied in place
+  EXPECT_NE(r->log2_scale, cfg.log2_scale);       // the scale moved
+  EXPECT_EQ(r->prec, personality::float16);       // no promotion needed
+}
+
+TEST(EnsembleRepair, RescalesExhaustedPromotesToNextRung) {
+  member_config cfg = f16_member();
+  cfg.autopilot.max_rescales = 0;  // ladder starts at promotion
+  cfg.faults.push_back({fault_kind::scale_state, 3, -18, 0});
+
+  engine eng(manual_opts(2));
+  const submit_ticket t = eng.submit(cfg);
+  ASSERT_TRUE(t.ok());
+  eng.wait_all();
+
+  const auto st = eng.poll(t.id);
+  ASSERT_TRUE(st.has_value());
+  EXPECT_EQ(st->state, job_state::done);
+  EXPECT_EQ(st->steps_done, cfg.steps);
+
+  const job_result* r = eng.result(t.id);
+  ASSERT_NE(r, nullptr);
+  expect_all_finite(r->prognostic, "prognostic");
+  ASSERT_FALSE(r->repairs.empty());
+  EXPECT_EQ(r->repairs.front().kind, repair_kind::promote);
+  // f16's compensated rung promotes to bf16, at scale 0.
+  EXPECT_EQ(r->prec, personality::bfloat16);
+  EXPECT_EQ(r->log2_scale, 0);
+  EXPECT_EQ(eng.active_members(), 0u);
+  EXPECT_EQ(eng.backlog_seconds(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// The reactive ladder: a NaN upset rolls back to the last finite
+// snapshot and re-runs.
+// ---------------------------------------------------------------------------
+
+TEST(EnsembleRepair, NaNFaultRollsBackToLastSnapshotAndCompletes) {
+  member_config cfg = f16_member();
+  cfg.faults.push_back({fault_kind::poison_nan, 4, 0, 37});
+
+  engine eng(manual_opts(2));
+  const submit_ticket t = eng.submit(cfg);
+  ASSERT_TRUE(t.ok());
+  eng.wait_all();
+
+  const auto st = eng.poll(t.id);
+  ASSERT_TRUE(st.has_value());
+  EXPECT_EQ(st->state, job_state::done);
+  EXPECT_EQ(st->steps_done, cfg.steps);
+  EXPECT_EQ(st->reason, fail_reason::none);
+
+  const job_result* r = eng.result(t.id);
+  ASSERT_NE(r, nullptr);
+  expect_all_finite(r->prognostic, "prognostic");
+  ASSERT_FALSE(r->repairs.empty());
+  const repair_event& e = r->repairs.front();
+  EXPECT_EQ(e.cause, swm::autopilot_cause::numerical_error);
+  EXPECT_EQ(e.step, 5);          // the sentinel tripped on step 5
+  EXPECT_EQ(e.rollback_to, 4);   // back to the step-4 snapshot
+  EXPECT_GE(e.bad_index, 0);     // satellite: the offending element
+  // Every recorded snapshot of the completed run is finite: the
+  // poisoned trajectory segment was rolled back, not published.
+  for (const auto& snap : r->snapshots) expect_all_finite(snap, "snapshot");
+}
+
+TEST(EnsembleRepair, SeededMemberRollsBackToStartWithoutSnapshots) {
+  member_config cfg = f16_member();
+  cfg.record_every = 0;  // no snapshots: rollback re-runs the recipe
+  cfg.faults.push_back({fault_kind::poison_nan, 4, 0, 3});
+
+  engine eng(manual_opts(1));
+  const submit_ticket t = eng.submit(cfg);
+  ASSERT_TRUE(t.ok());
+  eng.wait_all();
+
+  const auto st = eng.poll(t.id);
+  ASSERT_TRUE(st.has_value());
+  EXPECT_EQ(st->state, job_state::done);
+  const job_result* r = eng.result(t.id);
+  ASSERT_NE(r, nullptr);
+  expect_all_finite(r->prognostic, "prognostic");
+  ASSERT_FALSE(r->repairs.empty());
+  EXPECT_EQ(r->repairs.front().rollback_to, 0);
+}
+
+TEST(EnsembleRepair, RestoredMemberRollsBackToItsInitialImage) {
+  // Build a finite restart image from a short clean run.
+  member_config head = f16_member();
+  head.steps = 4;
+  head.faults.clear();
+  engine eng(manual_opts(1));
+  const submit_ticket th = eng.submit(head);
+  ASSERT_TRUE(th.ok());
+  eng.wait_all();
+  const job_result* head_r = eng.result(th.id);
+  ASSERT_NE(head_r, nullptr);
+
+  member_config tail = f16_member();
+  tail.steps = 6;
+  tail.record_every = 0;
+  tail.initial = &head_r->prognostic;
+  tail.initial_steps = 4;
+  tail.faults.push_back({fault_kind::poison_nan, 2, 0, 11});
+  const submit_ticket tt = eng.submit(tail);
+  ASSERT_TRUE(tt.ok());
+  eng.wait_all();
+
+  const auto st = eng.poll(tt.id);
+  ASSERT_TRUE(st.has_value());
+  EXPECT_EQ(st->state, job_state::done);
+  const job_result* r = eng.result(tt.id);
+  ASSERT_NE(r, nullptr);
+  expect_all_finite(r->prognostic, "prognostic");
+  ASSERT_FALSE(r->repairs.empty());
+  EXPECT_EQ(r->repairs.front().rollback_to, 0);  // the initial image
+}
+
+// ---------------------------------------------------------------------------
+// Typed permanent failures: budgets and ladder tops.
+// ---------------------------------------------------------------------------
+
+TEST(EnsembleRepair, RetryBudgetExhaustionIsTyped) {
+  engine eng(manual_opts(1));
+  const tenant_id frugal = eng.register_tenant("frugal", 0);
+
+  member_config cfg = f16_member();
+  cfg.faults.push_back({fault_kind::poison_nan, 4, 0, 5});
+  const submit_ticket t = eng.submit(cfg, frugal);
+  ASSERT_TRUE(t.ok());
+  eng.wait_all();
+
+  const auto st = eng.poll(t.id);
+  ASSERT_TRUE(st.has_value());
+  EXPECT_EQ(st->state, job_state::failed);
+  EXPECT_EQ(st->reason, fail_reason::retry_exhausted);
+  const job_result* r = eng.result(t.id);
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->reason, fail_reason::retry_exhausted);
+  ASSERT_FALSE(r->repairs.empty());
+  EXPECT_EQ(r->repairs.back().kind, repair_kind::permfail);
+}
+
+TEST(EnsembleRepair, TopRungHasNoPromotionLeft) {
+  member_config cfg = f16_member();
+  cfg.prec = personality::float64;  // already the top of the ladder
+  cfg.log2_scale = 0;
+  cfg.record_every = 1;
+  // Arm the pilot but keep proactive checks out of the window: with
+  // no range picture the first repair is a plain retry.
+  cfg.autopilot.check_every = 50;
+  // Two separate upsets: the first is retried, the second wants a
+  // promotion that does not exist.
+  cfg.faults.push_back({fault_kind::poison_nan, 2, 0, 1});
+  cfg.faults.push_back({fault_kind::poison_nan, 5, 0, 2});
+
+  engine eng(manual_opts(1));
+  const submit_ticket t = eng.submit(cfg);
+  ASSERT_TRUE(t.ok());
+  eng.wait_all();
+
+  const auto st = eng.poll(t.id);
+  ASSERT_TRUE(st.has_value());
+  EXPECT_EQ(st->state, job_state::failed);
+  EXPECT_EQ(st->reason, fail_reason::ladder_exhausted);
+  const job_result* r = eng.result(t.id);
+  ASSERT_NE(r, nullptr);
+  ASSERT_GE(r->repairs.size(), 2u);
+  EXPECT_EQ(r->repairs.front().kind, repair_kind::retry);
+  EXPECT_EQ(r->repairs.back().kind, repair_kind::permfail);
+}
+
+TEST(EnsembleRepair, NoAutopilotStillFailsStop) {
+  member_config cfg = f16_member();
+  cfg.autopilot = swm::autopilot_options{};  // off
+  cfg.faults.push_back({fault_kind::poison_nan, 4, 0, 0});
+
+  engine eng(manual_opts(1));
+  const submit_ticket t = eng.submit(cfg);
+  ASSERT_TRUE(t.ok());
+  eng.wait_all();
+
+  const auto st = eng.poll(t.id);
+  ASSERT_TRUE(st.has_value());
+  EXPECT_EQ(st->state, job_state::failed);
+  EXPECT_EQ(st->reason, fail_reason::numerical);
+  EXPECT_EQ(st->repairs, 0);
+}
+
+TEST(EnsembleRepair, AutopilotConfigIsValidated) {
+  engine eng(manual_opts(1));
+  member_config bad = f16_member();
+  bad.autopilot.check_every = -1;
+  EXPECT_EQ(eng.submit(bad).error, submit_error::invalid_config);
+  bad = f16_member();
+  bad.autopilot.stripe_rows = 0;
+  EXPECT_EQ(eng.submit(bad).error, submit_error::invalid_config);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: the repair transcript and the repaired bits are
+// identical across pool sizes and submission orders.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// A faulted mixed cohort: drift-rescale, drift-promote, NaN-retry
+/// members plus clean controls, at two grid shapes.
+std::vector<member_config> faulted_suite() {
+  std::vector<member_config> suite;
+  {
+    member_config cfg = f16_member();
+    cfg.faults.push_back({fault_kind::scale_state, 3, -18, 0});
+    suite.push_back(cfg);
+  }
+  {
+    member_config cfg = f16_member();
+    cfg.seed = 11;
+    cfg.autopilot.max_rescales = 0;
+    cfg.faults.push_back({fault_kind::scale_state, 5, -18, 0});
+    suite.push_back(cfg);
+  }
+  {
+    member_config cfg = f16_member();
+    cfg.seed = 13;
+    cfg.faults.push_back({fault_kind::poison_nan, 4, 0, 21});
+    suite.push_back(cfg);
+  }
+  {
+    member_config clean = f16_member();
+    clean.seed = 17;
+    suite.push_back(clean);
+  }
+  {
+    member_config wide = f16_member();
+    wide.nx = 32;
+    wide.ny = 16;
+    wide.seed = 19;
+    wide.autopilot.max_rescales = 0;
+    wide.faults.push_back({fault_kind::poison_nan, 3, 0, 40});
+    wide.faults.push_back({fault_kind::poison_nan, 6, 0, 41});
+    suite.push_back(wide);
+  }
+  return suite;
+}
+
+struct run_out {
+  std::vector<repair_event> repairs;
+  swm::state<double> prognostic;
+  swm::state<double> compensation;
+  personality prec = personality::float64;
+  int log2_scale = 0;
+  job_state state = job_state::queued;
+};
+
+std::vector<run_out> run_suite(int threads, unsigned order_seed) {
+  std::vector<member_config> suite = faulted_suite();
+  std::vector<std::size_t> order(suite.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::mt19937 rng(order_seed);
+  std::shuffle(order.begin(), order.end(), rng);
+
+  engine eng(manual_opts(threads));
+  std::vector<job_id> ids(suite.size());
+  for (const std::size_t i : order) {
+    const submit_ticket t = eng.submit(suite[i]);
+    EXPECT_TRUE(t.ok());
+    ids[i] = t.id;
+  }
+  eng.wait_all();
+
+  std::vector<run_out> out;
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    const job_result* r = eng.result(ids[i]);
+    EXPECT_NE(r, nullptr);
+    run_out o;
+    o.repairs = r->repairs;
+    o.prognostic = r->prognostic;
+    o.compensation = r->compensation;
+    o.prec = r->prec;
+    o.log2_scale = r->log2_scale;
+    const auto st = eng.poll(ids[i]);
+    if (st.has_value()) o.state = st->state;
+    out.push_back(std::move(o));
+  }
+  return out;
+}
+
+void expect_same_transcript(const run_out& got, const run_out& want,
+                            std::size_t member) {
+  EXPECT_EQ(got.state, want.state) << "member " << member;
+  EXPECT_EQ(got.prec, want.prec) << "member " << member;
+  EXPECT_EQ(got.log2_scale, want.log2_scale) << "member " << member;
+  ASSERT_EQ(got.repairs.size(), want.repairs.size()) << "member " << member;
+  for (std::size_t k = 0; k < got.repairs.size(); ++k) {
+    const repair_event& g = got.repairs[k];
+    const repair_event& w = want.repairs[k];
+    EXPECT_EQ(g.kind, w.kind) << "member " << member << " event " << k;
+    EXPECT_EQ(g.cause, w.cause) << "member " << member << " event " << k;
+    EXPECT_EQ(g.step, w.step) << "member " << member << " event " << k;
+    EXPECT_EQ(g.prec, w.prec) << "member " << member << " event " << k;
+    EXPECT_EQ(g.log2_scale, w.log2_scale)
+        << "member " << member << " event " << k;
+    EXPECT_EQ(g.rollback_to, w.rollback_to)
+        << "member " << member << " event " << k;
+    EXPECT_EQ(g.bad_index, w.bad_index)
+        << "member " << member << " event " << k;
+  }
+  expect_state_bits(got.prognostic, want.prognostic, "prognostic");
+  expect_state_bits(got.compensation, want.compensation, "compensation");
+}
+
+}  // namespace
+
+TEST(EnsembleRepairDeterminism, TranscriptIdenticalAcrossPoolsAndOrders) {
+  const std::vector<run_out> reference = run_suite(1, 1u);
+  // Every faulted member completed and every f16 member stayed f16 or
+  // promoted — none may end non-finite or failed.
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_EQ(reference[i].state, job_state::done) << "member " << i;
+    expect_all_finite(reference[i].prognostic, "prognostic");
+  }
+  for (const int threads : {2, 4, 8}) {
+    for (const unsigned order : {1u, 2u, 3u}) {
+      SCOPED_TRACE(::testing::Message()
+                   << "pool " << threads << " order " << order);
+      const std::vector<run_out> got = run_suite(threads, order);
+      ASSERT_EQ(got.size(), reference.size());
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        expect_same_transcript(got[i], reference[i], i);
+      }
+    }
+  }
+}

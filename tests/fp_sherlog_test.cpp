@@ -115,6 +115,87 @@ TEST(ChooseScaling, EmptyHistogramIsIdentity) {
   EXPECT_EQ(choice.scale, 1.0);
 }
 
+TEST(ExponentHistogram, QuantileEdges) {
+  fp::exponent_histogram empty;
+  EXPECT_EQ(empty.quantile(0.0), 0);
+  EXPECT_EQ(empty.quantile(1.0), 0);
+
+  fp::exponent_histogram h;
+  for (int i = 0; i < 7; ++i) h.record(std::ldexp(1.0, 3));
+  EXPECT_EQ(h.quantile(0.0), 3);
+  EXPECT_EQ(h.quantile(1.0), 3);
+
+  h.record(std::ldexp(1.0, -5));
+  EXPECT_EQ(h.quantile(0.0), -5);
+  // q = 1 answers the largest observed exponent, never the clamp
+  // ceiling of the histogram's bin range.
+  EXPECT_EQ(h.quantile(1.0), 3);
+  EXPECT_LT(fp::exponent_histogram::max_exponent, 1025);
+}
+
+TEST(ExponentHistogram, MergeDisjointRanges) {
+  fp::exponent_histogram low, high;
+  for (int e = -100; e <= -90; ++e) low.record(std::ldexp(1.0, e));
+  for (int e = 50; e <= 60; ++e) high.record(std::ldexp(1.0, e));
+  low.merge(high);
+  EXPECT_EQ(low.total(), 22u);
+  EXPECT_EQ(low.min_observed(), -100);
+  EXPECT_EQ(low.max_observed(), 60);
+  EXPECT_EQ(low.count(-95), 1u);
+  EXPECT_EQ(low.count(55), 1u);
+  EXPECT_EQ(low.count(0), 0u);  // the gap stays empty
+  EXPECT_DOUBLE_EQ(low.fraction_below(0), 0.5);
+}
+
+TEST(ExponentHistogram, FractionsAtClampBoundaries) {
+  fp::exponent_histogram h;
+  h.record(std::numeric_limits<double>::denorm_min());  // exponent -1074
+  h.record(std::ldexp(1.0, 1023));                      // largest binary
+  EXPECT_EQ(h.total(), 2u);
+  // Below the histogram floor nothing can lie; past the ceiling
+  // everything does.
+  EXPECT_DOUBLE_EQ(h.fraction_below(fp::exponent_histogram::min_exponent),
+                   0.0);
+  EXPECT_DOUBLE_EQ(
+      h.fraction_below(fp::exponent_histogram::max_exponent + 1), 1.0);
+  EXPECT_DOUBLE_EQ(
+      h.fraction_at_or_above(fp::exponent_histogram::min_exponent), 1.0);
+  EXPECT_DOUBLE_EQ(h.fraction_at_or_above(1024), 0.0);
+  EXPECT_DOUBLE_EQ(h.fraction_below(-1074), 0.0);
+  EXPECT_DOUBLE_EQ(h.fraction_below(-1073), 0.5);
+  EXPECT_DOUBLE_EQ(h.fraction_at_or_above(1023), 0.5);
+}
+
+TEST(Sherlog, MuladdLogsIntermediateProduct) {
+  // No FMA in the soft formats: muladd produces two arithmetic
+  // results and must log both, one record each.
+  fp::sherlog_sink().reset();
+  const sherlog32 r =
+      fp::muladd(sherlog32(2.0f), sherlog32(3.0f), sherlog32(10.0f));
+  EXPECT_EQ(r.value(), 16.0f);
+  EXPECT_EQ(fp::sherlog_sink().total(), 2u);
+  EXPECT_EQ(fp::sherlog_sink().count(2), 1u);  // the product, 6.0
+  EXPECT_EQ(fp::sherlog_sink().count(4), 1u);  // the sum, 16.0
+}
+
+TEST(Sherlog, SqrtComputesOnceAndLogsOnce) {
+  fp::sherlog_sink().reset();
+  const sherlog32 r = fp::sqrt(sherlog32(16.0f));
+  EXPECT_EQ(r.value(), 4.0f);
+  EXPECT_EQ(fp::sherlog_sink().total(), 1u);
+  EXPECT_EQ(fp::sherlog_sink().count(2), 1u);  // exponent of 4.0
+}
+
+TEST(Sherlog, Sherlog64RoundTrips) {
+  fp::sherlog_sink().reset();
+  const fp::sherlog64 a(1.5);
+  const fp::sherlog64 b = a * a;  // 2.25: exponent 1
+  EXPECT_EQ(b.value(), 2.25);
+  EXPECT_EQ(static_cast<double>(b), 2.25);
+  EXPECT_EQ(fp::sherlog_sink().total(), 1u);
+  EXPECT_EQ(fp::sherlog_sink().count(1), 1u);
+}
+
 TEST(ChooseScaling, ClipIgnoresOutliers) {
   // 1e5 well-behaved samples at 2^-18 plus 3 stray values at 2^-60:
   // with clipping the choice must track the bulk, not the strays.

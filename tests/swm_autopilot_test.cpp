@@ -1,0 +1,307 @@
+// Unit suite of the precision autopilot (swm/autopilot.hpp,
+// docs/AUTOPILOT.md): the Sherlog shadow-stripe monitor must read the
+// member state without side effects (sink saved/restored, no state
+// mutation), and the escalation ladder must be a pure deterministic
+// function of the observed window and the pilot's own counters —
+// rescale (an exact power-of-two shift) while rescales remain,
+// promote when they are spent, typed failure when promotion is off.
+// tests/ensemble_repair_test drives the same ladder end to end inside
+// the engine.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "fp/scaling.hpp"
+#include "fp/sherlog.hpp"
+#include "swm/autopilot.hpp"
+#include "swm/field.hpp"
+#include "swm/params.hpp"
+
+using namespace tfx;
+using swm::autopilot;
+using swm::autopilot_action;
+using swm::autopilot_cause;
+using swm::autopilot_options;
+using swm::autopilot_verdict;
+
+namespace {
+
+swm::swm_params member_params(int nx = 16, int ny = 8, int log2_scale = 0) {
+  swm::swm_params p;
+  p.nx = nx;
+  p.ny = ny;
+  p.log2_scale = log2_scale;
+  return p;
+}
+
+swm::state<double> uniform_state(int nx, int ny, double value) {
+  swm::state<double> s(nx, ny);
+  for (auto* f : {&s.u, &s.v, &s.eta}) {
+    for (auto& v : f->flat()) v = value;
+  }
+  return s;
+}
+
+}  // namespace
+
+TEST(Autopilot, SampleSavesAndRestoresTheSherlogSink) {
+  fp::sherlog_sink().reset();
+  fp::sherlog_sink().record(2.0);
+  fp::sherlog_sink().record(0.25);
+  const std::uint64_t total_before = fp::sherlog_sink().total();
+
+  autopilot_options opt;
+  opt.check_every = 1;
+  autopilot pilot(opt, fp::float16_range, member_params());
+  const swm::state<double> s = uniform_state(16, 8, 1.0);
+  pilot.sample(s);
+
+  // The caller's own Sherlog analysis is untouched...
+  EXPECT_EQ(fp::sherlog_sink().total(), total_before);
+  EXPECT_EQ(fp::sherlog_sink().count(1), 1u);
+  EXPECT_EQ(fp::sherlog_sink().count(-2), 1u);
+  // ...while the pilot's window holds the stripe values plus the
+  // shadow RHS results.
+  EXPECT_GT(pilot.window().total(), 0u);
+  EXPECT_EQ(pilot.checks(), 1);
+  fp::sherlog_sink().reset();
+}
+
+TEST(Autopilot, HealthyWindowAssessesNoneAndResets) {
+  autopilot_options opt;
+  opt.check_every = 1;
+  autopilot pilot(opt, fp::float16_range, member_params());
+  const swm::state<double> s = uniform_state(16, 8, 1.0);
+  pilot.sample(s);
+  const autopilot_verdict v = pilot.assess(0);
+  EXPECT_EQ(v.action, autopilot_action::none);
+  EXPECT_EQ(v.cause, autopilot_cause::none);
+  EXPECT_FALSE(v.rollback);
+  EXPECT_LE(v.subnormal_fraction, opt.max_subnormal_fraction);
+  EXPECT_LE(v.overflow_fraction, opt.max_overflow_fraction);
+  // Each assessment judges only the samples since the previous one.
+  EXPECT_EQ(pilot.window().total(), 0u);
+}
+
+TEST(Autopilot, SubnormalDriftRescalesUpByAPowerOfTwo) {
+  autopilot_options opt;
+  opt.check_every = 1;
+  autopilot pilot(opt, fp::float16_range, member_params());
+  // The whole window sits 30 binary orders below 1: far under
+  // float16's normal floor of 2^-14.
+  for (int i = 0; i < 1000; ++i) pilot.observe(std::ldexp(1.0, -30));
+  const autopilot_verdict v = pilot.assess(0);
+  EXPECT_EQ(v.action, autopilot_action::rescale);
+  EXPECT_EQ(v.cause, autopilot_cause::subnormal_drift);
+  EXPECT_FALSE(v.rollback);  // drift: the live state is still good
+  EXPECT_DOUBLE_EQ(v.subnormal_fraction, 1.0);
+  // The shift must lift the cluster well inside [-14, 15].
+  EXPECT_GE(v.log2_scale, 20);
+  EXPECT_LE(v.log2_scale, 45);
+
+  pilot.note_rescale(v.log2_scale);
+  EXPECT_EQ(pilot.rescales(), 1);
+}
+
+TEST(Autopilot, RescaleShiftAddsToTheCurrentScale) {
+  autopilot_options opt;
+  opt.check_every = 1;
+  autopilot a(opt, fp::float16_range, member_params(16, 8, 0));
+  autopilot b(opt, fp::float16_range, member_params(16, 8, 7));
+  for (int i = 0; i < 100; ++i) {
+    a.observe(std::ldexp(1.0, -25));
+    b.observe(std::ldexp(1.0, -25));
+  }
+  // The window holds *scaled* magnitudes, so the same picture demands
+  // the same additional shift on top of whatever scale is current.
+  const autopilot_verdict va = a.assess(0);
+  const autopilot_verdict vb = b.assess(7);
+  ASSERT_EQ(va.action, autopilot_action::rescale);
+  ASSERT_EQ(vb.action, autopilot_action::rescale);
+  EXPECT_EQ(vb.log2_scale - va.log2_scale, 7);
+}
+
+TEST(Autopilot, RescaleLiftStopsBelowTheUnclippedWindowTop) {
+  autopilot_options opt;
+  opt.check_every = 1;
+  autopilot pilot(opt, fp::float16_range, member_params());
+  // Bulk far below the floor, plus a rare heavy tail near 2^10 — the
+  // shape a biharmonic stencil leaves: choose_scaling clips the tail
+  // and would centre the bulk with a ~+17 shift, but the tail still
+  // has to fit after the restate. The lift must stop rescale_headroom
+  // binades short of the ceiling: 15 - 2 - 10 = 3.
+  for (int i = 0; i < 100000; ++i) pilot.observe(std::ldexp(1.0, -20));
+  for (int i = 0; i < 3; ++i) pilot.observe(std::ldexp(1.0, 10));
+  const autopilot_verdict v = pilot.assess(0);
+  ASSERT_EQ(v.action, autopilot_action::rescale);
+  EXPECT_EQ(v.cause, autopilot_cause::subnormal_drift);
+  EXPECT_EQ(v.log2_scale, 3);
+}
+
+TEST(Autopilot, LiftOfZeroEscalatesInsteadOfRescaling) {
+  autopilot_options opt;
+  opt.check_every = 1;
+  autopilot pilot(opt, fp::float16_range, member_params());
+  // Subnormal mass below the floor AND outliers already at the
+  // ceiling: no upward shift is safe, so the ladder must skip the
+  // pointless rescale and promote.
+  for (int i = 0; i < 100000; ++i) pilot.observe(std::ldexp(1.0, -20));
+  for (int i = 0; i < 3; ++i) pilot.observe(std::ldexp(1.0, 14));
+  const autopilot_verdict v = pilot.assess(0);
+  EXPECT_EQ(v.action, autopilot_action::promote);
+  EXPECT_EQ(v.cause, autopilot_cause::subnormal_drift);
+}
+
+TEST(Autopilot, OverflowDriftRescalesDown) {
+  autopilot_options opt;
+  opt.check_every = 1;
+  autopilot pilot(opt, fp::float16_range, member_params());
+  // Mass at/above 2^15 grazes float16's overflow ceiling (the default
+  // overflow_guard = 1 fires at exponent 16 - 1 = 15).
+  for (int i = 0; i < 1000; ++i) pilot.observe(std::ldexp(1.0, 15));
+  const autopilot_verdict v = pilot.assess(0);
+  EXPECT_EQ(v.action, autopilot_action::rescale);
+  EXPECT_EQ(v.cause, autopilot_cause::overflow_drift);
+  EXPECT_DOUBLE_EQ(v.overflow_fraction, 1.0);
+  EXPECT_LT(v.log2_scale, 0);
+}
+
+TEST(Autopilot, RescaleExhaustionEscalatesToPromotion) {
+  autopilot_options opt;
+  opt.check_every = 1;
+  opt.max_rescales = 0;  // ladder starts with promotion
+  autopilot pilot(opt, fp::float16_range, member_params());
+  for (int i = 0; i < 100; ++i) pilot.observe(std::ldexp(1.0, -30));
+  const autopilot_verdict v = pilot.assess(0);
+  EXPECT_EQ(v.action, autopilot_action::promote);
+  EXPECT_EQ(v.cause, autopilot_cause::subnormal_drift);
+
+  pilot.note_promotion(fp::bfloat16_range, 0);
+  EXPECT_EQ(pilot.promotions(), 1);
+  EXPECT_EQ(pilot.target().min_normal_exponent,
+            fp::bfloat16_range.min_normal_exponent);
+  // The same magnitudes are healthy on the wider rung.
+  for (int i = 0; i < 100; ++i) pilot.observe(std::ldexp(1.0, -30));
+  EXPECT_EQ(pilot.assess(0).action, autopilot_action::none);
+}
+
+TEST(Autopilot, PromotionDisabledIsTypedFailure) {
+  autopilot_options opt;
+  opt.check_every = 1;
+  opt.max_rescales = 0;
+  opt.allow_promote = false;
+  autopilot pilot(opt, fp::float16_range, member_params());
+  for (int i = 0; i < 100; ++i) pilot.observe(std::ldexp(1.0, -30));
+  const autopilot_verdict v = pilot.assess(0);
+  EXPECT_EQ(v.action, autopilot_action::fail);
+  EXPECT_EQ(v.cause, autopilot_cause::subnormal_drift);
+}
+
+TEST(Autopilot, NonfiniteShadowDemandsRollback) {
+  autopilot_options opt;
+  opt.check_every = 1;
+  autopilot pilot(opt, fp::float16_range, member_params());
+  pilot.observe(std::numeric_limits<double>::quiet_NaN());
+  const autopilot_verdict v = pilot.assess(0);
+  EXPECT_EQ(v.cause, autopilot_cause::nonfinite_shadow);
+  EXPECT_TRUE(v.rollback);  // the live state is already poisoned
+  // No range picture -> no shift to try: straight to promotion.
+  EXPECT_EQ(v.action, autopilot_action::promote);
+}
+
+TEST(Autopilot, ReactiveLadderRetriesThenPromotes) {
+  autopilot_options opt;
+  opt.check_every = 1;
+  autopilot pilot(opt, fp::float16_range, member_params());
+
+  // First sentinel trip with no range picture: a plain rollback+retry.
+  const autopilot_verdict first = pilot.on_numerical_error(0);
+  EXPECT_EQ(first.action, autopilot_action::retry);
+  EXPECT_EQ(first.cause, autopilot_cause::numerical_error);
+  EXPECT_TRUE(first.rollback);
+  EXPECT_EQ(pilot.failures(), 1);
+
+  // A second trip on the same rung escalates.
+  const autopilot_verdict second = pilot.on_numerical_error(0);
+  EXPECT_EQ(second.action, autopilot_action::promote);
+  EXPECT_TRUE(second.rollback);
+
+  // A fresh rung gets a fresh reactive ladder.
+  pilot.note_promotion(fp::bfloat16_range, 0);
+  EXPECT_EQ(pilot.failures(), 0);
+  EXPECT_EQ(pilot.on_numerical_error(0).action, autopilot_action::retry);
+}
+
+TEST(Autopilot, ReactivePathUsesTheLatestRangePicture) {
+  autopilot_options opt;
+  opt.check_every = 1;
+  autopilot pilot(opt, fp::float16_range, member_params());
+  // A healthy-but-off-centre window: exponent -10 is inside float16's
+  // normal range, so assess() answers none — but it remembers the
+  // centring shift choose_scaling would apply.
+  for (int i = 0; i < 1000; ++i) pilot.observe(std::ldexp(1.0, -10));
+  ASSERT_EQ(pilot.assess(0).action, autopilot_action::none);
+
+  // When the sentinel trips before the next check, the first repair
+  // uses that picture: rescale instead of a blind retry.
+  const autopilot_verdict v = pilot.on_numerical_error(0);
+  EXPECT_EQ(v.action, autopilot_action::rescale);
+  EXPECT_TRUE(v.rollback);
+  EXPECT_GT(v.log2_scale, 0);
+}
+
+TEST(Autopilot, VerdictsAreDeterministic) {
+  autopilot_options opt;
+  opt.check_every = 1;
+  autopilot a(opt, fp::float16_range, member_params());
+  autopilot b(opt, fp::float16_range, member_params());
+  const swm::state<double> s = uniform_state(16, 8, std::ldexp(1.0, -20));
+  for (int round = 0; round < 3; ++round) {
+    a.sample(s);
+    b.sample(s);
+    const autopilot_verdict va = a.assess(0);
+    const autopilot_verdict vb = b.assess(0);
+    EXPECT_EQ(va.action, vb.action);
+    EXPECT_EQ(va.cause, vb.cause);
+    EXPECT_EQ(va.log2_scale, vb.log2_scale);
+    EXPECT_DOUBLE_EQ(va.subnormal_fraction, vb.subnormal_fraction);
+    if (va.action == autopilot_action::rescale) {
+      a.note_rescale(va.log2_scale);
+      b.note_rescale(vb.log2_scale);
+    }
+  }
+  EXPECT_EQ(a.checks(), b.checks());
+  EXPECT_EQ(a.rescales(), b.rescales());
+}
+
+TEST(Autopilot, StripeRotatesThroughTheGrid) {
+  autopilot_options opt;
+  opt.check_every = 1;
+  opt.stripe_rows = 3;  // does not divide ny = 8: rotation wraps
+  autopilot pilot(opt, fp::float16_range, member_params(16, 8));
+
+  // Mark one row with a magnitude far outside the rest; the rotating
+  // stripe must eventually include it.
+  swm::state<double> s = uniform_state(16, 8, 1.0);
+  for (int i = 0; i < 16; ++i) s.eta(i, 5) = std::ldexp(1.0, -40);
+  bool seen = false;
+  for (int check = 0; check < 8 && !seen; ++check) {
+    pilot.sample(s);
+    seen = pilot.window().count(-40) > 0;
+    (void)pilot.assess(0);
+  }
+  EXPECT_TRUE(seen);
+}
+
+TEST(Autopilot, StripeRowsClampToTheMemberGrid) {
+  autopilot_options opt;
+  opt.check_every = 1;
+  opt.stripe_rows = 64;  // > ny: clamps to the whole grid
+  autopilot pilot(opt, fp::float16_range, member_params(16, 8));
+  const swm::state<double> s = uniform_state(16, 8, 1.0);
+  pilot.sample(s);  // must not read out of bounds
+  EXPECT_EQ(pilot.checks(), 1);
+  EXPECT_GE(pilot.window().total(), 3u * 16u * 8u);
+}
