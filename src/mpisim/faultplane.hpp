@@ -97,6 +97,9 @@ class comm_error : public std::runtime_error {
     unrecoverable,      ///< rollback recovery cannot restore the run
                         ///< (e.g. a rank and its buddy died together;
                         ///< see swm/resilience.hpp)
+    transport_lost,     ///< the channel layer itself failed: refused
+                        ///< connect, handshake timeout, peer process
+                        ///< death, truncated frame (transport.hpp)
   };
 
   comm_error(reason why, int peer, const std::string& what)

@@ -5,12 +5,25 @@
 #include <exception>
 #include <string>
 #include <thread>
+#include <utility>
 
 #include "core/contracts.hpp"
 #include "mpisim/obs_events.hpp"
 #include "obs/metrics.hpp"
 
 namespace tfx::mpisim {
+
+namespace {
+
+/// Human-readable reason a transport_down notice carries in its
+/// payload (socket peer loss, truncated frame, ...).
+std::string detail_text(const wire_message& msg) {
+  if (msg.payload.empty()) return "transport channel lost";
+  return std::string(reinterpret_cast<const char*>(msg.payload.data()),
+                     msg.payload.size());
+}
+
+}  // namespace
 
 recv_status request::wait() {
   if (kind_ == kind::recv) {
@@ -66,9 +79,9 @@ void communicator::send_bytes(std::span<const std::byte> data, int dst,
   if (!obs_tx_.empty()) {
     obs_tx_[static_cast<std::size_t>(dst)] += data.size();
   }
-  world::message msg{rank_, tag, inject_start,
-                     std::vector<std::byte>(data.begin(), data.end())};
-  world_->deposit(dst, std::move(msg));
+  wire_message msg{rank_, tag, inject_start,
+                   std::vector<std::byte>(data.begin(), data.end())};
+  world_->transport_->deposit(dst, std::move(msg));
 }
 
 void communicator::fault_send(std::span<const std::byte> data, int dst,
@@ -106,35 +119,34 @@ void communicator::fault_send(std::span<const std::byte> data, int dst,
     const std::size_t at = a.flip % bad.size();
     const auto bit = static_cast<int>((a.flip >> 32) % 8);
     bad[at] ^= static_cast<std::byte>(1 << bit);
-    world_->deposit(dst, world::message{rank_, tag, a.depart, std::move(bad),
-                                        seq, sum});
+    world_->transport_->deposit(
+        dst, wire_message{rank_, tag, a.depart, std::move(bad), seq, sum});
   }
   if (tp.failed) {
     // Nothing deliverable: poison the matcher so the receiver raises
     // comm_error instead of blocking forever, then fail here too.
-    world_->deposit(dst,
-                    world::message{rank_, tag, tp.attempts.back().depart, {},
-                                   seq, 0, world::msg_kind::send_failed});
+    world_->transport_->deposit(
+        dst, wire_message{rank_, tag, tp.attempts.back().depart, {}, seq, 0,
+                          msg_kind::send_failed});
     crashed_ = true;
     fail_stopped_ = true;
     obs_ev::emit_casualty(rank_, dst, clock_);
-    world_->broadcast_crash(rank_, clock_);
+    world_->transport_->broadcast_crash(rank_, clock_);
     throw comm_error(comm_error::reason::retries_exhausted, dst,
                      "send to rank " + std::to_string(dst) + " exhausted " +
                          std::to_string(tp.retries()) + " retries");
   }
-  world_->deposit(dst,
-                  world::message{rank_, tag, tp.good_depart,
-                                 std::vector<std::byte>(data.begin(),
-                                                        data.end()),
-                                 seq, sum},
-                  /*front=*/tp.reordered);
+  world_->transport_->deposit(
+      dst,
+      wire_message{rank_, tag, tp.good_depart,
+                   std::vector<std::byte>(data.begin(), data.end()), seq,
+                   sum},
+      /*front=*/tp.reordered);
   if (tp.duplicated) {
-    world_->deposit(dst,
-                    world::message{rank_, tag, tp.dup_depart,
-                                   std::vector<std::byte>(data.begin(),
-                                                          data.end()),
-                                   seq, sum});
+    world_->transport_->deposit(
+        dst, wire_message{rank_, tag, tp.dup_depart,
+                          std::vector<std::byte>(data.begin(), data.end()),
+                          seq, sum});
   }
 }
 
@@ -144,7 +156,14 @@ recv_status communicator::recv_bytes(std::span<std::byte> out, int src,
   if (const fault_plane* f = world_->faults(); f != nullptr && f->active()) {
     return fault_recv(out, src, tag, *f);
   }
-  world::message msg = world_->collect(rank_, src, tag);
+  wire_message msg = world_->transport_->collect(rank_, src, tag);
+  if (msg.kind == msg_kind::transport_down) {
+    crashed_ = true;
+    obs_ev::emit_casualty(rank_, msg.source, clock_);
+    throw comm_error(comm_error::reason::transport_lost, msg.source,
+                     "recv from rank " + std::to_string(msg.source) + ": " +
+                         detail_text(msg));
+  }
   TFX_EXPECTS(msg.payload.size() <= out.size());
   std::copy(msg.payload.begin(), msg.payload.end(), out.begin());
 
@@ -166,15 +185,22 @@ recv_status communicator::recv_bytes(std::span<std::byte> out, int src,
 recv_status communicator::fault_recv(std::span<std::byte> out, int src,
                                      int tag, const fault_plane&) {
   for (;;) {
-    world::message msg = world_->collect_faulty(rank_, src, tag);
-    if (msg.kind == world::msg_kind::crash_notice) {
+    wire_message msg = world_->transport_->collect_faulty(rank_, src, tag);
+    if (msg.kind == msg_kind::transport_down) {
+      crashed_ = true;
+      obs_ev::emit_casualty(rank_, msg.source, clock_);
+      throw comm_error(comm_error::reason::transport_lost, msg.source,
+                       "recv from rank " + std::to_string(msg.source) + ": " +
+                           detail_text(msg));
+    }
+    if (msg.kind == msg_kind::crash_notice) {
       crashed_ = true;
       obs_ev::emit_casualty(rank_, msg.source, clock_);
       throw comm_error(comm_error::reason::peer_crashed, msg.source,
                        "recv from rank " + std::to_string(msg.source) +
                            ": peer crashed");
     }
-    if (msg.kind == world::msg_kind::send_failed) {
+    if (msg.kind == msg_kind::send_failed) {
       crashed_ = true;
       obs_ev::emit_casualty(rank_, msg.source, clock_);
       throw comm_error(comm_error::reason::retries_exhausted, msg.source,
@@ -218,7 +244,7 @@ void communicator::crash(const char* what) {
   crashed_ = true;
   fail_stopped_ = true;
   obs_ev::emit_casualty(rank_, rank_, clock_);
-  world_->broadcast_crash(rank_, clock_);
+  world_->transport_->broadcast_crash(rank_, clock_);
   throw comm_error(comm_error::reason::peer_crashed, rank_, what);
 }
 
@@ -256,16 +282,16 @@ bool communicator::fault_plane_active() const {
 recovery_board& communicator::board() { return world_->board(); }
 
 void communicator::announce_recovery() {
-  world_->broadcast_crash(rank_, clock_);
+  world_->transport_->broadcast_crash(rank_, clock_);
 }
 
 void communicator::fail_stop() {
   crashed_ = true;
   fail_stopped_ = true;
-  world_->broadcast_crash(rank_, clock_);
+  world_->transport_->broadcast_crash(rank_, clock_);
 }
 
-void communicator::drain_mailbox() { world_->drain_mailbox(rank_); }
+void communicator::drain_mailbox() { world_->transport_->drain(rank_); }
 
 recv_status communicator::sendrecv_bytes(std::span<const std::byte> out_data,
                                          int dst, int send_tag,
@@ -275,16 +301,14 @@ recv_status communicator::sendrecv_bytes(std::span<const std::byte> out_data,
   return recv_bytes(in_data, src, recv_tag);
 }
 
-world::world(int ranks, tofud_params net)
-    : world(torus_placement::line(ranks), net) {}
+world::world(int ranks, tofud_params net, transport_options topt)
+    : world(torus_placement::line(ranks), net, std::move(topt)) {}
 
-world::world(torus_placement place, tofud_params net)
+world::world(torus_placement place, tofud_params net, transport_options topt)
     : net_(net), place_(place) {
   TFX_EXPECTS(place_.rank_count() > 0);
-  mailboxes_.reserve(static_cast<std::size_t>(place_.rank_count()));
-  for (int r = 0; r < place_.rank_count(); ++r) {
-    mailboxes_.push_back(std::make_unique<mailbox>());
-  }
+  transport_ = transport_manager::make(place_.rank_count(), topt);
+  TFX_EXPECTS(transport_->ranks() == place_.rank_count());
 }
 
 void world::set_faults(const fault_config& cfg) {
@@ -293,12 +317,9 @@ void world::set_faults(const fault_config& cfg) {
 
 void world::run(const std::function<void(communicator&)>& fn) {
   const int ranks = size();
-  for (auto& box : mailboxes_) {
-    const std::scoped_lock lock(box->mutex);
-    box->queue.clear();
-  }
+  transport_->reset();
   final_clocks_.assign(static_cast<std::size_t>(ranks), 0.0);
-  board_.reset(ranks);
+  board_.reset(transport_->local_rank_count());
   const bool faulty = faults_ != nullptr && faults_->active();
   report_ = fault_report{};
   std::vector<fault_stats> rank_stats;
@@ -313,8 +334,9 @@ void world::run(const std::function<void(communicator&)>& fn) {
 
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(ranks));
   std::vector<std::thread> threads;
-  threads.reserve(static_cast<std::size_t>(ranks));
+  threads.reserve(static_cast<std::size_t>(transport_->local_rank_count()));
   for (int r = 0; r < ranks; ++r) {
+    if (!transport_->is_local(r)) continue;  // lives in another process
     threads.emplace_back([&, this, r] {
       const auto ri = static_cast<std::size_t>(r);
       communicator comm(this, r);
@@ -326,7 +348,7 @@ void world::run(const std::function<void(communicator&)>& fn) {
         // blocks forever on a message that will never come.
         if (faulty) {
           comm.crashed_ = true;
-          broadcast_crash(r, comm.now());
+          transport_->broadcast_crash(r, comm.now());
         }
       }
       comm.flush_obs();
@@ -350,83 +372,6 @@ void world::run(const std::function<void(communicator&)>& fn) {
   }
   for (auto& e : errors) {
     if (e) std::rethrow_exception(e);
-  }
-}
-
-void world::deposit(int dst, message msg, bool front) {
-  mailbox& box = *mailboxes_[static_cast<std::size_t>(dst)];
-  {
-    const std::scoped_lock lock(box.mutex);
-    if (front) {
-      box.queue.push_front(std::move(msg));
-    } else {
-      box.queue.push_back(std::move(msg));
-    }
-  }
-  box.arrived.notify_all();
-}
-
-void world::broadcast_crash(int rank, double vtime) {
-  for (int dst = 0; dst < size(); ++dst) {
-    if (dst == rank) continue;
-    deposit(dst, message{rank, 0, vtime, {}, 0, 0, msg_kind::crash_notice});
-  }
-}
-
-world::message world::collect(int dst, int src, int tag) {
-  mailbox& box = *mailboxes_[static_cast<std::size_t>(dst)];
-  std::unique_lock lock(box.mutex);
-  for (;;) {
-    for (auto it = box.queue.begin(); it != box.queue.end(); ++it) {
-      const bool src_ok = src == any_source || it->source == src;
-      const bool tag_ok = tag == any_tag || it->tag == tag;
-      if (src_ok && tag_ok) {
-        message msg = std::move(*it);
-        box.queue.erase(it);
-        return msg;
-      }
-    }
-    box.arrived.wait(lock);
-  }
-}
-
-void world::drain_mailbox(int rank) {
-  mailbox& box = *mailboxes_[static_cast<std::size_t>(rank)];
-  const std::scoped_lock lock(box.mutex);
-  box.queue.clear();
-}
-
-world::message world::collect_faulty(int dst, int src, int tag) {
-  mailbox& box = *mailboxes_[static_cast<std::size_t>(dst)];
-  std::unique_lock lock(box.mutex);
-  for (;;) {
-    // Pass 1: real traffic, lowest sequence number first so a
-    // reordered queue still delivers per-stream in order.
-    auto best = box.queue.end();
-    for (auto it = box.queue.begin(); it != box.queue.end(); ++it) {
-      if (it->kind == msg_kind::crash_notice) continue;
-      const bool src_ok = src == any_source || it->source == src;
-      const bool tag_ok = tag == any_tag || it->tag == tag;
-      if (!src_ok || !tag_ok) continue;
-      if (best == box.queue.end() || it->seq < best->seq ||
-          (it->seq == best->seq && it->source < best->source)) {
-        best = it;
-      }
-    }
-    if (best != box.queue.end()) {
-      message msg = std::move(*best);
-      box.queue.erase(best);
-      return msg;
-    }
-    // Pass 2: only when no real message matches may a crash notice
-    // fire - the awaited message will never arrive.
-    for (auto& m : box.queue) {
-      if (m.kind != msg_kind::crash_notice) continue;
-      if (src == any_source || m.source == src) {
-        return m;  // left in the queue: it poisons every later recv too
-      }
-    }
-    box.arrived.wait(lock);
   }
 }
 

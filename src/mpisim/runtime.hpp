@@ -36,12 +36,20 @@
 /// typed comm_error on both endpoints instead of hanging. With no (or
 /// an all-zero) fault plane the vanilla path below runs unchanged -
 /// bit- and allocation-identical to the pre-fault-plane runtime.
+///
+/// Transports: the byte movement underneath all of the above is
+/// pluggable (transport.hpp). The default "simulated" transport is the
+/// historical mailbox fabric; "shm" uses per-channel shared-memory
+/// queues; "socket" ships frames over real TCP, optionally with each
+/// rank in its own process (world then spawns threads only for the
+/// ranks that live here). Virtual-time accounting stays in this layer,
+/// so every transport produces bit-identical clocks and trajectories -
+/// tests/mpisim_transport_test pins that.
 
 #include <array>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -51,11 +59,9 @@
 
 #include "mpisim/faultplane.hpp"
 #include "mpisim/network.hpp"
+#include "mpisim/transport.hpp"
 
 namespace tfx::mpisim {
-
-inline constexpr int any_source = -1;
-inline constexpr int any_tag = -1;
 
 /// Completion information of a receive.
 struct recv_status {
@@ -369,14 +375,20 @@ class communicator {
 class world {
  public:
   /// `ranks` threads on a default line placement (1 rank per node).
-  explicit world(int ranks, tofud_params net = tofud_params{});
+  explicit world(int ranks, tofud_params net = tofud_params{},
+                 transport_options topt = {});
 
   /// Explicit placement; rank count comes from the placement.
-  world(torus_placement place, tofud_params net);
+  world(torus_placement place, tofud_params net,
+        transport_options topt = {});
 
-  /// Execute `fn` on every rank concurrently; joins all threads. The
-  /// first exception thrown by any rank is rethrown here. May be
-  /// called repeatedly; clocks and mailboxes are reset between runs.
+  /// Execute `fn` on every *local* rank concurrently; joins all
+  /// threads. In-process transports host every rank; a socket
+  /// transport in process mode hosts exactly one, and the same binary
+  /// is launched once per rank. The first exception thrown by any
+  /// local rank is rethrown here. May be called repeatedly; clocks and
+  /// mailboxes are reset (and in-flight wire frames fenced off)
+  /// between runs.
   void run(const std::function<void(communicator&)>& fn);
 
   /// Virtual clocks of all ranks at the end of the last run().
@@ -410,47 +422,27 @@ class world {
   }
 
   /// The recovery control plane shared by all ranks (reset per run()).
+  /// In-process only: a socket world in process mode has a board per
+  /// process, so cross-process rollback recovery is not available
+  /// (docs/TRANSPORTS.md § limitations).
   [[nodiscard]] recovery_board& board() { return board_; }
+
+  /// The channel layer underneath (transport.hpp).
+  [[nodiscard]] mpisim::transport& channels() { return *transport_; }
+  [[nodiscard]] const char* transport_name() const {
+    return transport_->name();
+  }
+  /// True when `rank`'s mailbox lives in this process.
+  [[nodiscard]] bool rank_is_local(int rank) const {
+    return transport_->is_local(rank);
+  }
 
  private:
   friend class communicator;
 
-  enum class msg_kind : std::uint8_t {
-    payload,       ///< ordinary data (possibly a corrupted/dup copy)
-    send_failed,   ///< sender exhausted retries; poisons the matcher
-    crash_notice,  ///< source rank died; matches any tag from it
-  };
-
-  struct message {
-    int source;
-    int tag;
-    double depart_vtime;
-    std::vector<std::byte> payload;
-    std::uint64_t seq = 0;
-    std::uint64_t checksum = 0;
-    msg_kind kind = msg_kind::payload;
-  };
-
-  struct mailbox {
-    std::mutex mutex;
-    std::condition_variable arrived;
-    std::deque<message> queue;
-  };
-
-  void deposit(int dst, message msg, bool front = false);
-  message collect(int dst, int src, int tag);
-  /// Fault-mode matching: payload/send_failed messages win over crash
-  /// notices, and among matching payloads the lowest sequence number
-  /// is taken first (reordered queues deliver in order).
-  message collect_faulty(int dst, int src, int tag);
-  /// Deposit a crash notice from `rank` into every other mailbox.
-  void broadcast_crash(int rank, double vtime);
-  /// Clear every message queued for `rank` (recovery-round drain).
-  void drain_mailbox(int rank);
-
   tofud_params net_;
   torus_placement place_;
-  std::vector<std::unique_ptr<mailbox>> mailboxes_;
+  std::unique_ptr<mpisim::transport> transport_;
   std::vector<double> final_clocks_;
   std::unique_ptr<fault_plane> faults_;
   fault_report report_;

@@ -1,0 +1,849 @@
+#include "mpisim/socket_transport.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <exception>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/contracts.hpp"
+#include "mpisim/network.hpp"
+
+namespace tfx::mpisim {
+
+namespace sockwire {
+
+namespace {
+
+[[noreturn]] void throw_lost(int peer, const std::string& what) {
+  throw comm_error(comm_error::reason::transport_lost, peer, what);
+}
+
+std::string errno_text() { return std::strerror(errno); }
+
+template <class T>
+void put(std::byte*& out, T v) {
+  std::memcpy(out, &v, sizeof v);  // little-endian hosts (x86-64, aarch64)
+  out += sizeof v;
+}
+
+template <class T>
+void get(const std::byte*& in, T& v) {
+  std::memcpy(&v, in, sizeof v);
+  in += sizeof v;
+}
+
+void set_recv_timeout(int fd, double seconds) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(seconds);
+  tv.tv_usec = static_cast<suseconds_t>(
+      (seconds - static_cast<double>(tv.tv_sec)) * 1e6);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+}
+
+sockaddr_in resolve(const std::string& host, int port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw_lost(-1, "bad transport address '" + host + "'");
+  }
+  return addr;
+}
+
+}  // namespace
+
+void encode_header(const frame_header& h, std::byte* out) {
+  put(out, h.magic);
+  put(out, h.version);
+  put(out, h.kind);
+  put(out, h.flags);
+  put(out, h.source);
+  put(out, h.tag);
+  put(out, h.seq);
+  put(out, h.checksum);
+  put(out, h.depart_vtime);
+  put(out, h.epoch);
+  put(out, h.payload_bytes);
+}
+
+bool decode_header(const std::byte* in, frame_header& h) {
+  get(in, h.magic);
+  get(in, h.version);
+  get(in, h.kind);
+  get(in, h.flags);
+  get(in, h.source);
+  get(in, h.tag);
+  get(in, h.seq);
+  get(in, h.checksum);
+  get(in, h.depart_vtime);
+  get(in, h.epoch);
+  get(in, h.payload_bytes);
+  return h.magic == frame_magic && h.version == wire_version &&
+         h.kind <= static_cast<std::uint8_t>(msg_kind::transport_down);
+}
+
+int listen_on(const std::string& host, int port) {
+  const sockaddr_in addr = resolve(host, port);
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) throw_lost(-1, "socket(): " + errno_text());
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    const std::string err = errno_text();
+    ::close(fd);
+    throw_lost(-1, "bind " + host + ":" + std::to_string(port) + ": " + err);
+  }
+  if (::listen(fd, 128) != 0) {
+    const std::string err = errno_text();
+    ::close(fd);
+    throw_lost(-1, "listen: " + err);
+  }
+  return fd;
+}
+
+int listen_port(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof addr;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    throw_lost(-1, "getsockname: " + errno_text());
+  }
+  return ntohs(addr.sin_port);
+}
+
+int accept_one(int fd, double timeout_s) {
+  pollfd pfd{fd, POLLIN, 0};
+  for (;;) {
+    const int rc = ::poll(&pfd, 1, static_cast<int>(timeout_s * 1000.0));
+    if (rc > 0) break;
+    if (rc == 0) {
+      throw_lost(-1, "handshake accept timed out after " +
+                         std::to_string(timeout_s) + "s waiting for a peer");
+    }
+    if (errno != EINTR) throw_lost(-1, "poll(accept): " + errno_text());
+  }
+  const int cfd = ::accept4(fd, nullptr, nullptr, SOCK_CLOEXEC);
+  if (cfd < 0) throw_lost(-1, "accept: " + errno_text());
+  const int one = 1;
+  ::setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return cfd;
+}
+
+int connect_to(const std::string& host, int port, const retry_policy& policy,
+               int peer) {
+  const sockaddr_in addr = resolve(host, port);
+  for (int attempt = 0;; ++attempt) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) throw_lost(peer, "socket(): " + errno_text());
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof addr) == 0) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      return fd;
+    }
+    const std::string err = errno_text();
+    ::close(fd);
+    if (attempt >= policy.max_retries) {
+      throw_lost(peer, "connect to " + host + ":" + std::to_string(port) +
+                           " failed after " + std::to_string(attempt + 1) +
+                           " attempts: " + err);
+    }
+    std::this_thread::sleep_for(std::chrono::duration<double>(
+        backoff_delay_seconds(policy.timeout_s, policy.backoff, attempt)));
+  }
+}
+
+void write_all(int fd, const void* data, std::size_t n, int peer) {
+  const char* p = static_cast<const char*>(data);
+  while (n > 0) {
+    const ssize_t w = ::send(fd, p, n, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      throw_lost(peer, "send to rank " + std::to_string(peer) + ": " +
+                           errno_text());
+    }
+    p += w;
+    n -= static_cast<std::size_t>(w);
+  }
+}
+
+bool read_all(int fd, void* data, std::size_t n, int peer, bool eof_ok) {
+  char* p = static_cast<char*>(data);
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::recv(fd, p + got, n - got, 0);
+    if (r == 0) {
+      if (got == 0 && eof_ok) return false;
+      throw_lost(peer, "truncated frame from rank " + std::to_string(peer) +
+                           ": peer closed mid-message (" +
+                           std::to_string(got) + "/" + std::to_string(n) +
+                           " bytes)");
+    }
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        throw_lost(peer, "handshake read from rank " + std::to_string(peer) +
+                             " timed out");
+      }
+      throw_lost(peer, "recv from rank " + std::to_string(peer) + ": " +
+                           errno_text());
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+void write_frame(int fd, const wire_message& msg, bool front, int peer) {
+  frame_header h;
+  h.kind = static_cast<std::uint8_t>(msg.kind);
+  h.flags = front ? flag_front : std::uint8_t{0};
+  h.source = msg.source;
+  h.tag = msg.tag;
+  h.seq = msg.seq;
+  h.checksum = msg.checksum;
+  h.depart_vtime = msg.depart_vtime;
+  h.epoch = msg.epoch;
+  h.payload_bytes = msg.payload.size();
+  std::byte buf[frame_header_bytes];
+  encode_header(h, buf);
+  write_all(fd, buf, sizeof buf, peer);
+  if (!msg.payload.empty()) {
+    write_all(fd, msg.payload.data(), msg.payload.size(), peer);
+  }
+}
+
+bool read_frame(int fd, wire_message& out, bool& front, int peer) {
+  std::byte buf[frame_header_bytes];
+  if (!read_all(fd, buf, sizeof buf, peer, /*eof_ok=*/true)) return false;
+  frame_header h;
+  if (!decode_header(buf, h)) {
+    throw_lost(peer, "bad frame header from rank " + std::to_string(peer) +
+                         " (magic/version/kind mismatch)");
+  }
+  if (h.payload_bytes > (std::uint64_t{1} << 31)) {
+    throw_lost(peer, "oversized frame from rank " + std::to_string(peer) +
+                         " (" + std::to_string(h.payload_bytes) + " bytes)");
+  }
+  out.source = h.source;
+  out.tag = h.tag;
+  out.depart_vtime = h.depart_vtime;
+  out.seq = h.seq;
+  out.checksum = h.checksum;
+  out.kind = static_cast<msg_kind>(h.kind);
+  out.epoch = h.epoch;
+  out.payload.resize(static_cast<std::size_t>(h.payload_bytes));
+  if (!out.payload.empty()) {
+    read_all(fd, out.payload.data(), out.payload.size(), peer,
+             /*eof_ok=*/false);
+  }
+  front = (h.flags & flag_front) != 0;
+  return true;
+}
+
+void write_hello(int fd, const hello& h, int peer) {
+  std::byte buf[hello_bytes];
+  std::byte* out = buf;
+  put(out, frame_magic);
+  put(out, wire_version);
+  put(out, h.rank);
+  put(out, h.ranks);
+  put(out, h.port);
+  write_all(fd, buf, sizeof buf, peer);
+}
+
+hello read_hello(int fd, int expect_ranks, int peer, double timeout_s) {
+  set_recv_timeout(fd, timeout_s);
+  std::byte buf[hello_bytes];
+  read_all(fd, buf, sizeof buf, peer, /*eof_ok=*/false);
+  set_recv_timeout(fd, 0);
+  const std::byte* in = buf;
+  std::uint32_t magic = 0;
+  std::uint16_t version = 0;
+  hello h;
+  get(in, magic);
+  get(in, version);
+  get(in, h.rank);
+  get(in, h.ranks);
+  get(in, h.port);
+  if (magic != frame_magic || version != wire_version ||
+      h.ranks != expect_ranks || h.rank < 0 || h.rank >= expect_ranks) {
+    throw_lost(peer, "bad handshake hello (magic/version/world mismatch)");
+  }
+  return h;
+}
+
+}  // namespace sockwire
+
+namespace {
+
+// Port-table reply of the coordinator: magic, version, p x u16.
+void write_table(int fd, const std::vector<int>& ports, int peer) {
+  std::vector<std::byte> buf(4 + 2 + 2 * ports.size());
+  std::byte* out = buf.data();
+  sockwire::put(out, sockwire::frame_magic);
+  sockwire::put(out, sockwire::wire_version);
+  for (const int p : ports) {
+    sockwire::put(out, static_cast<std::uint16_t>(p));
+  }
+  sockwire::write_all(fd, buf.data(), buf.size(), peer);
+}
+
+std::vector<int> read_table(int fd, int ranks, int peer, double timeout_s) {
+  sockwire::set_recv_timeout(fd, timeout_s);
+  std::vector<std::byte> buf(4 + 2 + 2 * static_cast<std::size_t>(ranks));
+  sockwire::read_all(fd, buf.data(), buf.size(), peer, /*eof_ok=*/false);
+  sockwire::set_recv_timeout(fd, 0);
+  const std::byte* in = buf.data();
+  std::uint32_t magic = 0;
+  std::uint16_t version = 0;
+  sockwire::get(in, magic);
+  sockwire::get(in, version);
+  if (magic != sockwire::frame_magic || version != sockwire::wire_version) {
+    throw comm_error(comm_error::reason::transport_lost, peer,
+                     "bad handshake port table (magic/version mismatch)");
+  }
+  std::vector<int> ports(static_cast<std::size_t>(ranks));
+  for (int r = 0; r < ranks; ++r) {
+    std::uint16_t p = 0;
+    sockwire::get(in, p);
+    ports[static_cast<std::size_t>(r)] = p;
+  }
+  return ports;
+}
+
+/// Total real-time budget of a connect policy; the handshake's accept
+/// and read deadlines are derived from it so a missing peer surfaces
+/// as a typed error, never a hang.
+double connect_budget_seconds(const retry_policy& policy) {
+  double total = 0;
+  for (int n = 0; n <= policy.max_retries; ++n) {
+    total += backoff_delay_seconds(policy.timeout_s, policy.backoff, n);
+  }
+  return total;
+}
+
+class socket_transport final : public transport {
+ public:
+  socket_transport(int ranks, const socket_options& opt)
+      : ranks_(ranks), my_rank_(opt.rank), host_(opt.host) {
+    TFX_EXPECTS(ranks > 0);
+    TFX_EXPECTS(opt.rank < ranks);
+    in_process_ = opt.rank < 0;
+    // Separate processes have no shared ephemeral-port table: they
+    // must agree on the coordinator port up front.
+    TFX_EXPECTS(in_process_ || ranks == 1 || opt.port != 0);
+
+    const int locals = local_rank_count();
+    stores_.reserve(static_cast<std::size_t>(locals));
+    for (int i = 0; i < locals; ++i) {
+      stores_.push_back(std::make_unique<detail::channel_store>());
+      stores_.back()->configure(ranks_);
+    }
+    eps_.resize(static_cast<std::size_t>(ranks_) * static_cast<std::size_t>(ranks_));
+    for (auto& e : eps_) e = std::make_unique<endpoint>();
+    epochs_ = std::make_unique<std::atomic<std::uint32_t>[]>(
+        static_cast<std::size_t>(ranks_));
+    for (int r = 0; r < ranks_; ++r) {
+      epochs_[static_cast<std::size_t>(r)].store(1, std::memory_order_relaxed);
+    }
+
+    try {
+      handshake(opt);
+      start_rx();
+    } catch (...) {
+      stop_and_close();
+      throw;
+    }
+  }
+
+  ~socket_transport() override { stop_and_close(); }
+
+  [[nodiscard]] const char* name() const noexcept override {
+    return "socket";
+  }
+  [[nodiscard]] int ranks() const noexcept override { return ranks_; }
+  [[nodiscard]] bool is_local(int rank) const noexcept override {
+    return in_process_ ? (rank >= 0 && rank < ranks_) : rank == my_rank_;
+  }
+  [[nodiscard]] int local_rank_count() const noexcept override {
+    return in_process_ ? ranks_ : 1;
+  }
+
+  void reset() override {
+    // Advance every destination's fence in lockstep: frames of the
+    // previous run still in flight on a wire carry the old epoch and
+    // are dropped by the receiving rx loop.
+    for (int r = 0; r < ranks_; ++r) {
+      epochs_[static_cast<std::size_t>(r)].fetch_add(
+          1, std::memory_order_acq_rel);
+    }
+    for (int r = 0; r < ranks_; ++r) {
+      if (!is_local(r)) continue;
+      stores_[static_cast<std::size_t>(local_index(r))]->raise_floor(
+          epochs_[static_cast<std::size_t>(r)].load(
+              std::memory_order_acquire));
+    }
+  }
+
+  void deposit(int dst, wire_message msg, bool front) override {
+    TFX_EXPECTS(dst >= 0 && dst < ranks_);
+    TFX_EXPECTS(is_local(msg.source));
+    msg.epoch = epochs_[static_cast<std::size_t>(dst)].load(
+        std::memory_order_acquire);
+    if (dst == msg.source) {  // self-sends never touch the wire
+      stores_[static_cast<std::size_t>(local_index(dst))]->deposit(
+          std::move(msg), front);
+      return;
+    }
+    endpoint& e = ep(msg.source, dst);
+    const std::scoped_lock lock(e.write_mutex);
+    if (e.fd < 0 || e.down.load(std::memory_order_acquire)) {
+      throw comm_error(comm_error::reason::transport_lost, dst,
+                       "send to rank " + std::to_string(dst) +
+                           ": connection lost");
+    }
+    try {
+      sockwire::write_frame(e.fd, msg, front, dst);
+    } catch (...) {
+      // Let the rx side observe the loss too (EOF after shutdown).
+      e.down.store(true, std::memory_order_release);
+      ::shutdown(e.fd, SHUT_RDWR);
+      throw;
+    }
+  }
+
+  [[nodiscard]] wire_message collect(int dst, int src, int tag) override {
+    TFX_EXPECTS(is_local(dst));
+    return stores_[static_cast<std::size_t>(local_index(dst))]->collect(src,
+                                                                        tag);
+  }
+
+  [[nodiscard]] wire_message collect_faulty(int dst, int src,
+                                            int tag) override {
+    TFX_EXPECTS(is_local(dst));
+    return stores_[static_cast<std::size_t>(local_index(dst))]
+        ->collect_faulty(src, tag);
+  }
+
+  void broadcast_crash(int source, double vtime) override {
+    for (int dst = 0; dst < ranks_; ++dst) {
+      if (dst == source) continue;
+      wire_message m{source, 0, vtime, {}, 0, 0, msg_kind::crash_notice, 0};
+      try {
+        deposit(dst, std::move(m), false);
+      } catch (const comm_error&) {
+        // A dead channel cannot carry the notice; the peer's own rx
+        // loop already marked the stream down.
+      }
+    }
+  }
+
+  void drain(int dst) override {
+    TFX_EXPECTS(is_local(dst));
+    // Unlike the in-process transports, a deposit here is *not*
+    // synchronous: a frame sent before this drain can still sit in a
+    // TCP buffer and would otherwise be delivered into the freshly
+    // drained mailbox (and, matched lowest-seq-first, consumed in
+    // place of a post-recovery message - a deadlock). Bumping the
+    // destination's epoch fences those stragglers: senders stamp the
+    // epoch at deposit time, so everything already on the wire is
+    // stale by definition and the mailbox's epoch floor rejects it
+    // (atomically with the purge - see raise_floor). The recovery
+    // protocol guarantees nobody deposits between its drain barrier
+    // and the next round's traffic, so no live message can carry the
+    // old epoch. (Process mode: the bump is process-local, which is
+    // fine - rollback recovery is in-process only; see
+    // docs/TRANSPORTS.md § limitations.)
+    const std::uint32_t e = epochs_[static_cast<std::size_t>(dst)].fetch_add(
+                                1, std::memory_order_acq_rel) +
+                            1;
+    stores_[static_cast<std::size_t>(local_index(dst))]->raise_floor(e);
+  }
+
+ private:
+  struct endpoint {
+    std::mutex write_mutex;
+    int fd = -1;
+    std::atomic<bool> down{false};
+  };
+
+  struct stop_pipe {
+    int rd = -1;
+    int wr = -1;
+  };
+
+  [[nodiscard]] int local_index(int rank) const noexcept {
+    return in_process_ ? rank : 0;
+  }
+
+  [[nodiscard]] endpoint& ep(int i, int j) {
+    return *eps_[static_cast<std::size_t>(i) * static_cast<std::size_t>(ranks_) +
+                 static_cast<std::size_t>(j)];
+  }
+
+  void handshake(const socket_options& opt) {
+    budget_s_ = connect_budget_seconds(opt.connect) + 5.0;
+    ports_.assign(static_cast<std::size_t>(ranks_), 0);
+    lfds_.assign(static_cast<std::size_t>(ranks_), -1);
+    if (in_process_) {
+      for (int r = 0; r < ranks_; ++r) {
+        lfds_[static_cast<std::size_t>(r)] =
+            sockwire::listen_on(host_, r == 0 ? opt.port : 0);
+        ports_[static_cast<std::size_t>(r)] =
+            sockwire::listen_port(lfds_[static_cast<std::size_t>(r)]);
+      }
+      if (ranks_ > 1) {
+        std::vector<std::thread> setup;
+        std::vector<std::exception_ptr> errs(
+            static_cast<std::size_t>(ranks_));
+        setup.reserve(static_cast<std::size_t>(ranks_));
+        for (int r = 0; r < ranks_; ++r) {
+          setup.emplace_back([this, r, &errs, &opt] {
+            try {
+              handshake_rank(r, opt);
+            } catch (...) {
+              errs[static_cast<std::size_t>(r)] = std::current_exception();
+            }
+          });
+        }
+        for (auto& t : setup) t.join();
+        for (const auto& e : errs) {
+          if (e) std::rethrow_exception(e);
+        }
+      }
+    } else {
+      lfds_[static_cast<std::size_t>(my_rank_)] =
+          sockwire::listen_on(host_, my_rank_ == 0 ? opt.port : 0);
+      ports_[static_cast<std::size_t>(my_rank_)] =
+          sockwire::listen_port(lfds_[static_cast<std::size_t>(my_rank_)]);
+      handshake_rank(my_rank_, opt);
+    }
+    for (int& fd : lfds_) {
+      if (fd >= 0) ::close(fd);
+      fd = -1;
+    }
+  }
+
+  void handshake_rank(int r, const socket_options& opt) {
+    if (r == 0) {
+      // Phase 1 (coordinator): collect every hello, then answer each
+      // connection with the full port table; the connection itself
+      // stays as the 0<->j mesh link.
+      for (int k = 1; k < ranks_; ++k) {
+        const int fd =
+            sockwire::accept_one(lfds_[0], budget_s_);
+        sockwire::hello h;
+        try {
+          h = sockwire::read_hello(fd, ranks_, -1, budget_s_);
+        } catch (...) {
+          ::close(fd);
+          throw;
+        }
+        if (h.rank < 1 || ep(0, h.rank).fd >= 0) {
+          ::close(fd);
+          throw comm_error(comm_error::reason::transport_lost, h.rank,
+                           "duplicate or invalid hello from rank " +
+                               std::to_string(h.rank));
+        }
+        ep(0, h.rank).fd = fd;
+        if (!in_process_) ports_[static_cast<std::size_t>(h.rank)] = h.port;
+      }
+      for (int j = 1; j < ranks_; ++j) write_table(ep(0, j).fd, ports_, j);
+    } else {
+      const int coord_port =
+          in_process_ ? ports_[0] : opt.port;
+      const int fd0 = sockwire::connect_to(host_, coord_port, opt.connect, 0);
+      ep(r, 0).fd = fd0;
+      sockwire::write_hello(
+          fd0,
+          {r, ranks_,
+           static_cast<std::uint16_t>(ports_[static_cast<std::size_t>(r)])},
+          0);
+      const std::vector<int> table = read_table(fd0, ranks_, 0, budget_s_);
+      if (!in_process_) ports_ = table;
+      // Phase 2 (mesh): connect to every lower rank's listener, then
+      // accept the higher ranks; hellos identify who arrived.
+      for (int i = 1; i < r; ++i) {
+        const int fd = sockwire::connect_to(
+            host_, ports_[static_cast<std::size_t>(i)], opt.connect, i);
+        ep(r, i).fd = fd;
+        sockwire::write_hello(
+            fd,
+            {r, ranks_,
+             static_cast<std::uint16_t>(ports_[static_cast<std::size_t>(r)])},
+            i);
+      }
+      for (int j = r + 1; j < ranks_; ++j) {
+        const int fd = sockwire::accept_one(
+            lfds_[static_cast<std::size_t>(r)], budget_s_);
+        sockwire::hello h;
+        try {
+          h = sockwire::read_hello(fd, ranks_, -1, budget_s_);
+        } catch (...) {
+          ::close(fd);
+          throw;
+        }
+        if (h.rank <= r || ep(r, h.rank).fd >= 0) {
+          ::close(fd);
+          throw comm_error(comm_error::reason::transport_lost, h.rank,
+                           "duplicate or invalid mesh hello from rank " +
+                               std::to_string(h.rank));
+        }
+        ep(r, h.rank).fd = fd;
+      }
+    }
+  }
+
+  void start_rx() {
+    const int locals = local_rank_count();
+    stop_pipes_.resize(static_cast<std::size_t>(locals));
+    for (auto& sp : stop_pipes_) {
+      int p[2];
+      if (::pipe2(p, O_CLOEXEC) != 0) {
+        throw comm_error(comm_error::reason::transport_lost, -1,
+                         "pipe2: " + std::string(std::strerror(errno)));
+      }
+      sp.rd = p[0];
+      sp.wr = p[1];
+    }
+    rx_threads_.reserve(static_cast<std::size_t>(locals));
+    for (int li = 0; li < locals; ++li) {
+      const int rank = in_process_ ? li : my_rank_;
+      rx_threads_.emplace_back([this, rank] { rx_loop(rank); });
+    }
+  }
+
+  /// One TCP stream feeding one destination: the fd plus the partial
+  /// frame being reassembled. rx never blocks inside a frame - bytes
+  /// accumulate here across poll rounds until a whole frame arrived.
+  struct peer_link {
+    int fd = -1;
+    int peer = -1;
+    std::vector<std::byte> acc;  ///< unparsed bytes, oldest first
+  };
+
+  /// Extract every complete frame buffered for this peer and deposit
+  /// the live ones; an incomplete tail stays buffered for the next
+  /// recv. Returns false (with `reason` set) on a protocol violation.
+  bool parse_frames(int r, peer_link& p, std::string& reason) {
+    std::size_t off = 0;
+    while (p.acc.size() - off >= sockwire::frame_header_bytes) {
+      sockwire::frame_header h;
+      if (!sockwire::decode_header(p.acc.data() + off, h)) {
+        reason = "bad frame header from rank " + std::to_string(p.peer) +
+                 " (magic/version/kind mismatch)";
+        return false;
+      }
+      if (h.payload_bytes > (std::uint64_t{1} << 31)) {
+        reason = "oversized frame from rank " + std::to_string(p.peer) +
+                 " (" + std::to_string(h.payload_bytes) + " bytes)";
+        return false;
+      }
+      const std::size_t total = sockwire::frame_header_bytes +
+                                static_cast<std::size_t>(h.payload_bytes);
+      if (p.acc.size() - off < total) break;
+      if (h.source < 0 || h.source >= ranks_) {
+        reason = "frame with out-of-world source rank " +
+                 std::to_string(h.source);
+        return false;
+      }
+      wire_message msg;
+      msg.source = h.source;
+      msg.tag = h.tag;
+      msg.depart_vtime = h.depart_vtime;
+      msg.seq = h.seq;
+      msg.checksum = h.checksum;
+      msg.kind = static_cast<msg_kind>(h.kind);
+      msg.epoch = h.epoch;
+      msg.payload.assign(p.acc.data() + off + sockwire::frame_header_bytes,
+                         p.acc.data() + off + total);
+      off += total;
+      // No epoch check here: the store's epoch floor (raise_floor)
+      // drops stale frames atomically with any concurrent reset/drain.
+      stores_[static_cast<std::size_t>(local_index(r))]->deposit(
+          std::move(msg), (h.flags & sockwire::flag_front) != 0);
+    }
+    p.acc.erase(p.acc.begin(),
+                p.acc.begin() + static_cast<std::ptrdiff_t>(off));
+    return true;
+  }
+
+  void rx_loop(int r) {
+    std::vector<peer_link> peers;
+    for (int q = 0; q < ranks_; ++q) {
+      if (q == r) continue;
+      if (ep(r, q).fd >= 0) {
+        peer_link p;
+        p.fd = ep(r, q).fd;
+        p.peer = q;
+        peers.push_back(std::move(p));
+      }
+    }
+    const int stop_fd = stop_pipes_[static_cast<std::size_t>(local_index(r))].rd;
+    std::vector<pollfd> pfds;
+    for (;;) {
+      pfds.clear();
+      pfds.push_back({stop_fd, POLLIN, 0});
+      for (const auto& p : peers) pfds.push_back({p.fd, POLLIN, 0});
+      const int rc = ::poll(pfds.data(), pfds.size(), -1);
+      if (rc < 0) {
+        if (errno == EINTR) continue;
+        return;
+      }
+      if ((pfds[0].revents & (POLLIN | POLLERR | POLLHUP)) != 0) return;
+      for (std::size_t i = 0; i < peers.size();) {
+        const short re = pfds[i + 1].revents;
+        if ((re & (POLLIN | POLLERR | POLLHUP)) == 0) {
+          ++i;
+          continue;
+        }
+        peer_link& p = peers[i];
+        bool alive = true;
+        std::string reason;
+        // MSG_DONTWAIT: one non-blocking read per poll round. A frame
+        // split across TCP segments is reassembled over several
+        // rounds; the loop never parks inside recv, so the stop pipe
+        // always gets through and one slow peer cannot starve the
+        // others (poll is level-triggered - leftover bytes re-arm it).
+        std::byte chunk[1 << 16];
+        const ssize_t got = ::recv(p.fd, chunk, sizeof chunk, MSG_DONTWAIT);
+        if (got > 0) {
+          p.acc.insert(p.acc.end(), chunk, chunk + got);
+          alive = parse_frames(r, p, reason);
+        } else if (got == 0) {
+          alive = false;
+          reason = p.acc.empty()
+                       ? "peer closed the connection"
+                       : "truncated frame from rank " +
+                             std::to_string(p.peer) +
+                             ": peer closed mid-message (" +
+                             std::to_string(p.acc.size()) +
+                             " bytes buffered)";
+        } else if (errno != EINTR && errno != EAGAIN &&
+                   errno != EWOULDBLOCK) {
+          alive = false;
+          reason = "recv from rank " + std::to_string(p.peer) + ": " +
+                   std::strerror(errno);
+        }
+        if (alive) {
+          ++i;
+        } else {
+          channel_down(r, p.peer, reason);
+          peers.erase(peers.begin() + static_cast<std::ptrdiff_t>(i));
+        }
+      }
+    }
+  }
+
+  void channel_down(int r, int q, const std::string& reason) {
+    endpoint& e = ep(r, q);
+    e.down.store(true, std::memory_order_release);
+    if (stopping_.load(std::memory_order_acquire)) return;
+    wire_message m;
+    m.source = q;
+    m.kind = msg_kind::transport_down;
+    m.epoch = epochs_[static_cast<std::size_t>(r)].load(
+        std::memory_order_acquire);
+    m.payload.resize(reason.size());
+    std::memcpy(m.payload.data(), reason.data(), reason.size());
+    stores_[static_cast<std::size_t>(local_index(r))]->deposit(std::move(m),
+                                                               false);
+  }
+
+  void stop_and_close() {
+    stopping_.store(true, std::memory_order_release);
+    for (const auto& sp : stop_pipes_) {
+      if (sp.wr < 0) continue;
+      const char b = 1;
+      const ssize_t ignored = ::write(sp.wr, &b, 1);
+      (void)ignored;
+    }
+    for (auto& t : rx_threads_) {
+      if (t.joinable()) t.join();
+    }
+    rx_threads_.clear();
+    for (auto& e : eps_) {
+      if (e && e->fd >= 0) {
+        ::close(e->fd);
+        e->fd = -1;
+      }
+    }
+    for (int& fd : lfds_) {
+      if (fd >= 0) ::close(fd);
+      fd = -1;
+    }
+    for (auto& sp : stop_pipes_) {
+      if (sp.rd >= 0) ::close(sp.rd);
+      if (sp.wr >= 0) ::close(sp.wr);
+      sp.rd = sp.wr = -1;
+    }
+    stop_pipes_.clear();
+  }
+
+  int ranks_;
+  int my_rank_;
+  bool in_process_ = true;
+  std::string host_;
+  double budget_s_ = 10.0;
+  std::vector<int> ports_;
+  std::vector<int> lfds_;
+  std::vector<std::unique_ptr<endpoint>> eps_;
+  std::vector<std::unique_ptr<detail::channel_store>> stores_;
+  std::vector<stop_pipe> stop_pipes_;
+  std::vector<std::thread> rx_threads_;
+  /// Per-destination run/recovery fence; deposits stamp the target's
+  /// current epoch and the target mailbox rejects anything below its
+  /// floor. Shared array in-process; process-local in process mode.
+  std::unique_ptr<std::atomic<std::uint32_t>[]> epochs_;
+  std::atomic<bool> stopping_{false};
+};
+
+}  // namespace
+
+std::unique_ptr<transport> make_socket_transport(int ranks,
+                                                 const socket_options& opt) {
+  return std::make_unique<socket_transport>(ranks, opt);
+}
+
+bool socket_loopback_available() noexcept {
+  static const bool ok = [] {
+    int lfd = -1;
+    int cfd = -1;
+    int afd = -1;
+    try {
+      lfd = sockwire::listen_on("127.0.0.1", 0);
+      const int port = sockwire::listen_port(lfd);
+      const retry_policy quick{0.01, 1.5, 3};
+      cfd = sockwire::connect_to("127.0.0.1", port, quick, -1);
+      afd = sockwire::accept_one(lfd, 2.0);
+      const char out = 42;
+      sockwire::write_all(cfd, &out, 1, -1);
+      char in = 0;
+      sockwire::read_all(afd, &in, 1, -1, /*eof_ok=*/false);
+      ::close(afd);
+      ::close(cfd);
+      ::close(lfd);
+      return in == 42;
+    } catch (...) {
+      if (afd >= 0) ::close(afd);
+      if (cfd >= 0) ::close(cfd);
+      if (lfd >= 0) ::close(lfd);
+      return false;
+    }
+  }();
+  return ok;
+}
+
+}  // namespace tfx::mpisim

@@ -1,0 +1,128 @@
+#pragma once
+
+/// \file socket_transport.hpp
+/// Real TCP transport for the mpisim channel layer (transport.hpp).
+///
+/// Deployment shapes (selected by socket_options::rank):
+///   * in-process (rank == -1): every rank lives in this process as a
+///     thread, but cross-rank messages still travel over real loopback
+///     TCP connections - the conformance-suite mode.
+///   * process mode (rank >= 0): this process hosts exactly one rank;
+///     the same binary is launched once per rank and the processes
+///     find each other through the rank-0 coordinator.
+///
+/// Handshake (docs/TRANSPORTS.md § handshake):
+///   1. every rank binds a loopback listener (rank 0 on the agreed
+///      coordinator port, others ephemeral);
+///   2. ranks 1..p-1 connect to rank 0 and send a hello frame
+///      {rank, world size, listen port};
+///   3. rank 0 waits for all hellos, then answers each connection with
+///      the full port table. The 0<->j coordinator connection is kept
+///      as the mesh link between ranks 0 and j;
+///   4. mesh completion: for every pair i < j with i >= 1, rank j
+///      connects to rank i's listener and identifies itself with a
+///      hello; rank i accepts in ascending-j order.
+/// Every failure surfaces as comm_error{transport_lost}: a refused
+/// connect after the retry/backoff budget, a handshake timeout, or a
+/// malformed hello.
+///
+/// Frames are length-prefixed: a fixed little-endian header
+/// (sockwire::frame_header, magic "TFXM") followed by the payload
+/// bytes. Truncated frames and peer loss mid-message become
+/// msg_kind::transport_down notices in the destination mailbox, which
+/// the communicator turns into comm_error{transport_lost} - no hangs.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "mpisim/transport.hpp"
+
+namespace tfx::mpisim {
+
+/// Build the socket transport; performs the full handshake before
+/// returning. Throws comm_error{transport_lost} on failure.
+[[nodiscard]] std::unique_ptr<transport> make_socket_transport(
+    int ranks, const socket_options& options);
+
+/// Probe whether loopback TCP (bind/listen/connect/accept) works in
+/// this environment. Socket tests self-skip when it does not.
+[[nodiscard]] bool socket_loopback_available() noexcept;
+
+/// Wire-format and raw-socket helpers. Public so the failure-injection
+/// tests can speak the protocol directly (spoofed peers, truncated
+/// frames); not part of the stable transport API.
+namespace sockwire {
+
+inline constexpr std::uint32_t frame_magic = 0x5446584Du;  ///< "TFXM"
+inline constexpr std::uint16_t wire_version = 1;
+
+/// Frame flag bits.
+inline constexpr std::uint8_t flag_front = 0x01;  ///< reorder: queue-jump
+
+/// Fixed-size frame header, serialized field-by-field in this order,
+/// little-endian, no padding. The payload follows immediately.
+struct frame_header {
+  std::uint32_t magic = frame_magic;
+  std::uint16_t version = wire_version;
+  std::uint8_t kind = 0;   ///< msg_kind
+  std::uint8_t flags = 0;  ///< flag_front
+  std::int32_t source = 0;
+  std::int32_t tag = 0;
+  std::uint64_t seq = 0;
+  std::uint64_t checksum = 0;
+  double depart_vtime = 0;
+  std::uint32_t epoch = 0;
+  std::uint64_t payload_bytes = 0;
+};
+
+inline constexpr std::size_t frame_header_bytes = 4 + 2 + 1 + 1 + 4 + 4 + 8 + 8 + 8 + 4 + 8;
+
+void encode_header(const frame_header& h, std::byte* out);
+/// False when magic or version do not match (corrupt/foreign stream).
+[[nodiscard]] bool decode_header(const std::byte* in, frame_header& h);
+
+/// Handshake hello: {magic, version, rank, world size, listen port},
+/// little-endian, 16 bytes.
+struct hello {
+  std::int32_t rank = 0;
+  std::int32_t ranks = 0;
+  std::uint16_t port = 0;
+};
+inline constexpr std::size_t hello_bytes = 4 + 2 + 4 + 4 + 2;
+
+// --- raw fd helpers (throw comm_error{transport_lost} on failure) ---
+
+/// Bind + listen on host:port (port 0 = ephemeral); returns the fd.
+[[nodiscard]] int listen_on(const std::string& host, int port);
+/// Port a listener fd is bound to.
+[[nodiscard]] int listen_port(int fd);
+/// Accept one connection, waiting at most `timeout_s` real seconds.
+[[nodiscard]] int accept_one(int fd, double timeout_s);
+/// Connect with the retry/backoff policy (attempt n sleeps
+/// backoff_delay_seconds(timeout_s, backoff, n)); throws
+/// comm_error{transport_lost} after max_retries refusals.
+[[nodiscard]] int connect_to(const std::string& host, int port,
+                             const retry_policy& policy, int peer);
+
+/// Write exactly n bytes (handles partial writes; MSG_NOSIGNAL).
+void write_all(int fd, const void* data, std::size_t n, int peer);
+/// Read exactly n bytes. Returns false on clean EOF before the first
+/// byte when `eof_ok`; throws comm_error{transport_lost} on mid-read
+/// EOF (a truncated frame) or any socket error.
+bool read_all(int fd, void* data, std::size_t n, int peer, bool eof_ok);
+
+/// Serialize msg as one frame onto fd.
+void write_frame(int fd, const wire_message& msg, bool front, int peer);
+/// Read one frame. Returns false on clean EOF at a frame boundary;
+/// throws comm_error{transport_lost} on truncation or a bad header.
+bool read_frame(int fd, wire_message& out, bool& front, int peer);
+
+void write_hello(int fd, const hello& h, int peer);
+/// Reads + validates a hello (magic/version/world size).
+[[nodiscard]] hello read_hello(int fd, int expect_ranks, int peer,
+                               double timeout_s);
+
+}  // namespace sockwire
+
+}  // namespace tfx::mpisim

@@ -2,6 +2,11 @@
 // executed on BOTH the threaded runtime and the discrete-event engine;
 // virtual clocks must agree exactly. This covers arbitrary interleaved
 // patterns the structured collective tests never produce.
+//
+// The transport is a fuzz dimension too: each seed draws the channel
+// layer the threaded runtime uses (simulated mailbox / shm channels /
+// real loopback TCP), and the DES parity must hold over every one -
+// virtual time is not a transport property (transport.hpp).
 
 #include <gtest/gtest.h>
 
@@ -11,6 +16,7 @@
 #include "mpisim/des.hpp"
 #include "mpisim/patterns.hpp"
 #include "mpisim/runtime.hpp"
+#include "mpisim/transport.hpp"
 
 using namespace tfx;
 using namespace tfx::mpisim;
@@ -85,10 +91,28 @@ void run_program(world& w, const sim_program& prog, int tag) {
 /// virtual clocks.
 std::vector<double> run_threaded(const sim_program& prog,
                                  const torus_placement& place,
-                                 const tofud_params& net) {
-  world w(place, net);
+                                 const tofud_params& net,
+                                 const transport_options& topt) {
+  world w(place, net, topt);
   run_program(w, prog, 7);
   return w.final_clocks();
+}
+
+/// Draw the threaded runtime's transport for this seed. Socket falls
+/// back to shm when the sandbox forbids loopback TCP, so the parity
+/// checks stay green everywhere.
+transport_options fuzz_transport(xoshiro256& rng) {
+  transport_options topt;
+  switch (rng.bounded(3)) {
+    case 0: topt.kind = transport_kind::simulated; break;
+    case 1: topt.kind = transport_kind::shm; break;
+    default:
+      topt.kind = transport_manager::loopback_available()
+                      ? transport_kind::socket
+                      : transport_kind::shm;
+      break;
+  }
+  return topt;
 }
 
 }  // namespace
@@ -103,15 +127,17 @@ TEST_P(FuzzEngines, ThreadedAndDesClocksAgree) {
   const int per_node = 1 + static_cast<int>(meta.bounded(3));
   const int nodes = (p + per_node - 1) / per_node;
   const torus_placement place({nodes, 1, 1}, per_node);
+  const transport_options topt = fuzz_transport(meta);
   // Pad the program to the placement's full rank count.
   const int total = place.rank_count();
   SCOPED_TRACE("seed " + std::to_string(seed) + " ranks " +
                std::to_string(total) + " rounds " + std::to_string(rounds) +
-               " per_node " + std::to_string(per_node));
+               " per_node " + std::to_string(per_node) + " transport " +
+               transport_manager::name_of(topt.kind));
   auto prog = random_program(total, seed * 7919 + 13, rounds);
 
   const tofud_params net;
-  const auto threaded = run_threaded(prog, place, net);
+  const auto threaded = run_threaded(prog, place, net, topt);
   const auto des = simulate(prog, net, place).clocks;
   ASSERT_EQ(threaded.size(), des.size());
   for (std::size_t r = 0; r < des.size(); ++r) {
@@ -135,8 +161,10 @@ TEST_P(FuzzEnginesFaulty, ChaosClocksStatsAndDeliveriesAgree) {
   const int p = 2 + static_cast<int>(meta.bounded(7));      // 2..8 ranks
   const int rounds = 2 + static_cast<int>(meta.bounded(6)); // 2..7 rounds
   const torus_placement place({p, 1, 1}, 1);
+  const transport_options topt = fuzz_transport(meta);
   SCOPED_TRACE("seed " + std::to_string(seed) + " ranks " +
-               std::to_string(p) + " rounds " + std::to_string(rounds));
+               std::to_string(p) + " rounds " + std::to_string(rounds) +
+               " transport " + transport_manager::name_of(topt.kind));
   const auto prog = random_program(p, seed * 6271 + 5, rounds);
 
   fault_config cfg;
@@ -150,7 +178,7 @@ TEST_P(FuzzEnginesFaulty, ChaosClocksStatsAndDeliveriesAgree) {
   const fault_plane plane(cfg);
 
   const tofud_params net;
-  world w(place, net);
+  world w(place, net, topt);
   w.set_faults(cfg);
   run_program(w, prog, /*tag=*/0);
   const auto& threaded = w.last_fault_report();

@@ -581,13 +581,14 @@ TEST(HaloAlloc, SingleRankStepsAllocationFreeAfterWarmup) {
 TEST(HaloAlloc, MultiRankStepsAllocateSteadyState) {
   // With neighbours, a step inherently allocates (mpisim copies each
   // payload into the mailbox), but the per-step count must be steady
-  // once the engine's buffers are warm. Whole-run totals are compared
-  // (the runs are fully joined, so the counts are race-free and,
-  // absent faults, deterministic); the runtime's delivery log grows by
-  // amortized doubling, so equal-width windows may differ by the
-  // log-sized number of capacity doublings, never by a per-message
-  // (linear) term. The halo engine's own zero-allocation property is
-  // pinned exactly by the single-rank test above.
+  // once the engine's buffers are warm. Whole-run totals are compared;
+  // they carry bounded timing noise (mailbox deques grow by blocks to
+  // the peak queue depth, which depends on the thread interleaving,
+  // and the delivery log doubles amortized), so the windows are made
+  // wide - 24 steps each - and the tolerance covers only that bounded
+  // term. A per-message (linear) leak would scale with the window and
+  // blow far past it. The halo engine's own zero-allocation property
+  // is pinned exactly by the single-rank test above.
   const swm_params params = small_params();
   const auto init = initial_state<double>(params);
   auto total_allocs = [&](int steps) {
@@ -602,11 +603,11 @@ TEST(HaloAlloc, MultiRankStepsAllocateSteadyState) {
     return g_alloc_count.load(std::memory_order_relaxed) - before;
   };
   const std::uint64_t a2 = total_allocs(2);
-  const std::uint64_t a6 = total_allocs(6);
-  const std::uint64_t a10 = total_allocs(10);
-  const std::uint64_t lo = std::min(a10 - a6, a6 - a2);
-  const std::uint64_t hi = std::max(a10 - a6, a6 - a2);
-  EXPECT_LE(hi - lo, 8u) << "per-step allocations must be steady: "
-                         << (a6 - a2) << " vs " << (a10 - a6);
-  EXPECT_GT(a6, a2) << "messages do allocate payload copies";
+  const std::uint64_t a26 = total_allocs(26);
+  const std::uint64_t a50 = total_allocs(50);
+  const std::uint64_t lo = std::min(a50 - a26, a26 - a2);
+  const std::uint64_t hi = std::max(a50 - a26, a26 - a2);
+  EXPECT_LE(hi - lo, 96u) << "per-step allocations must be steady: "
+                          << (a26 - a2) << " vs " << (a50 - a26);
+  EXPECT_GT(a26, a2) << "messages do allocate payload copies";
 }
