@@ -23,6 +23,7 @@ const char* kind_name(collective_kind k) {
     case collective_kind::bcast: return "Bcast";
     case collective_kind::barrier: return "Barrier";
     case collective_kind::allgather: return "Allgather";
+    case collective_kind::hierarchical_allreduce: return "HierAllreduce";
   }
   return "?";
 }

@@ -178,6 +178,7 @@ namespace {
 mpisim::sim_program make_program(collective_kind kind,
                                  const mpisim::tofud_params& net, int p,
                                  std::size_t bytes,
+                                 const mpisim::torus_placement& place,
                                  mpisim::coll_algorithm algo) {
   // All Fig. 3 benchmarks use 4-byte elements (MPI_FLOAT in IMB).
   constexpr std::size_t elem = 4;
@@ -185,6 +186,9 @@ mpisim::sim_program make_program(collective_kind kind,
   switch (kind) {
     case collective_kind::allreduce:
       return mpisim::make_allreduce_program(net, p, count, elem, algo);
+    case collective_kind::hierarchical_allreduce:
+      return mpisim::make_hierarchical_allreduce_program(net, place, count,
+                                                         elem, algo);
     case collective_kind::reduce:
       return mpisim::make_reduce_program(net, p, count, elem, 0);
     case collective_kind::gatherv:
@@ -207,14 +211,15 @@ std::vector<measurement> run_collective(collective_kind kind,
                                         const bench_config& config,
                                         const mpisim::torus_placement& place,
                                         const std::vector<std::size_t>& sizes,
-                                        mpisim::coll_algorithm algo) {
+                                        mpisim::coll_algorithm algo,
+                                        mpisim::des_options opts) {
   std::vector<measurement> out;
   out.reserve(sizes.size());
   const int p = place.rank_count();
 
   for (const std::size_t bytes : sizes) {
     const mpisim::sim_program base =
-        make_program(kind, config.net, p, bytes, algo);
+        make_program(kind, config.net, p, bytes, place, algo);
 
     // Harness cost: one dispatch + input-buffer touch per rank per call.
     const double cost =
@@ -229,6 +234,7 @@ std::vector<measurement> run_collective(collective_kind kind,
       for (int r = 0; r < p; ++r) {
         auto& ops = prog.rank(r);
         const auto& src = base.ranks[static_cast<std::size_t>(r)];
+        ops.reserve(static_cast<std::size_t>(iters) * (src.size() + 1));
         for (int it = 0; it < iters; ++it) {
           ops.push_back(mpisim::sim_op::compute_for(cost));
           ops.insert(ops.end(), src.begin(), src.end());
@@ -237,12 +243,12 @@ std::vector<measurement> run_collective(collective_kind kind,
       return prog;
     };
 
-    const double t_warm =
-        mpisim::simulate(repeated(config.warmup), config.net, place)
-            .max_clock();
+    const double t_warm = mpisim::simulate(repeated(config.warmup), config.net,
+                                           place, {}, nullptr, opts)
+                              .max_clock();
     const double t_end =
         mpisim::simulate(repeated(config.warmup + config.repetitions),
-                         config.net, place)
+                         config.net, place, {}, nullptr, opts)
             .max_clock();
 
     measurement m;

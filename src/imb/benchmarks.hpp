@@ -44,6 +44,9 @@ enum class collective_kind {
   bcast,
   barrier,
   allgather,
+  /// Node-leader composition (hierarchical.hpp); `algo` selects the
+  /// leader-phase algorithm.
+  hierarchical_allreduce,
 };
 
 /// Everything a benchmark run needs to know about the machine/fabric.
@@ -84,11 +87,14 @@ std::vector<measurement> run_exchange(const binding_profile& binding,
 
 /// Collective latency (t_max over ranks per iteration, IMB's headline
 /// number) on an arbitrary placement via the discrete-event engine.
+/// `opts` selects the fabric model (uncontended endpoint ports vs
+/// per-link contention, docs/TOPOLOGY.md).
 std::vector<measurement> run_collective(
     collective_kind kind, const binding_profile& binding,
     const bench_config& config, const mpisim::torus_placement& place,
     const std::vector<std::size_t>& sizes,
-    mpisim::coll_algorithm algo = mpisim::coll_algorithm::automatic);
+    mpisim::coll_algorithm algo = mpisim::coll_algorithm::automatic,
+    mpisim::des_options opts = {});
 
 /// The Fig. 3 allocation: 384 nodes as a 4x6x16 torus, 4 ranks per
 /// node = 1536 ranks ("-L node=4x6x16:torus -mpi proc=1536").

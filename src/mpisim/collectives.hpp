@@ -138,6 +138,35 @@ inline int largest_pow2_below(int p) {
   return v;
 }
 
+/// Binomial-tree reduction with `acc` as both contribution and (at the
+/// root) result, combining into caller-provided `incoming` scratch -
+/// the allocation-free core that reduce() and hierarchy wrap.
+template <typename T, typename Op, typename Comm>
+void reduce_inplace(Comm& comm, std::span<T> acc, Op op, int root,
+                    std::span<T> incoming) {
+  const int p = comm.size();
+  const int r = comm.rank();
+  TFX_EXPECTS(incoming.size() >= acc.size());
+  const int tag = collective_tag_base + 32;
+  const int vrank = (r - root + p) % p;
+
+  int mask = 1;
+  while (mask < p) {
+    if (vrank & mask) {
+      const int dst = ((vrank - mask) + root) % p;
+      comm.send(std::span<const T>(acc.data(), acc.size()), dst, tag);
+      break;
+    }
+    if (vrank + mask < p) {
+      const int src = ((vrank + mask) + root) % p;
+      comm.recv(std::span<T>(incoming.data(), acc.size()), src, tag);
+      combine(acc, std::span<const T>(incoming.data(), acc.size()), op);
+      charge_combine<T>(comm, acc.size());
+    }
+    mask <<= 1;
+  }
+}
+
 }  // namespace detail
 
 /// Dissemination barrier: ceil(log2 P) rounds of zero-payload tokens.
@@ -201,43 +230,30 @@ void reduce(Comm& comm, std::span<const T> in, std::span<T> out,
   const int r = comm.rank();
   TFX_EXPECTS(in.size() == out.size());
   TFX_EXPECTS(root >= 0 && root < p);
-  const int tag = collective_tag_base + 32;
-
   std::vector<T> acc(in.begin(), in.end());
   std::vector<T> incoming(in.size());
-  const int vrank = (r - root + p) % p;
-
-  int mask = 1;
-  while (mask < p) {
-    if (vrank & mask) {
-      const int dst = ((vrank - mask) + root) % p;
-      comm.send(std::span<const T>(acc), dst, tag);
-      break;
-    }
-    if (vrank + mask < p) {
-      const int src = ((vrank + mask) + root) % p;
-      comm.recv(std::span<T>(incoming), src, tag);
-      detail::combine(std::span<T>(acc), std::span<const T>(incoming), op);
-      detail::charge_combine<T>(comm, acc.size());
-    }
-    mask <<= 1;
-  }
+  detail::reduce_inplace(comm, std::span<T>(acc), op, root,
+                         std::span<T>(incoming));
   if (r == root) std::copy(acc.begin(), acc.end(), out.begin());
 }
 
 namespace detail {
 
 /// Recursive-doubling allreduce with the MPICH non-power-of-two
-/// fold-in/fold-out phases.
+/// fold-in/fold-out phases. `incoming` is caller-provided scratch of
+/// at least acc.size() elements (the allocating overload below keeps
+/// the historical signature).
 template <typename T, typename Op, typename Comm>
-void allreduce_rdoubling(Comm& comm, std::span<T> acc, Op op) {
+void allreduce_rdoubling(Comm& comm, std::span<T> acc, Op op,
+                         std::span<T> scratch) {
   const int p = comm.size();
   const int r = comm.rank();
   const int tag = collective_tag_base + 48;
   const int pof2 = largest_pow2_below(p);
   const int rem = p - pof2;
 
-  std::vector<T> incoming(acc.size());
+  TFX_EXPECTS(scratch.size() >= acc.size());
+  const std::span<T> incoming(scratch.data(), acc.size());
 
   // Fold-in: the first 2*rem ranks pair up so pof2 ranks remain.
   int newrank;
@@ -276,16 +292,24 @@ void allreduce_rdoubling(Comm& comm, std::span<T> acc, Op op) {
   }
 }
 
+template <typename T, typename Op, typename Comm>
+void allreduce_rdoubling(Comm& comm, std::span<T> acc, Op op) {
+  std::vector<T> incoming(acc.size());
+  allreduce_rdoubling(comm, acc, op, std::span<T>(incoming));
+}
+
 /// Ring allreduce: reduce-scatter then allgather, P-1 rounds each,
 /// moving ~2*(P-1)/P of the buffer per rank - bandwidth optimal.
 template <typename T, typename Op, typename Comm>
-void allreduce_ring(Comm& comm, std::span<T> acc, Op op) {
+void allreduce_ring(Comm& comm, std::span<T> acc, Op op,
+                    std::span<T> scratch) {
   const int p = comm.size();
   const int r = comm.rank();
   const int tag = collective_tag_base + 64;
   if (p == 1) return;
 
   const std::size_t n = acc.size();
+  TFX_EXPECTS(scratch.size() >= n);
   auto seg_begin = [&](int s) {
     const int seg = ((s % p) + p) % p;
     return n * static_cast<std::size_t>(seg) / static_cast<std::size_t>(p);
@@ -300,7 +324,7 @@ void allreduce_ring(Comm& comm, std::span<T> acc, Op op) {
 
   const int right = (r + 1) % p;
   const int left = (r - 1 + p) % p;
-  std::vector<T> incoming(n);  // big enough for any segment
+  const std::span<T> incoming(scratch.data(), n);  // fits any segment
 
   // Reduce-scatter: after step k, rank r holds the partial for segment
   // r+1 (mod p) reduced over k+1 contributions.
@@ -326,13 +350,20 @@ void allreduce_ring(Comm& comm, std::span<T> acc, Op op) {
   }
 }
 
+template <typename T, typename Op, typename Comm>
+void allreduce_ring(Comm& comm, std::span<T> acc, Op op) {
+  std::vector<T> incoming(acc.size());
+  allreduce_ring(comm, acc, op, std::span<T>(incoming));
+}
+
 /// Rabenseifner's allreduce: recursive-halving reduce-scatter followed
 /// by a recursive-doubling allgather; 2 log2(P) rounds moving ~2 bytes
 /// per element per rank. MPICH/Open MPI's long-message algorithm;
 /// commutative ops only. Non-power-of-two rank counts fold the first
 /// 2*rem ranks in/out exactly as in allreduce_rdoubling.
 template <typename T, typename Op, typename Comm>
-void allreduce_rabenseifner(Comm& comm, std::span<T> acc, Op op) {
+void allreduce_rabenseifner(Comm& comm, std::span<T> acc, Op op,
+                            std::span<T> scratch) {
   const int p = comm.size();
   const int r = comm.rank();
   const int tag = collective_tag_base + 72;
@@ -340,7 +371,8 @@ void allreduce_rabenseifner(Comm& comm, std::span<T> acc, Op op) {
   const int rem = p - pof2;
   const std::size_t n = acc.size();
 
-  std::vector<T> incoming(n);
+  TFX_EXPECTS(scratch.size() >= n);
+  const std::span<T> incoming(scratch.data(), n);
 
   int newrank;
   if (r < 2 * rem) {
@@ -422,6 +454,41 @@ void allreduce_rabenseifner(Comm& comm, std::span<T> acc, Op op) {
       comm.recv(acc, r - 1, tag + 2);
     }
   }
+}
+
+template <typename T, typename Op, typename Comm>
+void allreduce_rabenseifner(Comm& comm, std::span<T> acc, Op op) {
+  std::vector<T> incoming(acc.size());
+  allreduce_rabenseifner(comm, acc, op, std::span<T>(incoming));
+}
+
+/// In-place allreduce on `acc` with caller-provided scratch, resolving
+/// `automatic` with the same threshold as allreduce(). The engine of
+/// hierarchy::allreduce's leader phase.
+template <typename T, typename Op, typename Comm>
+void allreduce_inplace(Comm& comm, std::span<T> acc, Op op,
+                       coll_algorithm algo, std::span<T> scratch) {
+  if (comm.size() == 1) return;
+  if (algo == coll_algorithm::automatic) {
+    algo = acc.size() * sizeof(T) <= allreduce_ring_threshold
+               ? coll_algorithm::recursive_doubling
+               : coll_algorithm::rabenseifner;
+  }
+  with_comm_context("allreduce", comm, [&] {
+    switch (algo) {
+      case coll_algorithm::recursive_doubling:
+        allreduce_rdoubling(comm, acc, op, scratch);
+        break;
+      case coll_algorithm::ring:
+        allreduce_ring(comm, acc, op, scratch);
+        break;
+      case coll_algorithm::rabenseifner:
+        allreduce_rabenseifner(comm, acc, op, scratch);
+        break;
+      default:
+        TFX_EXPECTS(false && "allreduce_inplace: unsupported algorithm");
+    }
+  });
 }
 
 }  // namespace detail

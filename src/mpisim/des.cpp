@@ -1,9 +1,8 @@
 #include "mpisim/des.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cstdio>
-#include <deque>
-#include <unordered_map>
 
 #include "core/contracts.hpp"
 #include "mpisim/obs_events.hpp"
@@ -28,13 +27,40 @@ double des_result::avg_clock() const {
   return acc / static_cast<double>(clocks.size());
 }
 
+namespace {
+
+// In-flight messages live in one shared pool of singly-linked nodes;
+// each channel holds a FIFO as (head, tail) indices into the pool.
+// This replaces the seed's unordered_map<uint64, deque> wire state,
+// whose hashing and per-deque block allocations dominated DES host
+// time at thousand-rank scale (docs/TOPOLOGY.md has the numbers).
+struct wire_node {
+  double depart;
+  std::uint64_t seq;
+  std::int32_t next;
+  bool poison;  ///< the sender exhausted its retries
+};
+
+// One (src,dst) pair that the program actually uses. next_seq and
+// tx_bytes fold the seed's chan_seq map and dense p*p byte-counter
+// matrix (128 MB at 4096 ranks) into the same cache line as the FIFO.
+struct channel_state {
+  std::int32_t head = -1;
+  std::int32_t tail = -1;
+  std::uint64_t next_seq = 0;
+  std::uint64_t tx_bytes = 0;
+};
+
+}  // namespace
+
 des_result simulate(const sim_program& prog, const tofud_params& net,
                     const torus_placement& place,
                     std::vector<double> start_clocks,
-                    const fault_plane* faults) {
+                    const fault_plane* faults, des_options opts) {
   const int p = prog.size();
   TFX_EXPECTS(p == place.rank_count());
   const bool faulty = faults != nullptr && faults->active();
+  const bool contended = opts.fabric == fabric_mode::contended;
 
   des_result result;
   if (start_clocks.empty()) {
@@ -45,23 +71,163 @@ des_result simulate(const sim_program& prog, const tofud_params& net,
   }
   if (faulty) result.deliveries.resize(static_cast<std::size_t>(p));
 
-  // In-flight messages: per (src,dst) pair, FIFO - exactly the
-  // matching discipline of the threaded runtime for a deterministic
-  // program (under faults the threaded mailbox re-sorts by sequence
-  // number, which restores this same order).
-  struct wire_entry {
-    double depart;
-    std::uint64_t seq;
-    bool poison;  ///< the sender exhausted its retries
+  // ---- program pre-scan: build the flat channel table --------------
+  // Every (src,dst) pair referenced by a send OR a recv gets one dense
+  // channel index; per-op indices are resolved once here so the hot
+  // loop never hashes or searches. Scanning recvs too guarantees a
+  // receiver blocked on a crashed sender still finds its channel.
+  const auto up = static_cast<std::uint64_t>(p);
+  std::vector<std::size_t> op_base(static_cast<std::size_t>(p) + 1, 0);
+  std::size_t total_ops = 0;
+  std::size_t total_sends = 0;
+  for (int r = 0; r < p; ++r) {
+    op_base[static_cast<std::size_t>(r)] = total_ops;
+    total_ops += prog.ranks[static_cast<std::size_t>(r)].size();
+  }
+  op_base[static_cast<std::size_t>(p)] = total_ops;
+
+  std::vector<std::uint64_t> chan_keys;
+  for (int r = 0; r < p; ++r) {
+    const auto ur = static_cast<std::uint64_t>(r);
+    // Collective programs address the same few peers thousands of
+    // times (the ring talks to 2); a small recently-seen window drops
+    // the duplicates so the global sort below stays near-linear in the
+    // *channel* count, not the op count.
+    std::array<std::uint64_t, 8> recent;
+    recent.fill(~std::uint64_t{0});
+    std::size_t cursor = 0;
+    const auto note = [&](std::uint64_t key) {
+      for (const std::uint64_t seen : recent) {
+        if (seen == key) return;
+      }
+      recent[cursor] = key;
+      cursor = (cursor + 1) % recent.size();
+      chan_keys.push_back(key);
+    };
+    for (const sim_op& op : prog.ranks[static_cast<std::size_t>(r)]) {
+      if (op.what == sim_op::kind::send) {
+        note(ur * up + static_cast<std::uint64_t>(op.peer));
+        ++total_sends;
+      } else if (op.what == sim_op::kind::recv) {
+        note(static_cast<std::uint64_t>(op.peer) * up + ur);
+      }
+    }
+  }
+  std::sort(chan_keys.begin(), chan_keys.end());
+  chan_keys.erase(std::unique(chan_keys.begin(), chan_keys.end()),
+                  chan_keys.end());
+  const auto chan_of = [&chan_keys](std::uint64_t key) {
+    const auto it =
+        std::lower_bound(chan_keys.begin(), chan_keys.end(), key);
+    return static_cast<std::int32_t>(it - chan_keys.begin());
   };
-  std::unordered_map<std::uint64_t, std::deque<wire_entry>> wire;
-  auto channel = [p](int src, int dst) {
-    return static_cast<std::uint64_t>(src) * static_cast<std::uint64_t>(p) +
-           static_cast<std::uint64_t>(dst);
+
+  // Per-op channel index, flattened across ranks (compute ops keep -1).
+  // The same recently-seen trick caches resolved (key, index) pairs so
+  // the binary search runs per *distinct* peer, not per op.
+  std::vector<std::int32_t> op_chan(total_ops, -1);
+  for (int r = 0; r < p; ++r) {
+    const auto ur = static_cast<std::uint64_t>(r);
+    const auto& ops = prog.ranks[static_cast<std::size_t>(r)];
+    std::int32_t* slot = op_chan.data() + op_base[static_cast<std::size_t>(r)];
+    std::array<std::uint64_t, 8> ckey;
+    std::array<std::int32_t, 8> cidx{};
+    ckey.fill(~std::uint64_t{0});
+    std::size_t cursor = 0;
+    const auto resolve = [&](std::uint64_t key) {
+      for (std::size_t k = 0; k < ckey.size(); ++k) {
+        if (ckey[k] == key) return cidx[k];
+      }
+      const std::int32_t idx = chan_of(key);
+      ckey[cursor] = key;
+      cidx[cursor] = idx;
+      cursor = (cursor + 1) % ckey.size();
+      return idx;
+    };
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      const sim_op& op = ops[i];
+      if (op.what == sim_op::kind::send) {
+        slot[i] = resolve(ur * up + static_cast<std::uint64_t>(op.peer));
+      } else if (op.what == sim_op::kind::recv) {
+        slot[i] = resolve(static_cast<std::uint64_t>(op.peer) * up + ur);
+      }
+    }
+  }
+
+  std::vector<channel_state> channels(chan_keys.size());
+  std::vector<wire_node> pool;
+  pool.reserve(total_sends);  // one entry per send op, good or poisoned
+  std::int32_t free_head = -1;
+  const auto wire_push = [&](std::int32_t chan, double depart,
+                             std::uint64_t seq, bool poison) {
+    std::int32_t idx;
+    if (free_head >= 0) {
+      idx = free_head;
+      free_head = pool[static_cast<std::size_t>(idx)].next;
+    } else {
+      idx = static_cast<std::int32_t>(pool.size());
+      pool.push_back({});
+    }
+    pool[static_cast<std::size_t>(idx)] = {depart, seq, -1, poison};
+    channel_state& c = channels[static_cast<std::size_t>(chan)];
+    if (c.tail < 0) {
+      c.head = c.tail = idx;
+    } else {
+      pool[static_cast<std::size_t>(c.tail)].next = idx;
+      c.tail = idx;
+    }
   };
-  // Per-channel message counters and per-rank send counters drive the
-  // same fault-plane streams as the threaded runtime.
-  std::unordered_map<std::uint64_t, std::uint64_t> chan_seq;
+  const auto wire_pop = [&](std::int32_t chan) {
+    channel_state& c = channels[static_cast<std::size_t>(chan)];
+    const std::int32_t idx = c.head;
+    wire_node node = pool[static_cast<std::size_t>(idx)];
+    c.head = node.next;
+    if (c.head < 0) c.tail = -1;
+    pool[static_cast<std::size_t>(idx)].next = free_head;
+    free_head = idx;
+    return node;
+  };
+
+  // ---- contended fabric state --------------------------------------
+  // Per directed link: when it frees up, and its lifetime occupancy.
+  std::vector<double> link_free;
+  std::vector<double> link_busy;
+  if (contended) {
+    link_free.assign(static_cast<std::size_t>(place.link_count()), 0.0);
+    link_busy.assign(static_cast<std::size_t>(place.link_count()), 0.0);
+  }
+  // Store-and-forward: the message re-serializes on every link of its
+  // dimension-ordered route, waiting whenever the link is still busy
+  // with earlier traffic. Returns the depart time off the last link.
+  const auto route_depart = [&](int src_rank, int dst_rank,
+                                std::size_t bytes, double inject_start) {
+    const int node_src = place.node_of(src_rank);
+    const int node_dst = place.node_of(dst_rank);
+    if (node_src == node_dst) return inject_start;  // never touches links
+    const double ser =
+        static_cast<double>(bytes) / net.link_bandwidth_Bps;
+    double t = inject_start;
+    double waited = 0;
+    ++result.links.routed_messages;
+    place.for_each_route_link(node_src, node_dst, [&](int link) {
+      const auto li = static_cast<std::size_t>(link);
+      ++result.links.link_hops;
+      if (link_free[li] > t) {
+        waited += link_free[li] - t;
+        t = link_free[li];
+        ++result.links.contended_hops;
+      }
+      t += ser;
+      link_free[li] = t;
+      link_busy[li] += ser;
+    });
+    if (waited > 0) {
+      result.links.wait_seconds += waited;
+      obs_ev::emit_link_wait(src_rank, dst_rank, inject_start, waited);
+    }
+    return t;
+  };
+
   std::vector<std::uint64_t> sends_total(static_cast<std::size_t>(p), 0);
   std::vector<std::uint8_t> crashed(static_cast<std::size_t>(p), 0);
 
@@ -73,13 +239,8 @@ des_result simulate(const sim_program& prog, const tofud_params& net,
   // but events carry track == rank and the *virtual* clock, so the DES
   // trace is bit-reproducible and comparable record-for-record with
   // the threaded runtime's (tests/obs_trace_test.cpp). tx byte
-  // counters flush into the metrics registry at the end.
+  // counters flush from the channel table at the end.
   const bool traced = tfx::obs::active();
-  std::vector<std::uint64_t> obs_tx;
-  if (traced) {
-    obs_tx.assign(static_cast<std::size_t>(p) * static_cast<std::size_t>(p),
-                  0);
-  }
   std::size_t done = 0;
   for (int r = 0; r < p; ++r) {
     if (prog.ranks[static_cast<std::size_t>(r)].empty()) ++done;
@@ -98,6 +259,8 @@ des_result simulate(const sim_program& prog, const tofud_params& net,
     for (int r = 0; r < p; ++r) {
       if (crashed[static_cast<std::size_t>(r)] != 0) continue;
       const auto& ops = prog.ranks[static_cast<std::size_t>(r)];
+      const std::int32_t* chans =
+          op_chan.data() + op_base[static_cast<std::size_t>(r)];
       auto& i = pc[static_cast<std::size_t>(r)];
       double& clock = result.clocks[static_cast<std::size_t>(r)];
       while (i < ops.size()) {
@@ -106,6 +269,7 @@ des_result simulate(const sim_program& prog, const tofud_params& net,
           clock += op.seconds;
         } else if (op.what == sim_op::kind::send) {
           double& port = send_port_free[static_cast<std::size_t>(r)];
+          const std::int32_t chan = chans[i];
           if (faulty) {
             const std::uint64_t sidx =
                 sends_total[static_cast<std::size_t>(r)]++;
@@ -122,36 +286,50 @@ des_result simulate(const sim_program& prog, const tofud_params& net,
               break;
             }
             clock += net.send_overhead_s;
-            const std::uint64_t seq = chan_seq[channel(r, op.peer)]++;
+            const std::uint64_t seq =
+                channels[static_cast<std::size_t>(chan)].next_seq++;
             const transmit_plan tp =
                 faults->plan(net, place, r, op.peer, op.bytes, seq, clock,
                              port, result.stats);
             port = tp.port_free;
             obs_ev::emit_transmit_plan(r, op.peer, seq, op.bytes, tp);
             if (tp.failed) {
-              wire[channel(r, op.peer)].push_back(
-                  {tp.attempts.back().depart, seq, true});
+              wire_push(chan, tp.attempts.back().depart, seq, true);
               obs_ev::emit_casualty(r, op.peer, clock);
               halt(r);
               progressed = true;
               break;
             }
-            if (traced) obs_tx[channel(r, op.peer)] += op.bytes;
-            wire[channel(r, op.peer)].push_back({tp.good_depart, seq, false});
+            if (traced) {
+              channels[static_cast<std::size_t>(chan)].tx_bytes += op.bytes;
+            }
+            // The delivered copy is the one that occupies the fabric;
+            // lost attempts died at the injection port.
+            const double depart =
+                contended
+                    ? route_depart(r, op.peer, op.bytes, tp.good_depart)
+                    : tp.good_depart;
+            wire_push(chan, depart, seq, false);
           } else {
             clock += net.send_overhead_s;
             const double inject_start = std::max(clock, port);
             port = inject_start +
                    serialization_seconds(net, place, r, op.peer, op.bytes);
             obs_ev::emit_vanilla_send(r, op.peer, inject_start, op.bytes);
-            if (traced) obs_tx[channel(r, op.peer)] += op.bytes;
-            wire[channel(r, op.peer)].push_back({inject_start, 0, false});
+            if (traced) {
+              channels[static_cast<std::size_t>(chan)].tx_bytes += op.bytes;
+            }
+            const double depart =
+                contended ? route_depart(r, op.peer, op.bytes, inject_start)
+                          : inject_start;
+            wire_push(chan, depart, 0, false);
           }
         } else {  // recv
-          auto it = wire.find(channel(op.peer, r));
-          if (it == wire.end() || it->second.empty()) break;  // blocked
-          const wire_entry entry = it->second.front();
-          it->second.pop_front();
+          const std::int32_t chan = chans[i];
+          if (channels[static_cast<std::size_t>(chan)].head < 0) {
+            break;  // blocked
+          }
+          const wire_node entry = wire_pop(chan);
           if (entry.poison) {
             obs_ev::emit_casualty(r, op.peer, clock);
             halt(r);
@@ -188,8 +366,9 @@ des_result simulate(const sim_program& prog, const tofud_params& net,
         if (crashed[ri] != 0 || pc[ri] >= ops.size()) continue;
         const sim_op& op = ops[pc[ri]];
         if (op.what != sim_op::kind::recv) continue;
-        auto it = wire.find(channel(op.peer, r));
-        const bool starved = it == wire.end() || it->second.empty();
+        const std::int32_t chan = (op_chan.data() + op_base[ri])[pc[ri]];
+        const bool starved =
+            channels[static_cast<std::size_t>(chan)].head < 0;
         if (starved && crashed[static_cast<std::size_t>(op.peer)] != 0) {
           obs_ev::emit_casualty(r, op.peer,
                                 result.clocks[static_cast<std::size_t>(r)]);
@@ -200,6 +379,14 @@ des_result simulate(const sim_program& prog, const tofud_params& net,
     }
     TFX_ASSERT(progressed && "sim_program deadlocked");
   }
+  if (contended) {
+    for (std::size_t li = 0; li < link_busy.size(); ++li) {
+      if (link_busy[li] > result.links.max_link_busy_s) {
+        result.links.max_link_busy_s = link_busy[li];
+        result.links.max_link = static_cast<int>(li);
+      }
+    }
+  }
   if (faulty) {
     for (int r = 0; r < p; ++r) {
       if (crashed[static_cast<std::size_t>(r)] != 0) {
@@ -209,15 +396,17 @@ des_result simulate(const sim_program& prog, const tofud_params& net,
   }
   if (traced) {
     // Same metric names as communicator::flush_obs, so a threaded run
-    // and its DES twin produce comparable registry contents.
+    // and its DES twin produce comparable registry contents. chan_keys
+    // is sorted by src*p+dst, i.e. the same (src,dst)-lexicographic
+    // order the seed's dense double loop emitted.
     char name[48];
-    for (int src = 0; src < p; ++src) {
-      for (int dst = 0; dst < p; ++dst) {
-        const std::uint64_t bytes = obs_tx[channel(src, dst)];
-        if (bytes == 0) continue;
-        std::snprintf(name, sizeof name, "net.tx_bytes.%d->%d", src, dst);
-        tfx::obs::metric_add(name, bytes);
-      }
+    for (std::size_t c = 0; c < chan_keys.size(); ++c) {
+      const std::uint64_t bytes = channels[c].tx_bytes;
+      if (bytes == 0) continue;
+      const int src = static_cast<int>(chan_keys[c] / up);
+      const int dst = static_cast<int>(chan_keys[c] % up);
+      std::snprintf(name, sizeof name, "net.tx_bytes.%d->%d", src, dst);
+      tfx::obs::metric_add(name, bytes);
     }
     tfx::obs::metric_add("net.sends", result.stats.sends);
     tfx::obs::metric_add("net.attempts", result.stats.attempts);

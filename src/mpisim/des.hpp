@@ -24,9 +24,42 @@
 
 namespace tfx::mpisim {
 
+/// How the fabric charges a message's serialization time.
+enum class fabric_mode {
+  /// Endpoint-port model: serialization is charged at the sender's
+  /// injection port and the receiver's ejection port only; torus links
+  /// never contend. Reproduces the pre-topology clocks bit-identically
+  /// (the golden-clock oracle in tests/mpisim_topology_test.cpp).
+  uncontended,
+  /// Store-and-forward link model: an inter-node message additionally
+  /// occupies every directed link of its dimension-ordered route
+  /// (torus_placement::route_of) for its serialization time, FIFO per
+  /// link, so hot links back up and messages overtake each other
+  /// across routes of different length. Intra-node messages never
+  /// touch links and keep their uncontended timing exactly.
+  contended,
+};
+
+/// Simulation knobs (trailing optional argument of simulate()).
+struct des_options {
+  fabric_mode fabric = fabric_mode::uncontended;
+};
+
+/// Fabric occupancy counters, populated only in fabric_mode::contended.
+struct link_stat_block {
+  std::uint64_t routed_messages = 0;  ///< inter-node messages routed
+  std::uint64_t link_hops = 0;        ///< links traversed in total
+  std::uint64_t contended_hops = 0;   ///< hops that found the link busy
+  double wait_seconds = 0;      ///< total virtual time queued at links
+  double max_link_busy_s = 0;   ///< busiest link's total occupancy
+  int max_link = -1;            ///< its id (torus_placement::link_at)
+};
+
 /// Result of simulating one program.
 struct des_result {
   std::vector<double> clocks;  ///< per-rank completion times
+
+  link_stat_block links;  ///< fabric occupancy (contended mode only)
 
   // -- populated only for fault-plane runs --
   fault_stats stats;  ///< injection/retry counters (sender-side plans)
@@ -45,11 +78,13 @@ struct des_result {
 /// otherwise all ranks start at 0. `faults`, if non-null and active,
 /// injects the same deterministic fault schedule the threaded runtime
 /// would (crashed ranks halt and cascade instead of deadlocking).
-/// Aborts on deadlock (malformed program), which cannot happen for the
-/// generators in patterns.hpp.
+/// `opts.fabric` selects the endpoint-only or the link-contention
+/// fabric (docs/TOPOLOGY.md). Aborts on deadlock (malformed program),
+/// which cannot happen for the generators in patterns.hpp.
 des_result simulate(const sim_program& prog, const tofud_params& net,
                     const torus_placement& place,
                     std::vector<double> start_clocks = {},
-                    const fault_plane* faults = nullptr);
+                    const fault_plane* faults = nullptr,
+                    des_options opts = {});
 
 }  // namespace tfx::mpisim

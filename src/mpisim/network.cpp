@@ -22,6 +22,25 @@ std::array<int, 3> torus_placement::coords_of(int node) const {
   return {x, y, z};
 }
 
+int torus_placement::neighbor_of(int node, int dim, int dir) const {
+  TFX_EXPECTS(dim >= 0 && dim < 3);
+  TFX_EXPECTS(dir == 1 || dir == -1);
+  auto c = coords_of(node);
+  const int n = shape_[dim];
+  c[dim] = ((c[dim] + dir) % n + n) % n;
+  return node_index(c);
+}
+
+std::vector<int> torus_placement::route_of(int node_a, int node_b) const {
+  TFX_EXPECTS(node_a >= 0 && node_a < node_count());
+  TFX_EXPECTS(node_b >= 0 && node_b < node_count());
+  std::vector<int> links;
+  links.reserve(static_cast<std::size_t>(hops(node_a, node_b)));
+  for_each_route_link(node_a, node_b,
+                      [&links](int id) { links.push_back(id); });
+  return links;
+}
+
 int torus_placement::hops(int node_a, int node_b) const {
   const auto a = coords_of(node_a);
   const auto b = coords_of(node_b);

@@ -16,6 +16,9 @@
 #include <array>
 #include <cstddef>
 #include <cstdint>
+#include <vector>
+
+#include "core/contracts.hpp"
 
 namespace tfx::mpisim {
 
@@ -44,6 +47,18 @@ struct tofud_params {
   double reduce_compute_s_per_byte = 0.012e-9;  ///< ~80 GB/s combine rate
 };
 
+/// One directed torus link: the exit of `node` along dimension `dim`
+/// in direction `dir` (+1 or -1). Every node owns 6 directed links
+/// (degenerate 1-wide dimensions included, for a dense id space); the
+/// contention-aware DES tracks occupancy per link id.
+struct torus_link {
+  int node = 0;  ///< source node of the directed link
+  int dim = 0;   ///< 0, 1 or 2
+  int dir = 0;   ///< +1 or -1
+
+  bool operator==(const torus_link&) const = default;
+};
+
 /// A 3-D torus allocation of nodes, with ranks block-assigned to nodes.
 class torus_placement {
  public:
@@ -58,6 +73,7 @@ class torus_placement {
   [[nodiscard]] int node_count() const { return shape_[0] * shape_[1] * shape_[2]; }
   [[nodiscard]] int rank_count() const { return node_count() * ranks_per_node_; }
   [[nodiscard]] int ranks_per_node() const { return ranks_per_node_; }
+  [[nodiscard]] const std::array<int, 3>& shape() const { return shape_; }
 
   /// Node index hosting a rank (block distribution).
   [[nodiscard]] int node_of(int rank) const { return rank / ranks_per_node_; }
@@ -65,11 +81,75 @@ class torus_placement {
   /// Torus coordinates of a node.
   [[nodiscard]] std::array<int, 3> coords_of(int node) const;
 
+  /// Inverse of coords_of: the node at the given torus coordinates.
+  [[nodiscard]] int node_at(const std::array<int, 3>& coords) const {
+    for (int d = 0; d < 3; ++d) {
+      TFX_EXPECTS(coords[static_cast<std::size_t>(d)] >= 0 &&
+                  coords[static_cast<std::size_t>(d)] < shape_[static_cast<std::size_t>(d)]);
+    }
+    return node_index(coords);
+  }
+
   /// Minimal hop count between two nodes (per-dimension wraparound
   /// Manhattan distance).
   [[nodiscard]] int hops(int node_a, int node_b) const;
 
+  // -- dimension-ordered routing (docs/TOPOLOGY.md) -------------------
+
+  /// Number of directed links in the torus (6 per node).
+  [[nodiscard]] int link_count() const { return node_count() * 6; }
+
+  /// Dense id in [0, link_count()) of the directed link leaving `node`
+  /// along `dim` towards `dir`.
+  [[nodiscard]] int link_id(int node, int dim, int dir) const {
+    return node * 6 + dim * 2 + (dir > 0 ? 0 : 1);
+  }
+
+  /// Inverse of link_id.
+  [[nodiscard]] torus_link link_at(int id) const {
+    TFX_EXPECTS(id >= 0 && id < link_count());
+    return {id / 6, (id % 6) / 2, (id % 6) % 2 == 0 ? +1 : -1};
+  }
+
+  /// Neighbour of `node` one hop along `dim`,`dir` (with wraparound).
+  [[nodiscard]] int neighbor_of(int node, int dim, int dir) const;
+
+  /// Dimension-ordered minimal route between two nodes as the ordered
+  /// sequence of directed link ids: all x hops first, then y, then z.
+  /// Each dimension travels the shorter way around; on a tie (distance
+  /// exactly half an even-sized dimension) the POSITIVE direction wins,
+  /// so the route - and therefore the contention charge - is
+  /// deterministic. route_of(a, b).size() == hops(a, b) always, and
+  /// route_of(b, a) is NOT generally the reverse (tie-broken hops use
+  /// +1 both ways).
+  [[nodiscard]] std::vector<int> route_of(int node_a, int node_b) const;
+
+  /// Allocation-free route walk for the DES hot path: calls
+  /// `fn(link_id)` for every directed link of route_of(a, b) in order.
+  template <typename Fn>
+  void for_each_route_link(int node_a, int node_b, Fn&& fn) const {
+    const auto a = coords_of(node_a);
+    const auto b = coords_of(node_b);
+    std::array<int, 3> cur = a;
+    for (int d = 0; d < 3; ++d) {
+      const int n = shape_[d];
+      const int fwd = ((b[d] - a[d]) % n + n) % n;  // steps going +1
+      const int back = n - fwd;                     // steps going -1
+      const int dir = fwd <= back ? +1 : -1;        // tie -> positive
+      const int steps = fwd <= back ? fwd : back;
+      for (int s = 0; s < steps; ++s) {
+        const int node = node_index(cur);
+        fn(link_id(node, d, dir));
+        cur[d] = ((cur[d] + dir) % n + n) % n;
+      }
+    }
+  }
+
  private:
+  [[nodiscard]] int node_index(const std::array<int, 3>& c) const {
+    return c[0] + shape_[0] * (c[1] + shape_[1] * c[2]);
+  }
+
   std::array<int, 3> shape_;
   int ranks_per_node_;
 };

@@ -37,6 +37,8 @@ inline constexpr const char* dup = "net.dup";
 inline constexpr const char* send_failed = "net.send_failed";
 inline constexpr const char* casualty = "net.casualty";
 inline constexpr const char* dedup = "net.dedup";  ///< threaded engine only
+inline constexpr const char* link_wait =
+    "net.link_wait";  ///< contended DES only
 
 inline std::uint16_t track_of(int rank) {
   return static_cast<std::uint16_t>(rank);
@@ -103,6 +105,17 @@ inline void emit_recv(int rank, int src, double clock, std::size_t bytes) {
 inline void emit_dedup(int rank, int src, double clock, std::uint64_t seq) {
   tfx::obs::instant_at(tfx::obs::domain::net, track_of(rank), dedup, clock,
                        static_cast<std::uint64_t>(src), seq);
+}
+
+/// A message queued behind busy torus links on its route (emitted only
+/// by the DES in fabric_mode::contended, so the golden cross-engine
+/// traces - which run uncontended - never see it). a = dst,
+/// b = the wait in nanoseconds (rounded); ts = the injection start.
+inline void emit_link_wait(int rank, int dst, double inject_start,
+                           double wait_s) {
+  tfx::obs::instant_at(tfx::obs::domain::net, track_of(rank), link_wait,
+                       inject_start, static_cast<std::uint64_t>(dst),
+                       static_cast<std::uint64_t>(wait_s * 1e9 + 0.5));
 }
 
 /// Rank death (scheduled crash, exhausted retries, or a fatal notice

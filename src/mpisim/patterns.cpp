@@ -12,11 +12,26 @@ int largest_pow2_below(int p) {
   return v;
 }
 
+int log2_levels(int p) {  // number of k in {1,2,4,...} with k < p
+  int levels = 0;
+  for (int k = 1; k < p; k <<= 1) ++levels;
+  return levels;
+}
+
+// Reserve every rank's op vector at a closed-form upper bound so
+// building a program is one allocation per rank instead of a
+// reallocation cascade - at 1024+ ranks the ring builder's growth
+// copies used to dominate DES host time (docs/TOPOLOGY.md).
+void reserve_ranks(sim_program& prog, std::size_t ops_per_rank) {
+  for (auto& ops : prog.ranks) ops.reserve(ops_per_rank);
+}
+
 }  // namespace
 
 sim_program make_barrier_program(int p) {
   sim_program prog(p);
   if (p == 1) return prog;
+  reserve_ranks(prog, 2 * static_cast<std::size_t>(log2_levels(p)));
   for (int r = 0; r < p; ++r) {
     for (int k = 1; k < p; k <<= 1) {
       const int dst = (r + k) % p;
@@ -33,6 +48,7 @@ sim_program make_bcast_program(int p, std::size_t count,
   sim_program prog(p);
   const std::size_t bytes = count * elem_bytes;
   if (p == 1) return prog;
+  reserve_ranks(prog, static_cast<std::size_t>(log2_levels(p)) + 1);
   for (int r = 0; r < p; ++r) {
     const int vrank = (r - root + p) % p;
     int mask = 1;
@@ -62,6 +78,7 @@ sim_program make_reduce_program(const tofud_params& net, int p,
   sim_program prog(p);
   const std::size_t bytes = count * elem_bytes;
   const double combine_s = reduce_compute_seconds(net, bytes);
+  reserve_ranks(prog, 2 * static_cast<std::size_t>(log2_levels(p)));
   for (int r = 0; r < p; ++r) {
     const int vrank = (r - root + p) % p;
     int mask = 1;
@@ -103,6 +120,7 @@ sim_program make_allreduce_program(const tofud_params& net, int p,
     const int pof2 = largest_pow2_below(p);
     const int rem = p - pof2;
     auto real_rank = [rem](int nr) { return nr < rem ? nr * 2 : nr + rem; };
+    reserve_ranks(prog, 3 * static_cast<std::size_t>(log2_levels(pof2)) + 3);
     for (int r = 0; r < p; ++r) {
       auto& ops = prog.rank(r);
       int newrank;
@@ -146,6 +164,7 @@ sim_program make_allreduce_program(const tofud_params& net, int p,
       return count * static_cast<std::size_t>(b) /
              static_cast<std::size_t>(pof2);
     };
+    reserve_ranks(prog, 5 * static_cast<std::size_t>(log2_levels(pof2)) + 3);
     for (int r = 0; r < p; ++r) {
       auto& ops = prog.rank(r);
       int newrank;
@@ -225,6 +244,7 @@ sim_program make_allreduce_program(const tofud_params& net, int p,
                           static_cast<std::size_t>(p);
     return e - b;
   };
+  reserve_ranks(prog, 5 * static_cast<std::size_t>(p - 1));
   for (int r = 0; r < p; ++r) {
     auto& ops = prog.rank(r);
     const int right = (r + 1) % p;
@@ -247,11 +267,92 @@ sim_program make_allreduce_program(const tofud_params& net, int p,
   return prog;
 }
 
+sim_program make_hierarchical_allreduce_program(
+    const tofud_params& net, const torus_placement& place,
+    std::size_t count, std::size_t elem_bytes, coll_algorithm algo) {
+  const int p = place.rank_count();
+  const int m = place.ranks_per_node();
+  const int nodes = place.node_count();
+  sim_program prog(p);
+  const std::size_t bytes = count * elem_bytes;
+  const double combine_s = reduce_compute_seconds(net, bytes);
+
+  // The leaders' flat allreduce, built once over `nodes` virtual ranks
+  // and spliced into each leader's program with peers remapped to
+  // global ranks (leader of node k == global rank k*m under the block
+  // placement - the same ranks hierarchy{} elects).
+  sim_program leader_prog =
+      nodes > 1 ? make_allreduce_program(net, nodes, count, elem_bytes, algo)
+                : sim_program(1);
+
+  const auto levels = static_cast<std::size_t>(log2_levels(m));
+  for (int node = 0; node < nodes; ++node) {
+    const int leader = node * m;
+    auto& lops = prog.rank(leader);
+    lops.reserve(2 * levels +
+                 leader_prog.ranks[static_cast<std::size_t>(
+                     nodes > 1 ? node : 0)].size() +
+                 static_cast<std::size_t>(m > 1 ? 1 : 0));
+    for (int j = 1; j < m; ++j) {
+      prog.rank(leader + j).reserve(2 * levels + 2);
+    }
+
+    // Phase 1: intra-node binomial reduce to local rank 0
+    // (detail::reduce_inplace with root 0; vrank == local rank).
+    for (int j = 0; j < m; ++j) {
+      auto& ops = prog.rank(leader + j);
+      int mask = 1;
+      while (mask < m) {
+        if (j & mask) {
+          ops.push_back(sim_op::send_to(leader + (j - mask), bytes));
+          break;
+        }
+        if (j + mask < m) {
+          ops.push_back(sim_op::recv_from(leader + (j + mask), bytes));
+          ops.push_back(sim_op::compute_for(combine_s));
+        }
+        mask <<= 1;
+      }
+    }
+
+    // Phase 2: the leaders' flat allreduce, remapped to global ranks.
+    if (nodes > 1) {
+      for (const sim_op& op : leader_prog.ranks[static_cast<std::size_t>(node)]) {
+        sim_op mapped = op;
+        if (op.what != sim_op::kind::compute) mapped.peer = op.peer * m;
+        lops.push_back(mapped);
+      }
+    }
+
+    // Phase 3: intra-node binomial bcast from local rank 0.
+    for (int j = 0; j < m; ++j) {
+      auto& ops = prog.rank(leader + j);
+      int mask = 1;
+      while (mask < m) {
+        if (j & mask) {
+          ops.push_back(sim_op::recv_from(leader + (j - mask), bytes));
+          break;
+        }
+        mask <<= 1;
+      }
+      mask >>= 1;
+      while (mask > 0) {
+        if (j + mask < m) {
+          ops.push_back(sim_op::send_to(leader + (j + mask), bytes));
+        }
+        mask >>= 1;
+      }
+    }
+  }
+  return prog;
+}
+
 sim_program make_allgather_program(int p, std::size_t count,
                                    std::size_t elem_bytes) {
   sim_program prog(p);
   const std::size_t bytes = count * elem_bytes;
   if (p == 1) return prog;
+  reserve_ranks(prog, 2 * static_cast<std::size_t>(p - 1));
   for (int r = 0; r < p; ++r) {
     const int right = (r + 1) % p;
     const int left = (r - 1 + p) % p;
@@ -267,6 +368,7 @@ sim_program make_gatherv_program(int p, std::size_t count,
                                  std::size_t elem_bytes, int root) {
   sim_program prog(p);
   const std::size_t bytes = count * elem_bytes;
+  prog.rank(root).reserve(static_cast<std::size_t>(p - 1));
   for (int r = 0; r < p; ++r) {
     if (r != root) {
       prog.rank(r).push_back(sim_op::send_to(root, bytes));

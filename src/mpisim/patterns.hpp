@@ -68,6 +68,16 @@ sim_program make_allreduce_program(const tofud_params& net, int p,
                                    std::size_t count, std::size_t elem_bytes,
                                    coll_algorithm algo);
 
+/// Hierarchical (node-leader) allreduce: binomial reduce to each
+/// node's local rank 0, flat allreduce among the leaders, binomial
+/// bcast back - mirrors hierarchy::allreduce (hierarchical.hpp)
+/// op-for-op under the block rank placement. `algo` selects the
+/// leader-phase algorithm; automatic resolves with the flat threshold.
+sim_program make_hierarchical_allreduce_program(
+    const tofud_params& net, const torus_placement& place,
+    std::size_t count, std::size_t elem_bytes,
+    coll_algorithm algo = coll_algorithm::automatic);
+
 /// Linear gatherv with uniform counts (mirrors mpisim::gatherv).
 sim_program make_gatherv_program(int p, std::size_t count,
                                  std::size_t elem_bytes, int root);

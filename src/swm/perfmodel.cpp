@@ -1,8 +1,10 @@
 #include "swm/perfmodel.hpp"
 
 #include <algorithm>
+#include <vector>
 
 #include "arch/roofline.hpp"
+#include "core/contracts.hpp"
 
 namespace tfx::swm {
 
@@ -131,38 +133,116 @@ double speedup_vs_float64(const arch::a64fx_params& machine, int nx, int ny,
   return base / predict_step(machine, nx, ny, config).seconds;
 }
 
+namespace {
+
+/// Walk the up/down halo messages of one RK4 step, calling
+/// `message(bytes, up)` for each send the rank posts - the single
+/// source of message structure for both predict_halo overloads.
+///
+/// Per RK4 stage: a 3-field prognostic phase and a 4-field derived
+/// phase, each shipping one up and one down message per rank -
+/// packed under aggregation, per-field otherwise. Overlap changes
+/// *when* the time is paid, not how much traffic exists, so the
+/// aggregated modes share one prediction.
+template <typename Fn>
+void for_each_halo_message(int nx, std::size_t elem_bytes, halo_mode mode,
+                           Fn&& message) {
+  const std::size_t row = static_cast<std::size_t>(nx) * elem_bytes;
+  constexpr std::size_t phase_fields[2] = {3, 4};
+  for (int stage = 0; stage < 4; ++stage) {
+    for (const std::size_t fields : phase_fields) {
+      if (mode == halo_mode::per_field) {
+        for (std::size_t f = 0; f < fields; ++f) {
+          message(row, true);   // up
+          message(row, false);  // down
+        }
+      } else {
+        message(fields * row, true);
+        message(fields * row, false);
+      }
+    }
+  }
+}
+
+}  // namespace
+
 halo_cost predict_halo(const mpisim::tofud_params& net, int nx,
                        std::size_t elem_bytes, int ranks, halo_mode mode) {
   halo_cost out;
   if (ranks <= 1) return out;  // the periodic wrap is local: no traffic
-  const std::size_t row = static_cast<std::size_t>(nx) * elem_bytes;
-  auto message = [&](std::size_t bytes) {
+  for_each_halo_message(nx, elem_bytes, mode, [&](std::size_t bytes, bool) {
     out.messages += 1;
     out.bytes += bytes;
     double latency = net.alpha_s + net.per_hop_s;
     if (bytes > net.eager_threshold) latency += net.rendezvous_extra_s;
     out.seconds += net.send_overhead_s + net.recv_overhead_s + latency +
                    static_cast<double>(bytes) / net.link_bandwidth_Bps;
-  };
-  // Per RK4 stage: a 3-field prognostic phase and a 4-field derived
-  // phase, each shipping one up and one down message per rank -
-  // packed under aggregation, per-field otherwise. Overlap changes
-  // *when* the time is paid, not how much traffic exists, so the
-  // aggregated modes share one prediction.
-  constexpr std::size_t phase_fields[2] = {3, 4};
-  for (int stage = 0; stage < 4; ++stage) {
-    for (const std::size_t fields : phase_fields) {
-      if (mode == halo_mode::per_field) {
-        for (std::size_t f = 0; f < fields; ++f) {
-          message(row);  // up
-          message(row);  // down
-        }
-      } else {
-        message(fields * row);
-        message(fields * row);
-      }
+  });
+  out.contended_seconds = out.seconds;  // no placement: assume no links shared
+  return out;
+}
+
+halo_cost predict_halo(const mpisim::tofud_params& net,
+                       const mpisim::torus_placement& place, int rank,
+                       int nx, std::size_t elem_bytes, int ranks,
+                       halo_mode mode) {
+  halo_cost out;
+  TFX_EXPECTS(ranks <= place.rank_count());
+  TFX_EXPECTS(rank >= 0 && rank < ranks);
+  if (ranks <= 1) return out;
+
+  // Flow census: how many (rank, direction) halo flows cross each
+  // directed link. Every rank sends up and down each phase; the census
+  // is placement geometry only, so one pass covers all phases.
+  std::vector<std::uint32_t> flows(
+      static_cast<std::size_t>(place.link_count()), 0);
+  for (int s = 0; s < ranks; ++s) {
+    const int node_s = place.node_of(s);
+    for (const int peer : {(s + 1) % ranks, (s - 1 + ranks) % ranks}) {
+      const int node_p = place.node_of(peer);
+      if (node_s == node_p) continue;
+      place.for_each_route_link(node_s, node_p,
+                                [&](int link) { ++flows[static_cast<std::size_t>(link)]; });
     }
   }
+
+  const int node = place.node_of(rank);
+  const int up = (rank + 1) % ranks;
+  const int down = (rank - 1 + ranks) % ranks;
+  for_each_halo_message(nx, elem_bytes, mode, [&](std::size_t bytes,
+                                                  bool is_up) {
+    out.messages += 1;
+    out.bytes += bytes;
+    const int peer = is_up ? up : down;
+    const int node_peer = place.node_of(peer);
+    const double overheads = net.send_overhead_s + net.recv_overhead_s;
+    const double rendezvous =
+        bytes > net.eager_threshold ? net.rendezvous_extra_s : 0.0;
+    if (node == node_peer) {
+      const double t = overheads + net.intra_alpha_s + rendezvous +
+                       static_cast<double>(bytes) / net.intra_bandwidth_Bps;
+      out.seconds += t;
+      out.contended_seconds += t;  // shared memory: no links to share
+      return;
+    }
+    const int h = place.hops(node, node_peer);
+    const double ser = static_cast<double>(bytes) / net.link_bandwidth_Bps;
+    const double base = overheads + net.alpha_s +
+                        static_cast<double>(h) * net.per_hop_s + rendezvous +
+                        ser;
+    out.seconds += base;
+    // Contended: the message re-serializes on each of its h links
+    // (store-and-forward) and queues one serialization behind every
+    // other flow on the hottest link of its route.
+    std::uint32_t fmax = 0;
+    place.for_each_route_link(node, node_peer, [&](int link) {
+      fmax = std::max(fmax, flows[static_cast<std::size_t>(link)]);
+    });
+    out.max_link_flows = std::max<std::uint64_t>(out.max_link_flows, fmax);
+    const double queue = fmax > 0 ? (fmax - 1) * ser : 0.0;
+    out.link_wait_seconds += queue;
+    out.contended_seconds += base + static_cast<double>(h) * ser + queue;
+  });
   return out;
 }
 

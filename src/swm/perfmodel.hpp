@@ -88,12 +88,39 @@ struct halo_cost {
   std::uint64_t messages = 0;  ///< sends this rank posts per step
   std::uint64_t bytes = 0;     ///< payload bytes this rank sends per step
   double seconds = 0;          ///< uncontended alpha-beta time per step
+
+  // -- comm-aware extension (docs/TOPOLOGY.md) -----------------------
+  // Placement-aware overload only; the placement-free overload models
+  // an uncontended fabric, so there contended_seconds == seconds.
+  double contended_seconds = 0;   ///< + store-and-forward + link queueing
+  double link_wait_seconds = 0;   ///< the queueing term alone
+  /// Largest number of halo flows (rank, direction pairs) sharing any
+  /// directed torus link this rank's messages route over; 1 means this
+  /// rank's halo traffic is congestion-free. Under the block placement
+  /// the ring halo keeps this at 1 - neighbouring ranks either share a
+  /// node or sit on adjacent nodes with disjoint dimension-ordered
+  /// routes - which is why Fig. 3-style collectives, not halos, are
+  /// where contention bites.
+  std::uint64_t max_link_flows = 0;
 };
 
 /// Predict one rank's per-step halo traffic for an nx-wide slab of
 /// sizeof-`elem_bytes` elements split over `ranks` ranks under `mode`.
 halo_cost predict_halo(const mpisim::tofud_params& net, int nx,
                        std::size_t elem_bytes, int ranks, halo_mode mode);
+
+/// Placement-aware overload: `rank`'s ring neighbours are located on
+/// the torus, intra-node messages are priced at shared-memory
+/// latency/bandwidth, inter-node ones at their true dimension-ordered
+/// hop count, and the contended fields are filled from a per-link flow
+/// census of every rank's halo messages (the analytic twin of the
+/// DES's fabric_mode::contended). `messages` and `bytes` stay exactly
+/// what the obs counters swm.halo_messages / swm.halo_bytes record -
+/// the placement changes *costs*, never traffic.
+halo_cost predict_halo(const mpisim::tofud_params& net,
+                       const mpisim::torus_placement& place, int rank,
+                       int nx, std::size_t elem_bytes, int ranks,
+                       halo_mode mode);
 
 /// Modeled wall seconds to integrate `steps` RK4 steps of one nx x ny
 /// member at `config` — the admission-control price of an ensemble job

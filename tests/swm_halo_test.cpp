@@ -532,6 +532,46 @@ TEST(HaloPerfmodel, PredictionMatchesMeasuredCounters) {
   }
 }
 
+TEST(HaloPerfmodel, PlacementAwarePredictionMatchesMeasuredCounters) {
+  REQUIRE_OBS_COMPILED();
+  // The comm-aware overload (docs/TOPOLOGY.md) must not drift from the
+  // measured traffic either: summing the per-rank placement-aware
+  // predictions over a real torus run reproduces swm.halo_messages /
+  // swm.halo_bytes exactly, placement or no placement. Only the cost
+  // fields may differ from the flat overload.
+  const swm_params params = small_params();
+  const int steps = 5;
+  const mpisim::torus_placement place({2, 2, 1}, 1);
+  const int p = place.rank_count();
+  const auto init = initial_state<double>(params);
+  for (const halo_mode mode : all_modes) {
+    obs_session session;
+    mpisim::world w(place, mpisim::tofud_params{});
+    w.run([&](mpisim::communicator& comm) {
+      distributed_model<double> dm(comm, params);
+      dm.set_halo_mode(mode);
+      dm.set_from_global(init);
+      dm.run(steps);
+    });
+    const mpisim::tofud_params net;
+    std::uint64_t messages = 0;
+    std::uint64_t bytes = 0;
+    for (int r = 0; r < p; ++r) {
+      const halo_cost placed =
+          predict_halo(net, place, r, params.nx, sizeof(double), p, mode);
+      messages += placed.messages;
+      bytes += placed.bytes;
+      EXPECT_GE(placed.contended_seconds, placed.seconds)
+          << mode_name(mode) << " rank " << r;
+    }
+    const auto scale = static_cast<std::uint64_t>(steps);
+    EXPECT_EQ(counter_value("swm.halo_messages"), scale * messages)
+        << mode_name(mode);
+    EXPECT_EQ(counter_value("swm.halo_bytes"), scale * bytes)
+        << mode_name(mode);
+  }
+}
+
 TEST(HaloPerfmodel, MessageArithmetic) {
   mpisim::world w(2);
   const auto& net = w.net();

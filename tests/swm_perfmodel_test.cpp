@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <tuple>
 
 #include "swm/perfmodel.hpp"
@@ -112,4 +114,99 @@ TEST(PerfModel, Fig4RuntimeRatioNearMeasured) {
       predict_step(fugaku_node, 3000, 1500, config_float64()).seconds /
       predict_step(fugaku_node, 3000, 1500, config_float16()).seconds;
   EXPECT_NEAR(ratio, 3.6, 0.5);
+}
+
+// ---------------------------------------------------------------------------
+// Comm-aware scaling model: the placement-aware predict_halo overload
+// (docs/TOPOLOGY.md). Traffic is a property of the decomposition, not
+// the placement - messages/bytes must be bit-equal to the flat
+// overload (and therefore to the swm.halo_* obs counters the flat
+// overload is pinned against in swm_halo_test) - while the placement
+// changes only the modeled costs.
+// ---------------------------------------------------------------------------
+
+TEST(HaloTopology, PlacementOverloadKeepsTrafficExact) {
+  const tfx::mpisim::tofud_params net;
+  for (const auto mode : {halo_mode::per_field, halo_mode::aggregated,
+                          halo_mode::aggregated_overlap}) {
+    for (const auto& place :
+         {tfx::mpisim::torus_placement::line(8),
+          tfx::mpisim::torus_placement({2, 2, 2}, 4),
+          tfx::mpisim::torus_placement({4, 4, 1}, 2)}) {
+      const int ranks = place.rank_count();
+      const auto flat = predict_halo(net, 96, 8, ranks, mode);
+      for (int r = 0; r < ranks; ++r) {
+        const auto placed = predict_halo(net, place, r, 96, 8, ranks, mode);
+        EXPECT_EQ(placed.messages, flat.messages) << "rank " << r;
+        EXPECT_EQ(placed.bytes, flat.bytes) << "rank " << r;
+        EXPECT_GE(placed.contended_seconds, placed.seconds) << "rank " << r;
+        EXPECT_GE(placed.link_wait_seconds, 0.0) << "rank " << r;
+      }
+    }
+  }
+}
+
+TEST(HaloTopology, BlockPlacedRingHaloIsCongestionFree) {
+  // The headline finding the docs record: under the block placement
+  // the ring halo's dimension-ordered routes never share a directed
+  // link (neighbouring ranks share a node or sit on adjacent nodes),
+  // so the contention term is pure store-and-forward - no queueing.
+  const tfx::mpisim::tofud_params net;
+  for (const auto& place : {tfx::mpisim::torus_placement::line(8),
+                            tfx::mpisim::torus_placement({4, 4, 1}, 4)}) {
+    const int ranks = place.rank_count();
+    for (int r = 0; r < ranks; ++r) {
+      const auto placed = predict_halo(net, place, r, 64, 8, ranks,
+                                       halo_mode::aggregated);
+      EXPECT_LE(placed.max_link_flows, 1u) << "rank " << r;
+      EXPECT_EQ(placed.link_wait_seconds, 0.0) << "rank " << r;
+    }
+  }
+}
+
+TEST(HaloTopology, IntraNodeNeighboursAreCheaperThanTorusNeighbours) {
+  // 4 ranks/node: rank 1's both neighbours share its node, rank 3's up
+  // neighbour crosses a link. The placement overload must price them
+  // differently; the flat overload cannot.
+  const tfx::mpisim::tofud_params net;
+  const tfx::mpisim::torus_placement place({4, 1, 1}, 4);
+  const auto inner = predict_halo(net, place, 1, 96, 8, 16,
+                                  halo_mode::aggregated);
+  const auto border = predict_halo(net, place, 3, 96, 8, 16,
+                                   halo_mode::aggregated);
+  EXPECT_EQ(inner.messages, border.messages);
+  EXPECT_EQ(inner.bytes, border.bytes);
+  EXPECT_LT(inner.seconds, border.seconds);
+}
+
+TEST(HaloTopology, FlatOverloadReportsNoContentionByConstruction) {
+  const tfx::mpisim::tofud_params net;
+  const auto flat = predict_halo(net, 128, 8, 16, halo_mode::aggregated);
+  EXPECT_EQ(flat.contended_seconds, flat.seconds);
+  EXPECT_EQ(flat.link_wait_seconds, 0.0);
+  EXPECT_EQ(flat.max_link_flows, 0u);
+}
+
+TEST(HaloTopology, ScatteredPlacementShowsTheContentionTerm) {
+  // A deliberately bad layout - ring neighbours far apart - shares
+  // links between flows, so the queueing term fires for some rank and
+  // contended strictly exceeds the uncontended bound. Using every
+  // fourth rank of a wide allocation spreads neighbours three nodes
+  // apart along x with size-4 wrap ties.
+  const tfx::mpisim::tofud_params net;
+  const tfx::mpisim::torus_placement place({2, 2, 1}, 1);
+  // ranks == node_count: ring over 4 nodes; the size-2 dimensions
+  // tie-break both directions to +1, so up and down flows collide.
+  std::uint64_t worst = 0;
+  double wait = 0;
+  for (int r = 0; r < place.rank_count(); ++r) {
+    const auto placed = predict_halo(net, place, r, 96, 8,
+                                     place.rank_count(),
+                                     halo_mode::aggregated);
+    worst = std::max(worst, placed.max_link_flows);
+    wait += placed.link_wait_seconds;
+    EXPECT_GE(placed.contended_seconds, placed.seconds);
+  }
+  EXPECT_GE(worst, 2u);
+  EXPECT_GT(wait, 0.0);
 }
